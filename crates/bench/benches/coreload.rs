@@ -1,0 +1,68 @@
+//! Section V-C — host-CPU driver load.
+//!
+//! The paper reports absolute core load (busy time / execution time):
+//! LRU 29.9%/39.3%, RRIP 30.3%/39.5%, CLOCK-Pro 29.5%/39.2%, HPE
+//! 34.0%/47.2% at 75%/50%. In this reproduction the simulated GPU work per
+//! page is ~10^3 smaller than real kernels while the 20 µs fault penalty
+//! is unchanged, so execution time is driver-bound and the absolute load
+//! saturates near 100% for every policy. The reproducible quantity is the
+//! *relative* extra driver time HPE needs over each baseline — the paper's
+//! ratios are HPE/LRU = 1.14 (75%) and 1.20 (50%).
+
+use hpe_bench::{bench_config, f3, geomean, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let baselines = [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::ClockPro];
+    let mut json = Vec::new();
+    let mut t = Table::new(
+        "Section V-C: HPE driver busy-cycles relative to each baseline",
+        &["rate", "vs LRU", "vs RRIP", "vs CLOCK-Pro", "abs load (LRU)", "abs load (HPE)"],
+    );
+    for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
+        let mut ratios = vec![Vec::new(); baselines.len()];
+        let mut abs_lru = Vec::new();
+        let mut abs_hpe = Vec::new();
+        for app in registry::all() {
+            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            abs_hpe.push(hpe.stats.driver.core_load(hpe.stats.cycles));
+            for (i, kind) in baselines.iter().enumerate() {
+                let base = run_policy(&cfg, app, rate, *kind);
+                if *kind == PolicyKind::Lru {
+                    abs_lru.push(base.stats.driver.core_load(base.stats.cycles));
+                }
+                if base.stats.driver.busy_cycles > 0 {
+                    ratios[i].push(
+                        hpe.stats.driver.busy_cycles as f64
+                            / base.stats.driver.busy_cycles as f64,
+                    );
+                }
+            }
+        }
+        let mut row = vec![rate.label()];
+        for (i, kind) in baselines.iter().enumerate() {
+            let g = geomean(&ratios[i]);
+            row.push(f3(g));
+            json.push(serde_json::json!({
+                "rate": rate.label(),
+                "baseline": kind.label(),
+                "hpe_busy_ratio": g,
+            }));
+        }
+        row.push(format!(
+            "{:.0}%",
+            100.0 * abs_lru.iter().sum::<f64>() / abs_lru.len() as f64
+        ));
+        row.push(format!(
+            "{:.0}%",
+            100.0 * abs_hpe.iter().sum::<f64>() / abs_hpe.len() as f64
+        ));
+        t.row(row);
+    }
+    t.print();
+    println!("paper reference (HPE/LRU busy-time ratio): 1.14 at 75%, 1.20 at 50%");
+    println!("(absolute load saturates in this reproduction: execution is driver-bound)");
+    save_json("coreload", &json);
+}

@@ -1,0 +1,43 @@
+//! Fig. 3 — evictions of LRU and RRIP normalized to the Ideal policy at
+//! 75% oversubscription (the motivation experiment).
+//!
+//! Paper shape: RRIP thrashes badly on SRD and HSD; LRU is near-Ideal for
+//! type I (except GEM) and type VI; RRIP is poor for type VI; both are
+//! poor for some of types IV–V (BFS, HIS, SPV).
+
+use hpe_bench::{bench_config, f3, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let rate = Oversubscription::Rate75;
+    let mut t = Table::new(
+        "Fig. 3: evictions normalized to Ideal (75% oversubscription)",
+        &["app", "type", "Ideal", "LRU/Ideal", "RRIP/Ideal"],
+    );
+    let mut json = Vec::new();
+    for app in registry::all() {
+        let ideal = run_policy(&cfg, app, rate, PolicyKind::Ideal);
+        let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
+        let rrip = run_policy(&cfg, app, rate, PolicyKind::Rrip);
+        let base = ideal.stats.evictions().max(1) as f64;
+        let nl = lru.stats.evictions() as f64 / base;
+        let nr = rrip.stats.evictions() as f64 / base;
+        t.row(vec![
+            app.abbr().to_string(),
+            app.pattern().roman().to_string(),
+            ideal.stats.evictions().to_string(),
+            f3(nl),
+            f3(nr),
+        ]);
+        json.push(serde_json::json!({
+            "app": app.abbr(),
+            "ideal_evictions": ideal.stats.evictions(),
+            "lru_norm": nl,
+            "rrip_norm": nr,
+        }));
+    }
+    t.print();
+    save_json("fig03", &json);
+}

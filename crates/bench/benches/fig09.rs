@@ -1,0 +1,47 @@
+//! Fig. 9 — ratio₁ and ratio₂ of each application when GPU memory first
+//! fills (75% oversubscription), plus the resulting classification.
+//!
+//! Paper shape: types I–III have small ratio₁ and ratio₂ (outliers KMN and
+//! SAD with large ratio₁); types IV–VI have large ratio₁ or large ratio₂
+//! (outlier SGM, whose small ratio₁ keeps it regular).
+
+use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let rate = Oversubscription::Rate75;
+    let mut t = Table::new(
+        "Fig. 9: ratio1 / ratio2 at first memory-full (75% oversubscription)",
+        &["app", "type", "ratio1", "ratio2", "category", "old sets @full"],
+    );
+    let mut json = Vec::new();
+    for app in registry::all() {
+        let r = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+        let report = r.hpe.expect("HPE run carries a report");
+        let (r1, r2, cat) = match report.classification {
+            Some(c) => (c.ratio1, c.ratio2, c.category.to_string()),
+            None => (0.0, 0.0, "(memory never filled)".to_string()),
+        };
+        t.row(vec![
+            app.abbr().to_string(),
+            app.pattern().roman().to_string(),
+            f2(r1),
+            f2(r2),
+            cat.clone(),
+            report
+                .old_sets_at_full
+                .map_or("-".to_string(), |n| n.to_string()),
+        ]);
+        json.push(serde_json::json!({
+            "app": app.abbr(),
+            "pattern": app.pattern().roman(),
+            "ratio1": if r1.is_finite() { r1 } else { -1.0 },
+            "ratio2": if r2.is_finite() { r2 } else { -1.0 },
+            "category": cat,
+        }));
+    }
+    t.print();
+    save_json("fig09", &json);
+}

@@ -1,0 +1,60 @@
+//! Fig. 10 — HPE's performance (IPC) compared to LRU at 75% and 50%
+//! oversubscription.
+//!
+//! Paper shape: speedup ~1 for types I and VI, large speedups for type II
+//! (up to 2.81x on HSD at 75%), slight gains for types III–V, a few apps
+//! slightly below 1 (NW, SAD, MVT, HWL); averages 1.34x (75%) and
+//! 1.16x (50%).
+
+use hpe_bench::{bench_config, f3, geomean, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let mut json = Vec::new();
+    for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
+        let mut t = Table::new(
+            format!("Fig. 10: HPE vs LRU IPC, oversubscription {}", rate.label()),
+            &["app", "type", "LRU IPC", "HPE IPC", "speedup"],
+        );
+        let mut speedups = Vec::new();
+        for app in registry::all() {
+            let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
+            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let speedup = hpe.stats.ipc() / lru.stats.ipc();
+            speedups.push(speedup);
+            t.row(vec![
+                app.abbr().to_string(),
+                app.pattern().roman().to_string(),
+                format!("{:.5}", lru.stats.ipc()),
+                format!("{:.5}", hpe.stats.ipc()),
+                f3(speedup),
+            ]);
+            json.push(serde_json::json!({
+                "app": app.abbr(),
+                "rate": rate.label(),
+                "lru_ipc": lru.stats.ipc(),
+                "hpe_ipc": hpe.stats.ipc(),
+                "speedup": speedup,
+            }));
+        }
+        t.row(vec![
+            "GEOMEAN".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            f3(geomean(&speedups)),
+        ]);
+        t.print();
+        println!(
+            "paper reference: average speedup {} at this rate; max 2.81x (HSD, 75%)",
+            if matches!(rate, Oversubscription::Rate75) {
+                "1.34x"
+            } else {
+                "1.16x"
+            }
+        );
+    }
+    save_json("fig10", &json);
+}

@@ -1,0 +1,61 @@
+//! Fig. 11 — HPE's evictions compared to LRU at 75% and 50%
+//! oversubscription.
+//!
+//! Paper shape: similar evictions for types I and VI, slightly fewer for
+//! III–V, far fewer for type II; on average 18% (75%) and 12% (50%) fewer
+//! pages evicted.
+
+use hpe_bench::{bench_config, f3, mean, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let mut json = Vec::new();
+    for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
+        let mut t = Table::new(
+            format!("Fig. 11: HPE vs LRU evictions, oversubscription {}", rate.label()),
+            &["app", "type", "LRU evictions", "HPE evictions", "HPE/LRU"],
+        );
+        let mut ratios = Vec::new();
+        for app in registry::all() {
+            let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
+            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let ratio = if lru.stats.evictions() == 0 {
+                1.0
+            } else {
+                hpe.stats.evictions() as f64 / lru.stats.evictions() as f64
+            };
+            ratios.push(ratio);
+            t.row(vec![
+                app.abbr().to_string(),
+                app.pattern().roman().to_string(),
+                lru.stats.evictions().to_string(),
+                hpe.stats.evictions().to_string(),
+                f3(ratio),
+            ]);
+            json.push(serde_json::json!({
+                "app": app.abbr(),
+                "rate": rate.label(),
+                "lru_evictions": lru.stats.evictions(),
+                "hpe_evictions": hpe.stats.evictions(),
+                "ratio": ratio,
+            }));
+        }
+        let avg = mean(&ratios);
+        t.row(vec![
+            "MEAN".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            f3(avg),
+        ]);
+        t.print();
+        println!(
+            "measured: {:.0}% fewer evictions on average (paper: {}%)",
+            100.0 * (1.0 - avg),
+            if matches!(rate, Oversubscription::Rate75) { 18 } else { 12 }
+        );
+    }
+    save_json("fig11", &json);
+}

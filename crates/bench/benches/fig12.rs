@@ -1,0 +1,82 @@
+//! Fig. 12 — performance and evictions of Random, RRIP, CLOCK-Pro, LRU,
+//! and HPE, normalized to the Ideal policy, at both oversubscription
+//! rates.
+//!
+//! Paper shape: HPE leads on average (within 11% of Ideal's performance,
+//! ~16–18% more evictions than Ideal); Random is competitive with LRU
+//! except for types IV and VI; Random/RRIP/CLOCK-Pro all trail LRU on
+//! type VI. Paper averages: HPE speedup over Random/RRIP/CLOCK-Pro =
+//! 1.16/1.27/1.20 (75%) and 1.21/1.16/1.15 (50%).
+
+use hpe_bench::{bench_config, f3, geomean, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let kinds = [
+        PolicyKind::Random,
+        PolicyKind::Rrip,
+        PolicyKind::ClockPro,
+        PolicyKind::Lru,
+        PolicyKind::Hpe,
+    ];
+    let mut json = Vec::new();
+    for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
+        let mut perf = Table::new(
+            format!("Fig. 12a: IPC normalized to Ideal ({})", rate.label()),
+            &["app", "Random", "RRIP", "CLOCK-Pro", "LRU", "HPE"],
+        );
+        let mut evs = Table::new(
+            format!("Fig. 12b: evictions normalized to Ideal ({})", rate.label()),
+            &["app", "Random", "RRIP", "CLOCK-Pro", "LRU", "HPE"],
+        );
+        let mut norm_perf: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+        let mut norm_ev: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+        for app in registry::all() {
+            let ideal = run_policy(&cfg, app, rate, PolicyKind::Ideal);
+            let ipc0 = ideal.stats.ipc();
+            let ev0 = ideal.stats.evictions().max(1) as f64;
+            let mut prow = vec![app.abbr().to_string()];
+            let mut erow = vec![app.abbr().to_string()];
+            for (i, kind) in kinds.iter().enumerate() {
+                let r = run_policy(&cfg, app, rate, *kind);
+                let p = r.stats.ipc() / ipc0;
+                let e = r.stats.evictions() as f64 / ev0;
+                norm_perf[i].push(p);
+                norm_ev[i].push(e);
+                prow.push(f3(p));
+                erow.push(f3(e));
+                json.push(serde_json::json!({
+                    "app": app.abbr(),
+                    "rate": rate.label(),
+                    "policy": kind.label(),
+                    "ipc_norm": p,
+                    "evictions_norm": e,
+                }));
+            }
+            perf.row(prow);
+            evs.row(erow);
+        }
+        let mut pmean = vec!["GEOMEAN".to_string()];
+        let mut emean = vec!["MEAN".to_string()];
+        for i in 0..kinds.len() {
+            pmean.push(f3(geomean(&norm_perf[i])));
+            emean.push(f3(
+                norm_ev[i].iter().sum::<f64>() / norm_ev[i].len() as f64
+            ));
+        }
+        perf.row(pmean);
+        evs.row(emean);
+        perf.print();
+        evs.print();
+
+        // HPE speedup over the other policies (the paper's headline rows).
+        let hpe_gm = geomean(&norm_perf[4]);
+        println!("HPE speedup over:");
+        for (i, name) in ["Random", "RRIP", "CLOCK-Pro", "LRU"].iter().enumerate() {
+            println!("  {name:10} {:.2}x", hpe_gm / geomean(&norm_perf[i]));
+        }
+    }
+    save_json("fig12", &json);
+}

@@ -1,0 +1,50 @@
+//! Extension — sequential fault prefetching (the direction Zheng et al.
+//! motivate): on each demand fault the driver also migrates the next N
+//! contiguous non-resident pages. Demand faults drop (streaming apps
+//! especially); the risk is extra evictions under oversubscription.
+
+use hpe_bench::{bench_config, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let rate = Oversubscription::Rate75;
+    let apps = ["2DC", "LEU", "HSD", "BFS", "B+T", "KMN"];
+    let depths = [0u32, 2, 4, 8];
+    let mut json = Vec::new();
+    for kind in [PolicyKind::Lru, PolicyKind::Hpe] {
+        let mut t = Table::new(
+            format!(
+                "Prefetch sweep under {} (75%): demand faults (IPC x1000)",
+                kind.label()
+            ),
+            &["app", "N=0", "N=2", "N=4", "N=8"],
+        );
+        for abbr in apps {
+            let app = registry::by_abbr(abbr).expect("registered app");
+            let mut row = vec![abbr.to_string()];
+            for &n in &depths {
+                let mut cfg = bench_config();
+                cfg.prefetch_pages = n;
+                let r = run_policy(&cfg, app, rate, kind);
+                row.push(format!(
+                    "{} ({:.2})",
+                    r.stats.faults(),
+                    r.stats.ipc() * 1000.0
+                ));
+                json.push(serde_json::json!({
+                    "app": abbr,
+                    "policy": kind.label(),
+                    "prefetch": n,
+                    "faults": r.stats.faults(),
+                    "prefetched": r.stats.driver.prefetched_pages,
+                    "evictions": r.stats.evictions(),
+                    "ipc": r.stats.ipc(),
+                }));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+    save_json("prefetch", &json);
+}

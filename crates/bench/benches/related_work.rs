@@ -1,0 +1,79 @@
+//! Extension — the Section VI-B related-work policies (CLOCK, WSClock,
+//! BIP, DIP, ARC, LFU) measured on the same workloads as the paper's
+//! comparison set, normalized to LRU. Quantifies the paper's qualitative
+//! claims: NRU/CLOCK inherit LRU's thrashing and frequency alone (LFU) is
+//! not enough. It also exposes a unified-memory-specific effect: the
+//! faulting warp's replay re-references every migrated page immediately,
+//! so insertion-position policies (BIP/DIP's LRU-side insertion, ARC's
+//! recency list) are promoted right back to MRU/frequent and collapse
+//! onto LRU — the instant-re-reference phenomenon HPE's new-partition
+//! protection is designed around.
+
+use hpe_bench::{bench_config, f3, save_json, Table};
+use hpe_core::{Hpe, HpeConfig};
+use uvm_policies::{
+    ArcPolicy, Bip, Car, Clock, Dip, EvictionPolicy, Lfu, Lru, SetLru, WsClock, WsClockConfig,
+};
+use uvm_sim::{trace_for, Simulation};
+use uvm_types::{Oversubscription, SimConfig, SimStats};
+use uvm_workloads::registry;
+
+fn run<P: EvictionPolicy>(cfg: &SimConfig, abbr: &str, policy: P) -> SimStats {
+    let app = registry::by_abbr(abbr).expect("registered app");
+    let trace = trace_for(cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    Simulation::new(cfg.clone(), &trace, policy, capacity)
+        .expect("valid sim")
+        .run()
+        .stats
+}
+
+fn main() {
+    let cfg = bench_config();
+    let apps = ["LEU", "GEM", "HSD", "STN", "BFS", "KMN", "HWL", "B+T"];
+    let mut t = Table::new(
+        "Related-work policies: IPC normalized to LRU (75%)",
+        &["app", "CLOCK", "WSClock", "LFU", "BIP", "DIP", "ARC", "CAR", "SetLRU", "HPE"],
+    );
+    let mut json = Vec::new();
+    for abbr in apps {
+        let lru = run(&cfg, abbr, Lru::new()).ipc();
+        let results: Vec<(&str, f64)> = vec![
+            ("CLOCK", run(&cfg, abbr, Clock::new()).ipc()),
+            (
+                "WSClock",
+                run(&cfg, abbr, WsClock::new(WsClockConfig::default())).ipc(),
+            ),
+            ("LFU", run(&cfg, abbr, Lfu::new()).ipc()),
+            ("BIP", run(&cfg, abbr, Bip::new()).ipc()),
+            ("DIP", run(&cfg, abbr, Dip::new()).ipc()),
+            ("ARC", run(&cfg, abbr, ArcPolicy::new()).ipc()),
+            ("CAR", run(&cfg, abbr, Car::new()).ipc()),
+            (
+                "SetLRU",
+                run(&cfg, abbr, SetLru::new(cfg.page_set_shift())).ipc(),
+            ),
+            (
+                "HPE",
+                run(
+                    &cfg,
+                    abbr,
+                    Hpe::new(HpeConfig::from_sim(&cfg)).expect("valid HPE"),
+                )
+                .ipc(),
+            ),
+        ];
+        let mut row = vec![abbr.to_string()];
+        for (name, ipc) in &results {
+            row.push(f3(ipc / lru));
+            json.push(serde_json::json!({
+                "app": abbr,
+                "policy": name,
+                "ipc_vs_lru": ipc / lru,
+            }));
+        }
+        t.row(row);
+    }
+    t.print();
+    save_json("related_work", &json);
+}

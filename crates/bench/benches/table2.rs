@@ -1,0 +1,39 @@
+//! Table II — workload characteristics: the 23 applications, their suites,
+//! access-pattern types, and (reproduction-specific) scaled footprints.
+
+use hpe_bench::{bench_config, save_json, Table};
+use uvm_sim::trace_for;
+use uvm_workloads::registry;
+
+fn main() {
+    let cfg = bench_config();
+    let mut t = Table::new(
+        "Table II: workload characteristics",
+        &["type", "suite", "app", "abbr", "footprint (pages)", "trace ops"],
+    );
+    let mut json = Vec::new();
+    for app in registry::all() {
+        let trace = trace_for(&cfg, app);
+        t.row(vec![
+            app.pattern().roman().to_string(),
+            app.suite().to_string(),
+            app.name().to_string(),
+            app.abbr().to_string(),
+            app.footprint_pages().to_string(),
+            trace.total_ops().to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "abbr": app.abbr(),
+            "name": app.name(),
+            "suite": app.suite().to_string(),
+            "pattern": app.pattern().roman(),
+            "footprint_pages": app.footprint_pages(),
+            "trace_ops": trace.total_ops(),
+        }));
+    }
+    t.print();
+    println!(
+        "(footprints scaled from the paper's 3-130 MB to 3-16 MB; TLB reach scaled to match — see DESIGN.md)"
+    );
+    save_json("table2", &json);
+}

@@ -1,0 +1,72 @@
+//! Table III — the statistics-based classification rules, demonstrated on
+//! synthetic counter distributions and verified against every registered
+//! application's measured classification at 75% oversubscription.
+
+use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
+use hpe_core::{classify, Category, CounterStats};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    // The rules themselves.
+    let mut rules = Table::new(
+        "Table III: statistics-based classification",
+        &["category", "ratio1", "ratio2"],
+    );
+    rules.row(vec!["regular".into(), "<= 0.3".into(), "< 2".into()]);
+    rules.row(vec!["irregular#1".into(), "<= 0.3".into(), ">= 2".into()]);
+    rules.row(vec!["irregular#2".into(), "> 0.3".into(), "(any)".into()]);
+    rules.print();
+
+    // Demonstration on synthetic distributions.
+    let cases = [
+        ("mostly small+regular", CounterStats { regular: 95, irregular: 5, small_regular: 90, large_regular: 5 }),
+        ("mostly large+regular", CounterStats { regular: 90, irregular: 10, small_regular: 20, large_regular: 70 }),
+        ("mostly irregular", CounterStats { regular: 30, irregular: 70, small_regular: 25, large_regular: 5 }),
+    ];
+    let mut demo = Table::new(
+        "classification on synthetic counter distributions",
+        &["distribution", "ratio1", "ratio2", "category"],
+    );
+    for (name, c) in cases {
+        let r = classify(&c, 0.3, 2.0);
+        demo.row(vec![name.into(), f2(r.ratio1), f2(r.ratio2), r.category.to_string()]);
+    }
+    demo.print();
+
+    // Measured classification of every application.
+    let cfg = bench_config();
+    let mut measured = Table::new(
+        "measured classification per application (75% oversubscription)",
+        &["app", "type", "category"],
+    );
+    let mut json = Vec::new();
+    let mut counts = [0usize; 3];
+    for app in registry::all() {
+        let r = run_policy(&cfg, app, Oversubscription::Rate75, PolicyKind::Hpe);
+        let cat = r
+            .hpe
+            .and_then(|h| h.classification)
+            .map(|c| c.category);
+        let label = cat.map_or("(memory never filled)".to_string(), |c| c.to_string());
+        if let Some(c) = cat {
+            counts[match c {
+                Category::Regular => 0,
+                Category::Irregular1 => 1,
+                Category::Irregular2 => 2,
+            }] += 1;
+        }
+        measured.row(vec![
+            app.abbr().to_string(),
+            app.pattern().roman().to_string(),
+            label.clone(),
+        ]);
+        json.push(serde_json::json!({ "app": app.abbr(), "category": label }));
+    }
+    measured.print();
+    println!(
+        "totals: {} regular, {} irregular#1, {} irregular#2",
+        counts[0], counts[1], counts[2]
+    );
+    save_json("table3", &json);
+}

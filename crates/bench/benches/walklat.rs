@@ -1,0 +1,47 @@
+//! Section V-B (text) — sensitivity to page walk latency: LRU and HPE at
+//! walk latencies of 8 and 20 cycles.
+//!
+//! Paper finding: minimal performance difference; the latency variation
+//! has minimal effect on eviction decisions.
+
+use hpe_bench::{bench_config, f3, run_policy, save_json, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let rate = Oversubscription::Rate75;
+    let apps = ["HSD", "STN", "BFS", "B+T", "GEM", "KMN"];
+    let mut t = Table::new(
+        "Page-walk-latency sensitivity: IPC at 20 cycles normalized to 8 cycles",
+        &["app", "LRU 20/8", "HPE 20/8", "LRU faults same?", "HPE faults same?"],
+    );
+    let mut json = Vec::new();
+    for abbr in apps {
+        let app = registry::by_abbr(abbr).expect("registered app");
+        let mut cfg8 = bench_config();
+        cfg8.page_walk_cycles = 8;
+        let mut cfg20 = bench_config();
+        cfg20.page_walk_cycles = 20;
+
+        let lru8 = run_policy(&cfg8, app, rate, PolicyKind::Lru);
+        let lru20 = run_policy(&cfg20, app, rate, PolicyKind::Lru);
+        let hpe8 = run_policy(&cfg8, app, rate, PolicyKind::Hpe);
+        let hpe20 = run_policy(&cfg20, app, rate, PolicyKind::Hpe);
+
+        t.row(vec![
+            abbr.to_string(),
+            f3(lru20.stats.ipc() / lru8.stats.ipc()),
+            f3(hpe20.stats.ipc() / hpe8.stats.ipc()),
+            (lru20.stats.faults() == lru8.stats.faults()).to_string(),
+            (hpe20.stats.faults() == hpe8.stats.faults()).to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "app": abbr,
+            "lru_ratio": lru20.stats.ipc() / lru8.stats.ipc(),
+            "hpe_ratio": hpe20.stats.ipc() / hpe8.stats.ipc(),
+        }));
+    }
+    t.print();
+    println!("paper reference: minimal difference between 8 and 20 cycles");
+    save_json("walklat", &json);
+}

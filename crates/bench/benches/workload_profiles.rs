@@ -1,0 +1,61 @@
+//! Validation — empirical access-pattern profiles of the 23 workload
+//! models, the evidence that each realizes its Fig. 2 pattern type:
+//! streaming has no finite reuse, thrashing reuses at footprint scale,
+//! region/window types reuse at region scale, irregular types spread.
+
+use hpe_bench::{save_json, Table};
+use uvm_workloads::{analysis, registry, PatternType};
+
+fn main() {
+    let mut t = Table::new(
+        "Workload access-pattern profiles (LRU stack distances over the global sequence)",
+        &["app", "type", "refs", "distinct", "compulsory%", "median reuse", "p90 reuse", "max refs/page"],
+    );
+    let mut json = Vec::new();
+    for app in registry::all() {
+        let seq = app.global_sequence();
+        let p = analysis::profile(&seq);
+        t.row(vec![
+            app.abbr().to_string(),
+            app.pattern().roman().to_string(),
+            p.refs.to_string(),
+            p.distinct.to_string(),
+            format!("{:.0}", 100.0 * p.compulsory_fraction),
+            p.median_reuse.map_or("-".to_string(), |d| d.to_string()),
+            p.p90_reuse.map_or("-".to_string(), |d| d.to_string()),
+            p.max_refs_per_page.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "app": app.abbr(),
+            "pattern": app.pattern().roman(),
+            "refs": p.refs,
+            "distinct": p.distinct,
+            "compulsory_fraction": p.compulsory_fraction,
+            "median_reuse": p.median_reuse,
+            "p90_reuse": p.p90_reuse,
+            "max_refs_per_page": p.max_refs_per_page,
+        }));
+
+        // Sanity: pattern-type signatures hold.
+        match app.pattern() {
+            PatternType::Streaming if app.abbr() != "GEM" => {
+                assert!(
+                    p.median_reuse.is_none() || p.median_reuse == Some(0),
+                    "{}: streaming app has reuse",
+                    app.abbr()
+                );
+            }
+            PatternType::Thrashing => {
+                let m = p.median_reuse.expect("thrashing reuses") as f64;
+                assert!(
+                    m > 0.9 * app.footprint_pages() as f64,
+                    "{}: thrashing reuse not at footprint scale",
+                    app.abbr()
+                );
+            }
+            _ => {}
+        }
+    }
+    t.print();
+    save_json("workload_profiles", &json);
+}

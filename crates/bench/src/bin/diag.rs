@@ -1,0 +1,57 @@
+//! Diagnostic: per-application counter histogram at first memory-full.
+//!
+//! ```sh
+//! cargo run --release -p hpe-bench --bin diag -- SPV B+T LEU
+//! ```
+
+use std::collections::BTreeMap;
+
+use hpe_bench::bench_config;
+use hpe_core::{Hpe, HpeConfig};
+use uvm_sim::{trace_for, Simulation};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let abbrs: Vec<&str> = if args.is_empty() {
+        vec!["SPV", "B+T", "LEU", "HSD"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let cfg = bench_config();
+    for abbr in abbrs {
+        let Some(app) = registry::by_abbr(abbr) else {
+            eprintln!("unknown app {abbr}");
+            continue;
+        };
+        let trace = trace_for(&cfg, app);
+        let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+        let hpe = Hpe::new(HpeConfig::from_sim(&cfg)).unwrap();
+        let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)
+            .unwrap()
+            .run();
+        println!("\n=== {abbr} (capacity {capacity}) ===");
+        match outcome.policy.counters_at_full() {
+            Some(counters) => {
+                let mut hist: BTreeMap<u32, u32> = BTreeMap::new();
+                for &c in counters {
+                    *hist.entry(c).or_insert(0) += 1;
+                }
+                let total = counters.len();
+                println!("{total} sets at memory-full; counter histogram:");
+                for (c, n) in hist {
+                    let tag = if c % 16 == 0 { "regular" } else { "" };
+                    println!("  counter {c:>3}: {n:>4} sets {tag}");
+                }
+                if let Some(cl) = outcome.policy.classification() {
+                    println!(
+                        "ratio1 {:.2}, ratio2 {:.2} -> {}",
+                        cl.ratio1, cl.ratio2, cl.category
+                    );
+                }
+            }
+            None => println!("memory never filled"),
+        }
+    }
+}

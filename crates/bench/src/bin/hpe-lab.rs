@@ -1,0 +1,234 @@
+//! `hpe-lab` — command-line front end for the HPE reproduction stack.
+//!
+//! ```text
+//! hpe-lab list
+//! hpe-lab run <APP> [--policy lru|random|lfu|rrip|clockpro|ideal|hpe]
+//!                   [--rate 75|50|<percent>] [--json]
+//! hpe-lab compare <APP> [--rate ...]        # all policies side by side
+//! hpe-lab sweep <APP> [--policy ...]        # capacity sweep 95%..40%
+//! hpe-lab profile <APP>                     # access-pattern profile
+//! ```
+//!
+//! Run via `cargo run --release -p hpe-bench --bin hpe-lab -- <args>`.
+
+use hpe_bench::{bench_config, run_policy, PolicyKind, Table};
+use uvm_types::Oversubscription;
+use uvm_workloads::registry;
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "lru" => PolicyKind::Lru,
+        "random" => PolicyKind::Random,
+        "lfu" => PolicyKind::Lfu,
+        "rrip" => PolicyKind::Rrip,
+        "clockpro" | "clock-pro" => PolicyKind::ClockPro,
+        "ideal" | "belady" | "min" => PolicyKind::Ideal,
+        "hpe" => PolicyKind::Hpe,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn parse_rate(s: &str) -> Result<Oversubscription, String> {
+    match s {
+        "75" => Ok(Oversubscription::Rate75),
+        "50" => Ok(Oversubscription::Rate50),
+        other => {
+            let pct: f64 = other
+                .trim_end_matches('%')
+                .parse()
+                .map_err(|_| format!("bad rate {other:?}"))?;
+            if !(0.0..=100.0).contains(&pct) || pct == 0.0 {
+                return Err(format!("rate {pct} out of range (0, 100]"));
+            }
+            Ok(Oversubscription::Custom(pct / 100.0))
+        }
+    }
+}
+
+struct Opts {
+    policy: PolicyKind,
+    rate: Oversubscription,
+    json: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        policy: PolicyKind::Hpe,
+        rate: Oversubscription::Rate75,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                opts.policy = parse_policy(v)?;
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                opts.rate = parse_rate(v)?;
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_list() {
+    let mut t = Table::new("registered applications", &["abbr", "name", "suite", "type", "pages"]);
+    for app in registry::all() {
+        t.row(vec![
+            app.abbr().to_string(),
+            app.name().to_string(),
+            app.suite().to_string(),
+            app.pattern().roman().to_string(),
+            app.footprint_pages().to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
+    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+    let cfg = bench_config();
+    let r = run_policy(&cfg, app, opts.rate, opts.policy);
+    if opts.json {
+        let mut v = serde_json::json!({
+            "app": r.app,
+            "policy": r.policy,
+            "rate": r.rate.label(),
+            "faults": r.stats.faults(),
+            "evictions": r.stats.evictions(),
+            "cycles": r.stats.cycles,
+            "ipc": r.stats.ipc(),
+            "driver_core_load": r.stats.driver.core_load(r.stats.cycles),
+        });
+        if let Some(h) = &r.hpe {
+            v["hpe"] = serde_json::json!({
+                "category": h.classification.map(|c| c.category.to_string()),
+                "ratio1": h.classification.map(|c| c.ratio1),
+                "ratio2": h.classification.map(|c| c.ratio2),
+                "divided_sets": h.divided_sets,
+                "strategy_switches": h.timeline.len() - 1,
+            });
+        }
+        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+    } else {
+        println!(
+            "{} under {} at {}: {} faults, {} evictions, {} cycles, IPC {:.5}",
+            r.app,
+            r.policy,
+            r.rate.label(),
+            r.stats.faults(),
+            r.stats.evictions(),
+            r.stats.cycles,
+            r.stats.ipc()
+        );
+        if let Some(h) = &r.hpe {
+            if let Some(c) = h.classification {
+                println!(
+                    "  classified {} (ratio1 {:.2}, ratio2 {:.2}); {} divided sets",
+                    c.category, c.ratio1, c.ratio2, h.divided_sets
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(abbr: &str, opts: &Opts) -> Result<(), String> {
+    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+    let cfg = bench_config();
+    let mut t = Table::new(
+        format!("{abbr} at {}", opts.rate.label()),
+        &["policy", "faults", "evictions", "cycles", "IPC"],
+    );
+    for kind in PolicyKind::ALL {
+        let r = run_policy(&cfg, app, opts.rate, kind);
+        t.row(vec![
+            r.policy.to_string(),
+            r.stats.faults().to_string(),
+            r.stats.evictions().to_string(),
+            r.stats.cycles.to_string(),
+            format!("{:.5}", r.stats.ipc()),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+fn cmd_sweep(abbr: &str, opts: &Opts) -> Result<(), String> {
+    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+    let cfg = bench_config();
+    let mut t = Table::new(
+        format!("{abbr} capacity sweep under {}", opts.policy.label()),
+        &["memory", "capacity(pages)", "faults", "evictions", "IPC"],
+    );
+    for pct in [95, 90, 85, 75, 60, 50, 40] {
+        let rate = Oversubscription::Custom(pct as f64 / 100.0);
+        let r = run_policy(&cfg, app, rate, opts.policy);
+        t.row(vec![
+            format!("{pct}%"),
+            rate.capacity_pages(app.footprint_pages()).to_string(),
+            r.stats.faults().to_string(),
+            r.stats.evictions().to_string(),
+            format!("{:.5}", r.stats.ipc()),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+fn cmd_profile(abbr: &str) -> Result<(), String> {
+    use uvm_workloads::analysis;
+    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+    let seq = app.global_sequence();
+    let p = analysis::profile(&seq);
+    println!("{app} ({}):", app.pattern());
+    println!("  references        {}", p.refs);
+    println!("  distinct pages    {}", p.distinct);
+    println!("  compulsory        {:.0}%", 100.0 * p.compulsory_fraction);
+    println!(
+        "  median reuse      {}",
+        p.median_reuse.map_or("-".to_string(), |d| d.to_string())
+    );
+    println!(
+        "  p90 reuse         {}",
+        p.p90_reuse.map_or("-".to_string(), |d| d.to_string())
+    );
+    println!("  max refs/page     {}", p.max_refs_per_page);
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "list" => {
+                cmd_list();
+                Ok(())
+            }
+            "profile" => match rest.first() {
+                Some(abbr) => cmd_profile(abbr),
+                None => Err("profile needs an application abbreviation".to_string()),
+            },
+            "run" | "compare" | "sweep" => match rest.split_first() {
+                Some((abbr, flags)) => parse_opts(flags).and_then(|opts| match cmd.as_str() {
+                    "run" => cmd_run(abbr, &opts),
+                    "compare" => cmd_compare(abbr, &opts),
+                    _ => cmd_sweep(abbr, &opts),
+                }),
+                None => Err(format!("{cmd} needs an application abbreviation")),
+            },
+            other => Err(format!("unknown command {other:?}")),
+        },
+        None => {
+            Err("usage: hpe-lab <list|run|compare|sweep|profile> [APP] [options]".to_string())
+        }
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark harness regenerating every table and figure of the HPE paper.
+//!
+//! Each `[[bench]]` target (with `harness = false`) reproduces one table or
+//! figure: it runs the relevant simulations on the scaled reproduction
+//! configuration, prints the figure's series as a text table, and saves the
+//! same data as JSON under `target/paper-results/`. `cargo bench -p
+//! hpe-bench` regenerates everything; `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+//!
+//! The `overheads` bench is a Criterion microbenchmark suite covering the
+//! operation costs of Section V-C (chain update, classification, MRU-C
+//! search, HIR operations).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runner;
+
+pub use report::{f2, f3, geomean, mean, save_json, Table};
+pub use runner::{manual_strategy_for, rrip_config_for, run_hpe_with, run_policy, HpeReport, PolicyKind, RunResult};
+
+use uvm_types::SimConfig;
+
+/// The simulator configuration all figure benches use (scaled TLBs, same
+/// latencies as Table I; see `DESIGN.md` section 2).
+pub fn bench_config() -> SimConfig {
+    SimConfig::scaled_default()
+}

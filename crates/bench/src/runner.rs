@@ -1,0 +1,209 @@
+//! Shared experiment runner: one application x one policy x one
+//! oversubscription rate, on the scaled reproduction configuration.
+
+use hpe_core::{Classification, Hpe, HpeConfig, StrategyKind};
+use uvm_policies::{
+    ClockPro, ClockProConfig, EvictionPolicy, Lfu, Lru, RandomPolicy, Rrip, RripConfig,
+};
+use uvm_sim::{ideal_for, trace_for, Simulation};
+use uvm_types::{Oversubscription, SimConfig, SimStats};
+use uvm_workloads::{App, PatternType};
+
+/// The policies compared in the paper's evaluation (plus LFU from the
+/// related-work discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Page-level LRU.
+    Lru,
+    /// Uniform random.
+    Random,
+    /// Least-frequently-used.
+    Lfu,
+    /// RRIP-FP with the delay enhancement; insertion mode chosen per
+    /// application exactly as the paper does (distant + threshold 128 for
+    /// type II, long + threshold 0 otherwise).
+    Rrip,
+    /// CLOCK-Pro with fixed `m_c = 128`.
+    ClockPro,
+    /// Offline Belady-MIN upper bound.
+    Ideal,
+    /// HPE with the paper-default configuration.
+    Hpe,
+}
+
+impl PolicyKind {
+    /// All policy kinds in report order.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Lfu,
+        PolicyKind::Rrip,
+        PolicyKind::ClockPro,
+        PolicyKind::Ideal,
+        PolicyKind::Hpe,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::Lfu => "LFU",
+            PolicyKind::Rrip => "RRIP",
+            PolicyKind::ClockPro => "CLOCK-Pro",
+            PolicyKind::Ideal => "Ideal",
+            PolicyKind::Hpe => "HPE",
+        }
+    }
+}
+
+/// HPE-specific observations extracted after a run.
+#[derive(Debug, Clone)]
+pub struct HpeReport {
+    /// Classification (ratios + category) at first memory-full.
+    pub classification: Option<Classification>,
+    /// Old-partition size (sets) at first memory-full.
+    pub old_sets_at_full: Option<usize>,
+    /// `(fault, strategy)` timeline.
+    pub timeline: Vec<(u64, StrategyKind)>,
+    /// `(fault, jump)` search-point adjustments.
+    pub jump_events: Vec<(u64, u32)>,
+    /// MRU-C searches performed.
+    pub mruc_searches: u64,
+    /// Total MRU-C entry comparisons.
+    pub mruc_comparisons: u64,
+    /// Page sets divided.
+    pub divided_sets: u64,
+}
+
+impl HpeReport {
+    fn from_policy(hpe: &Hpe) -> Self {
+        let (mruc_searches, mruc_comparisons) = hpe.mruc_search_overhead();
+        HpeReport {
+            classification: hpe.classification().copied(),
+            old_sets_at_full: hpe.old_sets_at_full(),
+            timeline: hpe.strategy_timeline().to_vec(),
+            jump_events: hpe.jump_events().to_vec(),
+            mruc_searches,
+            mruc_comparisons,
+            divided_sets: hpe.divided_sets(),
+        }
+    }
+}
+
+/// One experiment's result.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Application abbreviation.
+    pub app: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Oversubscription rate.
+    pub rate: Oversubscription,
+    /// Simulator statistics.
+    pub stats: SimStats,
+    /// HPE-specific extras (None for baselines).
+    pub hpe: Option<HpeReport>,
+}
+
+/// The RRIP configuration the paper assigns to `app` (Section V-B).
+pub fn rrip_config_for(app: &App) -> RripConfig {
+    if app.pattern() == PatternType::Thrashing {
+        RripConfig::for_thrashing()
+    } else {
+        RripConfig::default()
+    }
+}
+
+/// Runs `app` under `kind` at `rate` using simulator configuration `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid (the reproduction harness treats that as a
+/// programming error).
+pub fn run_policy(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    kind: PolicyKind,
+) -> RunResult {
+    let trace = trace_for(cfg, app);
+    let capacity = rate.capacity_pages(app.footprint_pages());
+    let (stats, hpe) = match kind {
+        PolicyKind::Lru => (run_sim(cfg, &trace, Lru::new(), capacity), None),
+        PolicyKind::Random => (
+            run_sim(cfg, &trace, RandomPolicy::seeded(app.seed()), capacity),
+            None,
+        ),
+        PolicyKind::Lfu => (run_sim(cfg, &trace, Lfu::new(), capacity), None),
+        PolicyKind::Rrip => (
+            run_sim(cfg, &trace, Rrip::new(rrip_config_for(app)), capacity),
+            None,
+        ),
+        PolicyKind::ClockPro => (
+            run_sim(cfg, &trace, ClockPro::new(ClockProConfig::default()), capacity),
+            None,
+        ),
+        PolicyKind::Ideal => (run_sim(cfg, &trace, ideal_for(&trace), capacity), None),
+        PolicyKind::Hpe => {
+            let hpe = Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE config");
+            let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)
+                .expect("valid simulation")
+                .run();
+            let report = HpeReport::from_policy(&outcome.policy);
+            (outcome.stats, Some(report))
+        }
+    };
+    RunResult {
+        app: app.abbr(),
+        policy: kind.label(),
+        rate,
+        stats,
+        hpe,
+    }
+}
+
+/// Runs `app` under a *custom* HPE configuration (sensitivity studies).
+pub fn run_hpe_with(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    hpe_cfg: HpeConfig,
+) -> RunResult {
+    let trace = trace_for(cfg, app);
+    let capacity = rate.capacity_pages(app.footprint_pages());
+    let hpe = Hpe::new(hpe_cfg).expect("valid HPE config");
+    let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)
+        .expect("valid simulation")
+        .run();
+    let report = HpeReport::from_policy(&outcome.policy);
+    RunResult {
+        app: app.abbr(),
+        policy: "HPE",
+        rate,
+        stats: outcome.stats,
+        hpe: Some(report),
+    }
+}
+
+fn run_sim<P: EvictionPolicy>(
+    cfg: &SimConfig,
+    trace: &uvm_workloads::Trace,
+    policy: P,
+    capacity: u64,
+) -> SimStats {
+    Simulation::new(cfg.clone(), trace, policy, capacity)
+        .expect("valid simulation")
+        .run()
+        .stats
+}
+
+/// The strategy the paper manually assigns per application for the
+/// sensitivity studies (applications that run LRU for their entire
+/// execution per Section V-C vs. the MRU-C ones).
+pub fn manual_strategy_for(app: &App) -> StrategyKind {
+    match app.abbr() {
+        "KMN" | "NW" | "B+T" | "HYB" | "SPV" | "MVT" | "HWL" => StrategyKind::Lru,
+        _ => StrategyKind::MruC,
+    }
+}

@@ -1,0 +1,174 @@
+//! Statistics-based application classification (Section IV-D, Table III).
+//!
+//! When GPU memory first fills, HPE traverses the page set chain, counts
+//! the page sets whose counters are *regular* (divisible by the page set
+//! size) vs. *irregular*, and *small* (1–2× set size) vs. *large* (3–4×),
+//! then computes
+//!
+//! * `ratio₁ = irregular / regular`
+//! * `ratio₂ = large-and-regular / small-and-regular`
+//!
+//! and classifies the application per Table III.
+
+use crate::chain::CounterStats;
+
+/// The three application categories of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Most page sets have a small and regular counter — types I–III
+    /// (eviction strategy: MRU-C).
+    Regular,
+    /// Most page sets have a large and regular counter — region-moving and
+    /// windowed workloads (eviction strategy: LRU, never switched).
+    Irregular1,
+    /// Most page sets have an irregular counter (eviction strategy: LRU,
+    /// switchable by dynamic adjustment).
+    Irregular2,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Category::Regular => "regular",
+            Category::Irregular1 => "irregular#1",
+            Category::Irregular2 => "irregular#2",
+        })
+    }
+}
+
+/// A classification outcome, retaining the ratios for reporting (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Classification {
+    /// `irregular / regular` (infinite if no regular counters).
+    pub ratio1: f64,
+    /// `large-and-regular / small-and-regular` (infinite if no small ones
+    /// but some large ones; zero if neither).
+    pub ratio2: f64,
+    /// The resulting category.
+    pub category: Category,
+    /// The raw counter statistics.
+    pub counts: CounterStats,
+}
+
+/// Classifies an application from its chain counter statistics.
+///
+/// # Examples
+///
+/// ```
+/// use hpe_core::{classify, Category, CounterStats};
+///
+/// let stats = CounterStats {
+///     regular: 95,
+///     irregular: 5,
+///     small_regular: 90,
+///     large_regular: 5,
+/// };
+/// let c = classify(&stats, 0.3, 2.0);
+/// assert_eq!(c.category, Category::Regular);
+/// ```
+pub fn classify(counts: &CounterStats, ratio1_threshold: f64, ratio2_threshold: f64) -> Classification {
+    let ratio1 = if counts.regular == 0 {
+        if counts.irregular == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        counts.irregular as f64 / counts.regular as f64
+    };
+    let ratio2 = if counts.small_regular == 0 {
+        if counts.large_regular == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        counts.large_regular as f64 / counts.small_regular as f64
+    };
+    let category = if ratio1 > ratio1_threshold {
+        Category::Irregular2
+    } else if ratio2 >= ratio2_threshold {
+        Category::Irregular1
+    } else {
+        Category::Regular
+    };
+    Classification {
+        ratio1,
+        ratio2,
+        category,
+        counts: *counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(regular: u64, irregular: u64, small: u64, large: u64) -> CounterStats {
+        CounterStats {
+            regular,
+            irregular,
+            small_regular: small,
+            large_regular: large,
+        }
+    }
+
+    #[test]
+    fn table3_regular() {
+        let c = classify(&stats(95, 5, 90, 5), 0.3, 2.0);
+        assert_eq!(c.category, Category::Regular);
+        assert!(c.ratio1 < 0.3);
+        assert!(c.ratio2 < 2.0);
+    }
+
+    #[test]
+    fn table3_irregular1() {
+        // Most sets large-and-regular: ratio1 small, ratio2 >= 2.
+        let c = classify(&stats(100, 10, 20, 80), 0.3, 2.0);
+        assert_eq!(c.category, Category::Irregular1);
+        assert!((c.ratio2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_irregular2() {
+        // Most sets irregular: ratio1 above threshold regardless of ratio2.
+        let c = classify(&stats(40, 60, 10, 30), 0.3, 2.0);
+        assert_eq!(c.category, Category::Irregular2);
+        assert!((c.ratio1 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        // ratio1 exactly at the threshold is NOT irregular#2 (Table III
+        // uses <= threshold for the regular rows).
+        let c = classify(&stats(100, 30, 100, 0), 0.3, 2.0);
+        assert_eq!(c.category, Category::Regular);
+        // ratio2 exactly 2 is irregular#1 (>= 2).
+        let c = classify(&stats(100, 0, 30, 60), 0.3, 2.0);
+        assert_eq!(c.category, Category::Irregular1);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        // No regular counters at all: infinite ratio1 -> irregular#2.
+        let c = classify(&stats(0, 10, 0, 0), 0.3, 2.0);
+        assert_eq!(c.category, Category::Irregular2);
+        assert!(c.ratio1.is_infinite());
+        // No counters at all: everything zero -> regular.
+        let c = classify(&stats(0, 0, 0, 0), 0.3, 2.0);
+        assert_eq!(c.category, Category::Regular);
+        assert_eq!(c.ratio1, 0.0);
+        assert_eq!(c.ratio2, 0.0);
+        // Large but no small: infinite ratio2 -> irregular#1.
+        let c = classify(&stats(50, 0, 0, 50), 0.3, 2.0);
+        assert_eq!(c.category, Category::Irregular1);
+        assert!(c.ratio2.is_infinite());
+    }
+
+    #[test]
+    fn category_displays() {
+        assert_eq!(Category::Regular.to_string(), "regular");
+        assert_eq!(Category::Irregular1.to_string(), "irregular#1");
+        assert_eq!(Category::Irregular2.to_string(), "irregular#2");
+    }
+}

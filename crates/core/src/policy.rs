@@ -1,0 +1,491 @@
+//! The HPE eviction policy (Section IV), implementing
+//! [`uvm_policies::EvictionPolicy`].
+
+use uvm_policies::{EvictionPolicy, FaultOutcome};
+use uvm_types::{ConfigError, PageId, PolicyStats};
+
+use crate::adjust::Adjuster;
+use crate::chain::PageSetChain;
+use crate::classify::{classify, Classification};
+use crate::config::{HpeConfig, StrategyKind};
+use crate::hir::HirCache;
+
+/// Hierarchical page eviction.
+///
+/// * Page-walk **hits** are recorded in the GPU-side [`HirCache`] and
+///   shipped to the driver every `transfer_interval` faults (or applied
+///   immediately when `use_hir` is off — the paper's ideal-transfer
+///   sensitivity mode).
+/// * Page **faults** update the [`PageSetChain`] directly and drive the
+///   interval clock.
+/// * At first memory-full the application is classified
+///   ([`classify`]) and the eviction strategy chosen; dynamic
+///   adjustment ([`Adjuster`]) reacts to wrong evictions thereafter.
+/// * Victims are single pages, taken in address order from the page set
+///   selected by the active strategy out of the old partition first.
+///
+/// # Examples
+///
+/// ```
+/// use hpe_core::{Hpe, HpeConfig};
+/// use uvm_policies::EvictionPolicy;
+/// use uvm_types::PageId;
+///
+/// let mut hpe = Hpe::new(HpeConfig::paper_default())?;
+/// for p in 0..32u64 {
+///     hpe.on_fault(PageId(p), p);
+/// }
+/// hpe.on_memory_full();
+/// let victim = hpe.select_victim().expect("resident pages exist");
+/// assert!(victim.0 < 32);
+/// # Ok::<(), uvm_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Hpe {
+    cfg: HpeConfig,
+    hir: Option<HirCache>,
+    chain: PageSetChain,
+    adjuster: Adjuster,
+    fault_count: u64,
+    faults_in_interval: u32,
+    classification: Option<Classification>,
+    old_sets_at_full: Option<usize>,
+    counters_at_full: Option<Vec<u32>>,
+    selections: u64,
+    mruc_searches: u64,
+    mruc_comparisons: u64,
+    lru_comparisons: u64,
+    hir_flushes: u64,
+    hir_entries_transferred: u64,
+}
+
+impl Hpe {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cfg` is invalid.
+    pub fn new(cfg: HpeConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let hir = cfg
+            .use_hir
+            .then(|| HirCache::new(cfg.hir, cfg.page_set_shift()));
+        let chain = PageSetChain::new(&cfg);
+        let adjuster = Adjuster::new(&cfg);
+        Ok(Hpe {
+            cfg,
+            hir,
+            chain,
+            adjuster,
+            fault_count: 0,
+            faults_in_interval: 0,
+            classification: None,
+            old_sets_at_full: None,
+            counters_at_full: None,
+            selections: 0,
+            mruc_searches: 0,
+            mruc_comparisons: 0,
+            lru_comparisons: 0,
+            hir_flushes: 0,
+            hir_entries_transferred: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HpeConfig {
+        &self.cfg
+    }
+
+    /// The classification computed at first memory-full, if reached
+    /// (Fig. 9's ratios live here).
+    pub fn classification(&self) -> Option<&Classification> {
+        self.classification.as_ref()
+    }
+
+    /// Page sets in the old partition when memory first filled (gates the
+    /// regular-application jump rule).
+    pub fn old_sets_at_full(&self) -> Option<usize> {
+        self.old_sets_at_full
+    }
+
+    /// The per-set counter values snapshotted at first memory-full
+    /// (diagnostics: the raw data behind Fig. 9's ratios).
+    pub fn counters_at_full(&self) -> Option<&[u32]> {
+        self.counters_at_full.as_deref()
+    }
+
+    /// The active eviction strategy.
+    pub fn strategy(&self) -> StrategyKind {
+        self.adjuster.strategy()
+    }
+
+    /// `(fault_number, strategy)` timeline (Fig. 13).
+    pub fn strategy_timeline(&self) -> &[(u64, StrategyKind)] {
+        self.adjuster.timeline()
+    }
+
+    /// `(fault_number, jump)` search-point adjustments (Fig. 13).
+    pub fn jump_events(&self) -> &[(u64, u32)] {
+        self.adjuster.jump_events()
+    }
+
+    /// MRU-C victim searches performed and entry comparisons across them
+    /// (Fig. 14 reports `comparisons / searches`).
+    pub fn mruc_search_overhead(&self) -> (u64, u64) {
+        (self.mruc_searches, self.mruc_comparisons)
+    }
+
+    /// Page sets divided so far (Section IV-C).
+    pub fn divided_sets(&self) -> u64 {
+        self.chain.divided_count()
+    }
+
+    /// Direct access to the page set chain (diagnostics).
+    pub fn chain(&self) -> &PageSetChain {
+        &self.chain
+    }
+
+    fn apply_hit(&mut self, page: PageId, count: u32) {
+        self.chain.touch(page, count, false);
+    }
+}
+
+impl EvictionPolicy for Hpe {
+    fn name(&self) -> String {
+        "HPE".to_string()
+    }
+
+    fn on_walk_hit(&mut self, page: PageId) {
+        match &mut self.hir {
+            Some(hir) => hir.record(page),
+            None => self.apply_hit(page, 1),
+        }
+    }
+
+    fn on_fault(&mut self, page: PageId, fault_num: u64) -> FaultOutcome {
+        // Wrong-eviction accounting against the active strategy's FIFO.
+        self.adjuster.on_fault(page, fault_num);
+        // Faults update the chain (and the bit vector) immediately.
+        self.chain.touch(page, 1, true);
+        self.fault_count += 1;
+        self.faults_in_interval += 1;
+
+        let mut outcome = FaultOutcome::default();
+        if let Some(hir) = &mut self.hir {
+            if self.fault_count.is_multiple_of(u64::from(self.cfg.transfer_interval)) {
+                let records = hir.flush();
+                if !records.is_empty() {
+                    self.hir_flushes += 1;
+                    self.hir_entries_transferred += records.len() as u64;
+                    outcome.transfer_bytes = hir.transfer_bytes(records.len());
+                    outcome.driver_busy_cycles =
+                        records.len() as u64 * self.cfg.update_cycles_per_record;
+                    let shift = self.cfg.page_set_shift();
+                    for rec in records {
+                        for (off, &c) in rec.counts.iter().enumerate() {
+                            if c > 0 {
+                                let p = rec.set.page_at(shift, off as u32);
+                                self.apply_hit(p, u32::from(c));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.faults_in_interval >= self.cfg.interval_len {
+            self.faults_in_interval = 0;
+            if self.cfg.enable_partitions {
+                self.chain.rotate_interval();
+            }
+            self.adjuster.end_interval();
+        }
+        outcome
+    }
+
+    fn on_memory_full(&mut self) {
+        let stats = self.chain.counter_stats();
+        let classification = classify(
+            &stats,
+            self.cfg.ratio1_threshold,
+            self.cfg.ratio2_threshold,
+        );
+        let old_sets = self.chain.old_len();
+        self.adjuster
+            .set_category(classification.category, old_sets, self.fault_count);
+        self.classification = Some(classification);
+        self.old_sets_at_full = Some(old_sets);
+        self.counters_at_full = Some(self.chain.iter_entries().map(|e| e.counter).collect());
+    }
+
+    fn select_victim(&mut self) -> Option<PageId> {
+        self.selections += 1;
+        let strategy = self.adjuster.strategy();
+        let sel = self.chain.select_victim(strategy, self.adjuster.jump())?;
+        match strategy {
+            StrategyKind::MruC => {
+                self.mruc_searches += 1;
+                self.mruc_comparisons += sel.comparisons;
+            }
+            StrategyKind::Lru => {
+                self.lru_comparisons += sel.comparisons;
+            }
+        }
+        self.adjuster.on_eviction(sel.page);
+        Some(sel.page)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        let (intervals_lru, intervals_mruc) = self.adjuster.interval_usage();
+        PolicyStats {
+            selections: self.selections,
+            search_comparisons: self.mruc_comparisons + self.lru_comparisons,
+            hir_flushes: self.hir_flushes,
+            hir_entries_transferred: self.hir_entries_transferred,
+            hir_conflict_evictions: self.hir.as_ref().map_or(0, |h| h.conflict_evictions()),
+            strategy_switches: self.adjuster.switches(),
+            intervals_lru,
+            intervals_mruc,
+            page_sets_divided: self.chain.divided_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Category;
+
+    fn hpe() -> Hpe {
+        Hpe::new(HpeConfig::paper_default()).unwrap()
+    }
+
+    fn hpe_with(f: impl FnOnce(&mut HpeConfig)) -> Hpe {
+        let mut cfg = HpeConfig::paper_default();
+        f(&mut cfg);
+        Hpe::new(cfg).unwrap()
+    }
+
+    /// Faults `n` pages starting at `base`, one per fault number.
+    fn fault_range(h: &mut Hpe, base: u64, n: u64, fault_base: u64) {
+        for i in 0..n {
+            h.on_fault(PageId(base + i), fault_base + i);
+        }
+    }
+
+    #[test]
+    fn faults_advance_intervals() {
+        let mut h = hpe();
+        fault_range(&mut h, 0, 64, 0);
+        // After one interval the first sets rotated into middle.
+        assert!(h.chain().middle_len() > 0);
+        fault_range(&mut h, 1000, 64, 64);
+        assert!(h.chain().old_len() > 0);
+    }
+
+    #[test]
+    fn classification_streaming_is_regular() {
+        let mut h = hpe();
+        // Pure streaming: each page faulted once -> counters 16.
+        fault_range(&mut h, 0, 256, 0);
+        h.on_memory_full();
+        let c = h.classification().unwrap();
+        assert_eq!(c.category, Category::Regular);
+        assert_eq!(h.strategy(), StrategyKind::MruC);
+    }
+
+    #[test]
+    fn classification_irregular_counters_yield_irregular2() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        // Fault partial sets: 5 pages per set -> counters 5 (irregular).
+        for set in 0..20u64 {
+            for off in 0..5u64 {
+                h.on_fault(PageId(set * 16 + off), set * 5 + off);
+            }
+        }
+        h.on_memory_full();
+        let c = h.classification().unwrap();
+        assert_eq!(c.category, Category::Irregular2);
+        assert_eq!(h.strategy(), StrategyKind::Lru);
+    }
+
+    #[test]
+    fn classification_large_counters_yield_irregular1() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        // Each page faulted once then hit twice -> counters 48.
+        for set in 0..20u64 {
+            for off in 0..16u64 {
+                let p = PageId(set * 16 + off);
+                h.on_fault(p, set * 16 + off);
+                h.on_walk_hit(p);
+                h.on_walk_hit(p);
+            }
+        }
+        h.on_memory_full();
+        let c = h.classification().unwrap();
+        assert_eq!(c.category, Category::Irregular1);
+        assert_eq!(h.strategy(), StrategyKind::Lru);
+    }
+
+    #[test]
+    fn hir_hits_reach_chain_only_at_transfer_interval() {
+        let mut h = hpe();
+        h.on_fault(PageId(0), 0);
+        for _ in 0..5 {
+            h.on_walk_hit(PageId(0));
+        }
+        // Counter so far: 1 (the fault only).
+        let (key, _) = h.chain().route(PageId(0));
+        assert_eq!(h.chain().entry(key).unwrap().counter, 1);
+        // Drive to the 16th fault: flush happens.
+        fault_range(&mut h, 100, 15, 1);
+        assert!(h.stats().hir_flushes >= 1);
+        // 2-bit HIR counter saturates at 3: counter = 1 fault + 3 hits.
+        assert_eq!(h.chain().entry(key).unwrap().counter, 4);
+        let out_bytes = 10;
+        let _ = out_bytes;
+    }
+
+    #[test]
+    fn flush_reports_transfer_bytes() {
+        let mut h = hpe();
+        h.on_fault(PageId(0), 0);
+        h.on_walk_hit(PageId(0));
+        h.on_walk_hit(PageId(32)); // second set
+        let mut total_bytes = 0;
+        for i in 1..16u64 {
+            let out = h.on_fault(PageId(1000 + i), i);
+            total_bytes += out.transfer_bytes;
+        }
+        // Two touched entries x 10 bytes each.
+        assert_eq!(total_bytes, 20);
+        assert_eq!(h.stats().hir_entries_transferred, 2);
+    }
+
+    #[test]
+    fn ideal_mode_applies_hits_immediately() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        h.on_fault(PageId(0), 0);
+        h.on_walk_hit(PageId(0));
+        let (key, _) = h.chain().route(PageId(0));
+        assert_eq!(h.chain().entry(key).unwrap().counter, 2);
+        // No transfer cost in ideal mode.
+        let out = h.on_fault(PageId(99), 1);
+        assert_eq!(out.transfer_bytes, 0);
+    }
+
+    #[test]
+    fn victims_come_from_old_partition_first() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        // Interval 64: fault 64 pages (sets 0..4) -> rotate; fault 64 more
+        // (sets 100..104) -> rotate; now sets 0..4 are old.
+        fault_range(&mut h, 0, 64, 0);
+        fault_range(&mut h, 1600, 64, 64);
+        fault_range(&mut h, 3200, 64, 128);
+        h.on_memory_full();
+        // Classification is regular -> MRU-C scans the old partition from
+        // its MRU end: set 103 (pages 1648..1664), first page in address
+        // order.
+        assert_eq!(h.strategy(), StrategyKind::MruC);
+        let v = h.select_victim().unwrap();
+        assert_eq!(v, PageId(1648), "victim must come from old's MRU set");
+    }
+
+    #[test]
+    fn select_victim_exhausts_all_pages() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        fault_range(&mut h, 0, 48, 0);
+        h.on_memory_full();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..48 {
+            let v = h.select_victim().expect("48 resident pages");
+            assert!(seen.insert(v), "duplicate victim {v}");
+            assert!(v.0 < 48);
+        }
+        assert!(h.select_victim().is_none());
+    }
+
+    #[test]
+    fn replay_against_cyclic_sweep_beats_thrashing() {
+        // Full policy over a type II pattern via the shared replay helper:
+        // HPE must fault substantially less than the all-miss 400.
+        struct Driver {
+            h: Hpe,
+            resident: std::collections::HashSet<PageId>,
+        }
+        let mut d = Driver {
+            h: hpe_with(|c| c.use_hir = false),
+            resident: std::collections::HashSet::new(),
+        };
+        let capacity = 96; // 6 sets
+        let pages = 128u64; // 8 sets
+        let mut faults = 0u64;
+        let mut notified = false;
+        for _ in 0..6 {
+            for p in 0..pages {
+                let page = PageId(p);
+                if d.resident.contains(&page) {
+                    d.h.on_walk_hit(page);
+                    continue;
+                }
+                if d.resident.len() == capacity {
+                    if !notified {
+                        d.h.on_memory_full();
+                        notified = true;
+                    }
+                    let v = d.h.select_victim().unwrap();
+                    assert!(d.resident.remove(&v));
+                }
+                d.h.on_fault(page, faults);
+                d.resident.insert(page);
+                faults += 1;
+            }
+        }
+        let all_miss = 6 * pages;
+        assert!(
+            faults < all_miss * 3 / 4,
+            "HPE faulted {faults}, worse than 75% of all-miss {all_miss}"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_is_complete() {
+        let mut h = hpe();
+        fault_range(&mut h, 0, 8, 0);
+        h.on_walk_hit(PageId(0));
+        // More faults so a transfer interval passes with the HIR touched.
+        fault_range(&mut h, 100, 24, 8);
+        h.on_memory_full();
+        let _ = h.select_victim();
+        let s = h.stats();
+        assert_eq!(s.selections, 1);
+        assert!(s.hir_flushes >= 1);
+    }
+
+    #[test]
+    fn partitions_disabled_keeps_everything_in_new() {
+        let mut h = hpe_with(|c| {
+            c.enable_partitions = false;
+            c.use_hir = false;
+        });
+        fault_range(&mut h, 0, 200, 0);
+        assert_eq!(h.chain().old_len(), 0);
+        assert_eq!(h.chain().middle_len(), 0);
+        assert!(h.chain().new_len() > 0);
+        // Eviction still works (falls through to the new partition).
+        h.on_memory_full();
+        assert!(h.select_victim().is_some());
+    }
+
+    #[test]
+    fn forced_strategy_used_without_classification() {
+        let mut h = hpe_with(|c| {
+            c.forced_strategy = Some(StrategyKind::MruC);
+            c.use_hir = false;
+        });
+        fault_range(&mut h, 0, 32, 0);
+        assert_eq!(h.strategy(), StrategyKind::MruC);
+        assert!(h.select_victim().is_some());
+        assert_eq!(h.mruc_search_overhead().0, 1);
+    }
+}

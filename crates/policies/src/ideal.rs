@@ -1,0 +1,242 @@
+//! The offline "Ideal" policy (Section III): a Belady-MIN-like upper bound
+//! that evicts the resident page whose next reference is farthest in the
+//! future, using an oracle over the trace order.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use uvm_types::{PageId, PolicyStats};
+
+use crate::{EvictionPolicy, FaultOutcome};
+
+/// Never referenced again.
+const NEVER: u64 = u64::MAX;
+
+/// Per-page queues of future reference positions, consumed as the
+/// simulation executes accesses.
+///
+/// Positions come from the deterministic round-robin interleave of the
+/// per-warp streams (`uvm_workloads::Trace::round_robin_interleave`), the
+/// standard trace-order approximation of MIN for a parallel machine.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_policies::NextUseOracle;
+/// use uvm_types::PageId;
+///
+/// let order = [PageId(1), PageId(2), PageId(1)];
+/// let mut oracle = NextUseOracle::from_order(order);
+/// assert_eq!(oracle.next_use(PageId(1)), 0);
+/// oracle.advance(PageId(1));
+/// assert_eq!(oracle.next_use(PageId(1)), 2);
+/// oracle.advance(PageId(1));
+/// assert_eq!(oracle.next_use(PageId(1)), u64::MAX); // never again
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NextUseOracle {
+    queues: HashMap<PageId, VecDeque<u64>>,
+}
+
+impl NextUseOracle {
+    /// Builds the oracle from a global reference order.
+    pub fn from_order<I: IntoIterator<Item = PageId>>(order: I) -> Self {
+        let mut queues: HashMap<PageId, VecDeque<u64>> = HashMap::new();
+        for (i, page) in order.into_iter().enumerate() {
+            queues.entry(page).or_default().push_back(i as u64);
+        }
+        NextUseOracle { queues }
+    }
+
+    /// The position of the next (unconsumed) reference to `page`, or
+    /// `u64::MAX` if it is never referenced again.
+    pub fn next_use(&self, page: PageId) -> u64 {
+        self.queues
+            .get(&page)
+            .and_then(|q| q.front().copied())
+            .unwrap_or(NEVER)
+    }
+
+    /// Consumes one reference to `page` (call when the access executes).
+    pub fn advance(&mut self, page: PageId) {
+        if let Some(q) = self.queues.get_mut(&page) {
+            q.pop_front();
+            if q.is_empty() {
+                self.queues.remove(&page);
+            }
+        }
+    }
+}
+
+/// The offline Belady-MIN-like policy the paper normalizes against.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_policies::{EvictionPolicy, Ideal, NextUseOracle};
+/// use uvm_types::PageId;
+///
+/// let order: Vec<PageId> = [1, 2, 3, 1, 2].map(PageId).to_vec();
+/// let mut ideal = Ideal::new(NextUseOracle::from_order(order));
+/// for (i, p) in [1u64, 2, 3].into_iter().enumerate() {
+///     ideal.on_access(PageId(p));
+///     ideal.on_fault(PageId(p), i as u64);
+/// }
+/// // Next uses: 1 -> pos 3, 2 -> pos 4, 3 -> never. Evict 3.
+/// assert_eq!(ideal.select_victim(), Some(PageId(3)));
+/// ```
+#[derive(Debug)]
+pub struct Ideal {
+    oracle: NextUseOracle,
+    resident: HashMap<PageId, u64>,
+    by_next_use: BTreeSet<(u64, PageId)>,
+    stats: PolicyStats,
+}
+
+impl Ideal {
+    /// Creates the policy around a prepared oracle.
+    pub fn new(oracle: NextUseOracle) -> Self {
+        Ideal {
+            oracle,
+            resident: HashMap::new(),
+            by_next_use: BTreeSet::new(),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Number of pages the policy believes are resident.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn reposition(&mut self, page: PageId) {
+        if let Some(&old) = self.resident.get(&page) {
+            let new = self.oracle.next_use(page);
+            if new != old {
+                self.by_next_use.remove(&(old, page));
+                self.by_next_use.insert((new, page));
+                self.resident.insert(page, new);
+            }
+        }
+    }
+}
+
+impl EvictionPolicy for Ideal {
+    fn name(&self) -> String {
+        "Ideal".to_string()
+    }
+
+    fn on_access(&mut self, page: PageId) {
+        self.oracle.advance(page);
+        self.reposition(page);
+    }
+
+    fn on_fault(&mut self, page: PageId, _fault_num: u64) -> FaultOutcome {
+        if !self.resident.contains_key(&page) {
+            let next = self.oracle.next_use(page);
+            self.resident.insert(page, next);
+            self.by_next_use.insert((next, page));
+        }
+        FaultOutcome::default()
+    }
+
+    fn select_victim(&mut self) -> Option<PageId> {
+        self.stats.selections += 1;
+        let &(next, page) = self.by_next_use.iter().next_back()?;
+        self.by_next_use.remove(&(next, page));
+        self.resident.remove(&page);
+        Some(page)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives Ideal exactly as the simulator would: on_access before the
+    /// residency check, victim before insertion.
+    fn replay_ideal(refs: &[u64], capacity: usize) -> u64 {
+        let order: Vec<PageId> = refs.iter().map(|&r| PageId(r)).collect();
+        let mut ideal = Ideal::new(NextUseOracle::from_order(order));
+        let mut resident = std::collections::HashSet::new();
+        let mut faults = 0u64;
+        for &r in refs {
+            let page = PageId(r);
+            ideal.on_access(page);
+            if !resident.contains(&page) {
+                if resident.len() == capacity {
+                    let v = ideal.select_victim().unwrap();
+                    assert!(resident.remove(&v));
+                }
+                ideal.on_fault(page, faults);
+                resident.insert(page);
+                faults += 1;
+            }
+        }
+        faults
+    }
+
+    #[test]
+    fn matches_textbook_belady_example() {
+        // Classic example: references 1..5 pattern with 3 frames.
+        let refs = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        // Belady's MIN yields 7 faults for this sequence with 3 frames.
+        assert_eq!(replay_ideal(&refs, 3), 7);
+    }
+
+    #[test]
+    fn cyclic_sweep_achieves_min_misses() {
+        // k pages, capacity m: MIN misses k + (sweeps-1) * (k - m) times.
+        let k = 10u64;
+        let m = 7usize;
+        let sweeps = 5;
+        let refs: Vec<u64> = (0..k).cycle().take((k as usize) * sweeps).collect();
+        let expected = k + (sweeps as u64 - 1) * (k - m as u64);
+        assert_eq!(replay_ideal(&refs, m), expected);
+    }
+
+    #[test]
+    fn ideal_never_worse_than_lru() {
+        use crate::test_util::replay;
+        use crate::Lru;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..5 {
+            let refs: Vec<u64> = (0..600).map(|_| rng.gen_range(0..40)).collect();
+            let cap = 8 + trial * 4;
+            let ideal_faults = replay_ideal(&refs, cap);
+            let lru_faults = replay(&mut Lru::new(), &refs, cap);
+            assert!(
+                ideal_faults <= lru_faults,
+                "trial {trial}: ideal {ideal_faults} > lru {lru_faults}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_handles_unknown_pages() {
+        let oracle = NextUseOracle::from_order([PageId(1)]);
+        assert_eq!(oracle.next_use(PageId(99)), u64::MAX);
+        let mut o = oracle.clone();
+        o.advance(PageId(99)); // no-op, no panic
+        assert_eq!(o.next_use(PageId(1)), 0);
+    }
+
+    #[test]
+    fn evicts_never_used_again_first() {
+        let refs = [1, 2, 3, 1, 2, 4, 1, 2];
+        // Page 3 is dead after position 2; with capacity 3, page 4's fault
+        // must evict page 3 (the only dead page).
+        let faults = replay_ideal(&refs, 3);
+        assert_eq!(faults, 4); // compulsory only: 1,2,3,4
+    }
+
+    #[test]
+    fn victim_none_when_empty() {
+        let mut ideal = Ideal::new(NextUseOracle::default());
+        assert_eq!(ideal.select_victim(), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Page-level LFU (discussed in Section VI-B: frequency alone is not
+//! enough for unified memory, which this implementation lets you verify).
+
+use std::collections::{BTreeSet, HashMap};
+use uvm_types::{PageId, PolicyStats};
+
+use crate::{EvictionPolicy, FaultOutcome};
+
+/// Least-frequently-used eviction with LRU tie-breaking.
+///
+/// Frequency counts survive across eviction? No — like the paper's other
+/// online baselines, metadata is dropped on eviction, so a re-migrated page
+/// starts cold.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_policies::{EvictionPolicy, Lfu};
+/// use uvm_types::PageId;
+///
+/// let mut lfu = Lfu::new();
+/// lfu.on_fault(PageId(1), 0);
+/// lfu.on_fault(PageId(2), 1);
+/// lfu.on_walk_hit(PageId(1));
+/// assert_eq!(lfu.select_victim(), Some(PageId(2)));
+/// ```
+#[derive(Debug, Default)]
+pub struct Lfu {
+    // Ordered by (frequency, last-touch stamp): the minimum is the LFU page,
+    // oldest first among ties.
+    order: BTreeSet<(u64, u64, PageId)>,
+    state: HashMap<PageId, (u64, u64)>,
+    clock: u64,
+    stats: PolicyStats,
+}
+
+impl Lfu {
+    /// Creates an empty LFU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages the policy believes are resident.
+    pub fn resident_len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn bump(&mut self, page: PageId) {
+        self.clock += 1;
+        if let Some(&(freq, stamp)) = self.state.get(&page) {
+            self.order.remove(&(freq, stamp, page));
+            let entry = (freq + 1, self.clock);
+            self.state.insert(page, entry);
+            self.order.insert((entry.0, entry.1, page));
+        } else {
+            let entry = (1, self.clock);
+            self.state.insert(page, entry);
+            self.order.insert((entry.0, entry.1, page));
+        }
+    }
+}
+
+impl EvictionPolicy for Lfu {
+    fn name(&self) -> String {
+        "LFU".to_string()
+    }
+
+    fn on_walk_hit(&mut self, page: PageId) {
+        if self.state.contains_key(&page) {
+            self.bump(page);
+        }
+    }
+
+    fn on_fault(&mut self, page: PageId, _fault_num: u64) -> FaultOutcome {
+        self.bump(page);
+        FaultOutcome::default()
+    }
+
+    fn select_victim(&mut self) -> Option<PageId> {
+        self.stats.selections += 1;
+        let &(freq, stamp, page) = self.order.iter().next()?;
+        self.order.remove(&(freq, stamp, page));
+        self.state.remove(&page);
+        Some(page)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_lowest_frequency() {
+        let mut lfu = Lfu::new();
+        for p in 0..3u64 {
+            lfu.on_fault(PageId(p), p);
+        }
+        lfu.on_walk_hit(PageId(0));
+        lfu.on_walk_hit(PageId(0));
+        lfu.on_walk_hit(PageId(2));
+        // Frequencies: 0 -> 3, 1 -> 1, 2 -> 2.
+        assert_eq!(lfu.select_victim(), Some(PageId(1)));
+        assert_eq!(lfu.select_victim(), Some(PageId(2)));
+        assert_eq!(lfu.select_victim(), Some(PageId(0)));
+        assert_eq!(lfu.select_victim(), None);
+    }
+
+    #[test]
+    fn ties_broken_by_recency_oldest_first() {
+        let mut lfu = Lfu::new();
+        lfu.on_fault(PageId(10), 0);
+        lfu.on_fault(PageId(11), 1);
+        // Both frequency 1; 10 was touched earlier.
+        assert_eq!(lfu.select_victim(), Some(PageId(10)));
+    }
+
+    #[test]
+    fn metadata_dropped_on_eviction() {
+        let mut lfu = Lfu::new();
+        lfu.on_fault(PageId(1), 0);
+        for _ in 0..10 {
+            lfu.on_walk_hit(PageId(1));
+        }
+        assert_eq!(lfu.select_victim(), Some(PageId(1)));
+        // Re-faulted page starts with frequency 1 again.
+        lfu.on_fault(PageId(1), 1);
+        lfu.on_fault(PageId(2), 2);
+        lfu.on_walk_hit(PageId(2));
+        assert_eq!(lfu.select_victim(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn hit_on_absent_page_is_ignored() {
+        let mut lfu = Lfu::new();
+        lfu.on_walk_hit(PageId(9));
+        assert_eq!(lfu.resident_len(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Page eviction policies for GPU unified memory.
+//!
+//! This crate defines the [`EvictionPolicy`] trait through which the
+//! simulator drives any eviction policy, plus the baseline policies the
+//! paper compares HPE against (Section V-B):
+//!
+//! * [`Lru`] — least-recently-used over pages,
+//! * [`RandomPolicy`] — uniform random victim,
+//! * [`Lfu`] — least-frequently-used (related work, Section VI-B),
+//! * [`Rrip`] — re-reference interval prediction, frequency-priority
+//!   variant, *enhanced with the paper's delay field* to resist instant
+//!   thrashing,
+//! * [`ClockPro`] — CLOCK-Pro with the paper's fixed `m_c = 128`,
+//! * [`Ideal`] — an offline Belady-MIN-like policy using a next-use oracle
+//!   over the trace order (the paper's performance upper bound).
+//!
+//! Beyond the paper's comparison set, the related-work policies of
+//! Section VI-B are also implemented so downstream studies can extend the
+//! evaluation: [`Clock`] (second-chance), [`WsClock`] (working-set clock),
+//! [`Bip`] / [`Dip`] (bimodal and dynamic insertion), [`ArcPolicy`]
+//! (adaptive replacement), [`Car`] (CLOCK with adaptive replacement), and
+//! [`SetLru`] (a control isolating HPE's page-set granularity).
+//!
+//! # Policy visibility model
+//!
+//! Following the paper's evaluation methodology, baseline policies run in
+//! an *ideal model*: every page walk (hit or fault) updates their metadata
+//! immediately, in exact reference order, at zero cost
+//! ([`EvictionPolicy::on_walk_hit`] / [`EvictionPolicy::on_fault`]). The
+//! [`Ideal`] policy additionally observes every access pre-TLB
+//! ([`EvictionPolicy::on_access`]) so its oracle can advance. HPE (in the
+//! `hpe-core` crate) implements the same trait but buffers walk hits in its
+//! GPU-side HIR and reports the resulting PCIe traffic through
+//! [`FaultOutcome`].
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_policies::{EvictionPolicy, Lru};
+//! use uvm_types::PageId;
+//!
+//! let mut lru = Lru::new();
+//! lru.on_fault(PageId(1), 0);
+//! lru.on_fault(PageId(2), 1);
+//! lru.on_walk_hit(PageId(1)); // 1 becomes MRU
+//! assert_eq!(lru.select_victim(), Some(PageId(2)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain;
+mod arc;
+mod car;
+mod clock;
+mod clockpro;
+mod dip;
+mod ideal;
+mod lfu;
+mod lru;
+mod random;
+mod rrip;
+mod setlru;
+mod wsclock;
+
+pub use arc::ArcPolicy;
+pub use car::Car;
+pub use clock::Clock;
+pub use clockpro::{ClockPro, ClockProConfig};
+pub use dip::{Bip, Dip};
+pub use ideal::{Ideal, NextUseOracle};
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use random::RandomPolicy;
+pub use rrip::{Rrip, RripConfig, RripInsertion};
+pub use setlru::SetLru;
+pub use wsclock::{WsClock, WsClockConfig};
+
+use uvm_types::{PageId, PolicyStats};
+
+/// Side effects of servicing a page fault, reported by the policy to the
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Extra bytes the policy moved over PCIe while servicing this fault
+    /// (HPE's HIR flush). The simulator converts this to cycles and adds it
+    /// to execution time, as the paper does (Section V-B).
+    pub transfer_bytes: u64,
+    /// Extra host-CPU busy cycles spent on policy bookkeeping (HPE's chain
+    /// update). Counted toward driver core load but *not* the critical
+    /// path, matching Section V-C.
+    pub driver_busy_cycles: u64,
+}
+
+/// A page eviction policy driven by the unified-memory fault driver.
+///
+/// Implementations maintain their own view of which pages are resident:
+/// [`Self::on_fault`] makes a page resident, and a page returned from
+/// [`Self::select_victim`] is immediately evicted (the policy must forget
+/// it or remember it only as history). The simulator checks that victims
+/// are actually resident.
+pub trait EvictionPolicy {
+    /// Human-readable policy name for reports ("LRU", "HPE", ...).
+    fn name(&self) -> String;
+
+    /// Observes one memory access *before* address translation.
+    ///
+    /// Only oracle-based policies ([`Ideal`]) need this; the default is a
+    /// no-op.
+    fn on_access(&mut self, _page: PageId) {}
+
+    /// Observes a page walk that hit (the page is resident).
+    fn on_walk_hit(&mut self, _page: PageId) {}
+
+    /// Observes a serviced page fault: `page` is now resident. `fault_num`
+    /// is the global page-fault sequence number (0-based).
+    fn on_fault(&mut self, page: PageId, fault_num: u64) -> FaultOutcome;
+
+    /// Notifies the policy that GPU memory has just reached capacity for
+    /// the first time (HPE classifies the application here; Section IV-D).
+    fn on_memory_full(&mut self) {}
+
+    /// Selects a resident page to evict and forgets it. Returns `None` only
+    /// if the policy believes nothing is resident.
+    fn select_victim(&mut self) -> Option<PageId>;
+
+    /// Snapshot of policy-side statistics.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_access(&mut self, page: PageId) {
+        (**self).on_access(page);
+    }
+    fn on_walk_hit(&mut self, page: PageId) {
+        (**self).on_walk_hit(page);
+    }
+    fn on_fault(&mut self, page: PageId, fault_num: u64) -> FaultOutcome {
+        (**self).on_fault(page, fault_num)
+    }
+    fn on_memory_full(&mut self) {
+        (**self).on_memory_full();
+    }
+    fn select_victim(&mut self) -> Option<PageId> {
+        (**self).select_victim()
+    }
+    fn stats(&self) -> PolicyStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Replays `refs` against `policy` with a memory of `capacity` pages,
+    /// returning the number of faults (the miss count of the policy as a
+    /// cache of `capacity` pages). This mimics the driver loop: on a miss
+    /// when full, a victim is evicted first.
+    pub fn replay(policy: &mut dyn EvictionPolicy, refs: &[u64], capacity: usize) -> u64 {
+        let mut resident = std::collections::HashSet::new();
+        let mut faults = 0u64;
+        let mut notified_full = false;
+        for &r in refs {
+            let page = PageId(r);
+            policy.on_access(page);
+            if resident.contains(&page) {
+                policy.on_walk_hit(page);
+            } else {
+                if resident.len() == capacity {
+                    if !notified_full {
+                        policy.on_memory_full();
+                        notified_full = true;
+                    }
+                    let victim = policy.select_victim().expect("resident pages exist");
+                    assert!(resident.remove(&victim), "victim {victim} not resident");
+                }
+                policy.on_fault(page, faults);
+                resident.insert(page);
+                faults += 1;
+            }
+        }
+        faults
+    }
+}

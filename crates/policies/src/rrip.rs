@@ -1,0 +1,384 @@
+//! RRIP (re-reference interval prediction), frequency-priority variant,
+//! enhanced with the paper's *delay field* (Section V-B).
+//!
+//! The paper observes that plain RRIP suffers *instant thrashing* when
+//! applied to unified memory: newly migrated pages inserted with a distant
+//! re-reference prediction are evicted before their imminent re-references
+//! arrive. The enhancement records the global page-fault number at
+//! insertion in a per-page delay field and refuses to evict a page until at
+//! least `delay_threshold` faults have passed since its migration.
+
+use std::collections::HashMap;
+use uvm_types::{PageId, PolicyStats};
+
+use crate::{EvictionPolicy, FaultOutcome};
+
+/// Insertion prediction for newly migrated pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RripInsertion {
+    /// Insert with a *long* re-reference interval (`RRPV = max - 1`).
+    /// The paper uses this for all pattern types except type II, with a
+    /// delay threshold of 0.
+    Long,
+    /// Insert with a *distant* re-reference interval (`RRPV = max`).
+    /// The paper uses this for type II (thrashing) applications, with a
+    /// delay threshold of 128.
+    Distant,
+}
+
+/// RRIP configuration.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_policies::{RripConfig, RripInsertion};
+///
+/// let cfg = RripConfig::for_thrashing();
+/// assert_eq!(cfg.insertion, RripInsertion::Distant);
+/// assert_eq!(cfg.delay_threshold, 128);
+/// assert_eq!(RripConfig::default().delay_threshold, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RripConfig {
+    /// Width of the re-reference prediction value register (RRPV saturates
+    /// at `2^m_bits - 1`).
+    pub m_bits: u8,
+    /// Insertion prediction for new pages.
+    pub insertion: RripInsertion,
+    /// Minimum number of page faults that must pass after a page's
+    /// migration before it may be evicted (0 disables the enhancement).
+    pub delay_threshold: u64,
+}
+
+impl RripConfig {
+    /// The paper's configuration for type II (thrashing) applications:
+    /// distant insertion, delay threshold 128.
+    pub fn for_thrashing() -> Self {
+        RripConfig {
+            m_bits: 2,
+            insertion: RripInsertion::Distant,
+            delay_threshold: 128,
+        }
+    }
+}
+
+impl Default for RripConfig {
+    /// The paper's configuration for non-thrashing patterns: long
+    /// insertion, delay threshold 0.
+    fn default() -> Self {
+        RripConfig {
+            m_bits: 2,
+            insertion: RripInsertion::Long,
+            delay_threshold: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    rrpv: u8,
+    /// Global fault number at migration (the paper's delay field).
+    delay: u64,
+    /// Frame slot: a migrated page takes the slot its victim freed, as a
+    /// cache fill takes the invalidated way. The victim scan prefers the
+    /// lowest slot, modelling hardware RRIP's scan-from-way-0 — which is
+    /// what makes a freshly migrated distant-RRPV page the immediate next
+    /// victim (the paper's "instant thrashing") while a long-RRPV one is
+    /// spared until aging.
+    slot: u32,
+}
+
+/// RRIP-FP with the delay-field enhancement.
+///
+/// Hit promotion is *frequency priority*: each page-walk hit decrements the
+/// page's RRPV by one. Victim selection repeatedly ages all pages (capped
+/// increment of every RRPV) until some delay-qualified page reaches the
+/// maximum RRPV, then evicts the lowest-slot such page (the hardware
+/// scan-from-way-0 order) — implemented as a single O(n) pass computing
+/// the equivalent aging amount.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_policies::{EvictionPolicy, Rrip, RripConfig};
+/// use uvm_types::PageId;
+///
+/// let mut rrip = Rrip::new(RripConfig::default());
+/// rrip.on_fault(PageId(1), 0);
+/// rrip.on_fault(PageId(2), 1);
+/// rrip.on_walk_hit(PageId(1)); // 1 now predicted nearer than 2
+/// assert_eq!(rrip.select_victim(), Some(PageId(2)));
+/// ```
+#[derive(Debug)]
+pub struct Rrip {
+    cfg: RripConfig,
+    entries: HashMap<PageId, Entry>,
+    current_fault: u64,
+    next_slot: u32,
+    freed_slots: Vec<u32>,
+    stats: PolicyStats,
+}
+
+impl Rrip {
+    /// Creates an RRIP policy with the given configuration.
+    pub fn new(cfg: RripConfig) -> Self {
+        assert!(cfg.m_bits >= 1 && cfg.m_bits <= 8, "m_bits must be in 1..=8");
+        Rrip {
+            cfg,
+            entries: HashMap::new(),
+            current_fault: 0,
+            next_slot: 0,
+            freed_slots: Vec::new(),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    fn rrpv_max(&self) -> u8 {
+        (1u16 << self.cfg.m_bits) as u8 - 1
+    }
+
+    fn insertion_rrpv(&self) -> u8 {
+        match self.cfg.insertion {
+            RripInsertion::Long => self.rrpv_max() - 1,
+            RripInsertion::Distant => self.rrpv_max(),
+        }
+    }
+
+    /// Number of pages the policy believes are resident.
+    pub fn resident_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current RRPV of `page`, if resident (test/diagnostic accessor).
+    pub fn rrpv(&self, page: PageId) -> Option<u8> {
+        self.entries.get(&page).map(|e| e.rrpv)
+    }
+}
+
+impl EvictionPolicy for Rrip {
+    fn name(&self) -> String {
+        format!(
+            "RRIP({})",
+            match self.cfg.insertion {
+                RripInsertion::Long => "long",
+                RripInsertion::Distant => "distant",
+            }
+        )
+    }
+
+    fn on_walk_hit(&mut self, page: PageId) {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.rrpv = e.rrpv.saturating_sub(1);
+        }
+    }
+
+    fn on_fault(&mut self, page: PageId, fault_num: u64) -> FaultOutcome {
+        self.current_fault = fault_num + 1;
+        let rrpv = self.insertion_rrpv();
+        let slot = self.freed_slots.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        self.entries.insert(
+            page,
+            Entry {
+                rrpv,
+                delay: fault_num,
+                slot,
+            },
+        );
+        FaultOutcome::default()
+    }
+
+    fn select_victim(&mut self) -> Option<PageId> {
+        self.stats.selections += 1;
+        if self.entries.is_empty() {
+            return None;
+        }
+        let max = self.rrpv_max();
+        // Among delay-qualified pages, repeated aging would first push the
+        // page with the highest RRPV to the maximum; the hardware scan
+        // then takes the lowest frame slot among those. One pass finds
+        // that page directly.
+        let mut best: Option<(u8, std::cmp::Reverse<u32>, PageId)> = None;
+        let mut blocked_best: Option<(u64, u32, PageId)> = None;
+        for (&page, e) in &self.entries {
+            self.stats.search_comparisons += 1;
+            if self.current_fault.saturating_sub(e.delay) >= self.cfg.delay_threshold {
+                let cand = (e.rrpv, std::cmp::Reverse(e.slot), page);
+                best = Some(match best {
+                    // Higher RRPV wins; then lower slot.
+                    None => cand,
+                    Some(b) if (cand.0, cand.1) > (b.0, b.1) => cand,
+                    Some(b) => b,
+                });
+            } else {
+                let cand = (e.delay, e.slot, page);
+                blocked_best = Some(match blocked_best {
+                    None => cand,
+                    Some(b) if cand < b => cand,
+                    Some(b) => b,
+                });
+            }
+        }
+        let victim = match best {
+            Some((rrpv, _, page)) => {
+                // Apply the equivalent aging so post-eviction state matches
+                // the iterative algorithm.
+                let aging = max - rrpv;
+                if aging > 0 {
+                    for e in self.entries.values_mut() {
+                        e.rrpv = (e.rrpv + aging).min(max);
+                    }
+                }
+                page
+            }
+            // Every resident page is delay-blocked: fall back to the page
+            // migrated longest ago.
+            None => blocked_best.expect("entries nonempty").2,
+        };
+        let freed = self.entries.remove(&victim).expect("victim exists").slot;
+        self.freed_slots.push(freed);
+        Some(victim)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::replay;
+
+    #[test]
+    fn long_insertion_evicts_unreferenced_first() {
+        let mut rrip = Rrip::new(RripConfig::default());
+        for p in 0..4u64 {
+            rrip.on_fault(PageId(p), p);
+        }
+        // Promote 0 twice, 1 once.
+        rrip.on_walk_hit(PageId(0));
+        rrip.on_walk_hit(PageId(0));
+        rrip.on_walk_hit(PageId(1));
+        // 2 and 3 still at long (= max-1); aging pushes them to max first,
+        // and the lower slot (2) is scanned first.
+        let v1 = rrip.select_victim().unwrap();
+        let v2 = rrip.select_victim().unwrap();
+        assert_eq!((v1, v2), (PageId(2), PageId(3)));
+    }
+
+    #[test]
+    fn zero_threshold_exhibits_instant_thrashing() {
+        // Without the delay field, a freshly migrated page at distant RRPV
+        // fills the slot the scan points at and is evicted right back —
+        // the pathology the paper documents.
+        let mut rrip = Rrip::new(RripConfig {
+            m_bits: 2,
+            insertion: RripInsertion::Distant,
+            delay_threshold: 0,
+        });
+        for p in 0..4u64 {
+            rrip.on_fault(PageId(p), p);
+        }
+        // Steady state: evict, migrate a new page into the freed slot.
+        assert_eq!(rrip.select_victim(), Some(PageId(0)));
+        rrip.on_fault(PageId(100), 4);
+        // The newcomer reused slot 0 at distant RRPV: instantly re-victim.
+        assert_eq!(rrip.select_victim(), Some(PageId(100)));
+        // With a delay threshold the same newcomer would be protected:
+        let mut protected = Rrip::new(RripConfig {
+            m_bits: 2,
+            insertion: RripInsertion::Distant,
+            delay_threshold: 3,
+        });
+        for p in 0..4u64 {
+            protected.on_fault(PageId(p), p);
+        }
+        assert_eq!(protected.select_victim(), Some(PageId(0)));
+        protected.on_fault(PageId(100), 4);
+        assert_ne!(protected.select_victim(), Some(PageId(100)));
+    }
+
+    #[test]
+    fn aging_is_applied_to_survivors() {
+        let mut rrip = Rrip::new(RripConfig::default());
+        rrip.on_fault(PageId(0), 0);
+        rrip.on_walk_hit(PageId(0)); // rrpv 1
+        rrip.on_fault(PageId(1), 1); // rrpv 2
+        assert_eq!(rrip.select_victim(), Some(PageId(1))); // aging by 1
+        assert_eq!(rrip.rrpv(PageId(0)), Some(2));
+    }
+
+    #[test]
+    fn distant_insertion_with_delay_resists_instant_thrashing() {
+        let cfg = RripConfig {
+            m_bits: 2,
+            insertion: RripInsertion::Distant,
+            delay_threshold: 4,
+        };
+        let mut rrip = Rrip::new(cfg);
+        for p in 0..3u64 {
+            rrip.on_fault(PageId(p), p);
+        }
+        // Fault 3 arrives; pages 0..3 inserted at faults 0,1,2. With
+        // current_fault = 3, only page 0 satisfies 3 - 0 >= 4? No — none
+        // do, so the fallback evicts the oldest migration (page 0).
+        rrip.on_fault(PageId(3), 3);
+        assert_eq!(rrip.select_victim(), Some(PageId(0)));
+    }
+
+    #[test]
+    fn delay_qualified_page_preferred_over_blocked() {
+        let cfg = RripConfig {
+            m_bits: 2,
+            insertion: RripInsertion::Distant,
+            delay_threshold: 10,
+        };
+        let mut rrip = Rrip::new(cfg);
+        rrip.on_fault(PageId(0), 0);
+        rrip.on_fault(PageId(1), 11); // current_fault = 12
+        // Page 0: 12 - 0 >= 10 qualified. Page 1: 12 - 11 = 1 blocked.
+        assert_eq!(rrip.select_victim(), Some(PageId(0)));
+    }
+
+    #[test]
+    fn cyclic_sweep_with_distant_insertion_retains_subset() {
+        // Distant insertion drops each newcomer into the slot the scan
+        // points at, so the slot churns and the *rest of memory is
+        // retained* — beating LRU's 100% post-warmup miss rate on a
+        // cyclic sweep (without the delay field; the delay trades this
+        // retention for protection of pages with imminent replays).
+        let refs: Vec<u64> = (0..32).cycle().take(32 * 12).collect();
+        let faults = replay(
+            &mut Rrip::new(RripConfig {
+                m_bits: 2,
+                insertion: RripInsertion::Distant,
+                delay_threshold: 0,
+            }),
+            &refs,
+            24,
+        );
+        assert!(
+            faults < 32 * 12,
+            "distant RRIP should not miss every reference, got {faults}"
+        );
+    }
+
+    #[test]
+    fn victim_none_when_empty() {
+        assert_eq!(Rrip::new(RripConfig::default()).select_victim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "m_bits")]
+    fn rejects_zero_width() {
+        Rrip::new(RripConfig {
+            m_bits: 0,
+            insertion: RripInsertion::Long,
+            delay_threshold: 0,
+        });
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests shared across all eviction policies: driven with
+//! random reference strings against a residency model, every policy must
+//! (a) only evict resident pages, (b) never fault more than the reference
+//! count, (c) never beat Belady's MIN.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use uvm_policies::{
+    ArcPolicy, Bip, Car, Clock, ClockPro, ClockProConfig, Dip, EvictionPolicy, Ideal, Lfu, Lru,
+    NextUseOracle, RandomPolicy, Rrip, RripConfig, SetLru, WsClock, WsClockConfig,
+};
+use uvm_types::PageId;
+
+/// Drives the policy like the fault driver would; panics (failing the
+/// property) if a victim is not resident. Returns the fault count.
+fn replay(policy: &mut dyn EvictionPolicy, refs: &[u64], capacity: usize) -> u64 {
+    let mut resident: HashSet<PageId> = HashSet::new();
+    let mut faults = 0u64;
+    let mut notified = false;
+    for &r in refs {
+        let page = PageId(r);
+        policy.on_access(page);
+        if resident.contains(&page) {
+            policy.on_walk_hit(page);
+            continue;
+        }
+        if resident.len() == capacity {
+            if !notified {
+                policy.on_memory_full();
+                notified = true;
+            }
+            let victim = policy.select_victim().expect("a victim must exist");
+            assert!(resident.remove(&victim), "victim {victim} not resident");
+        }
+        policy.on_fault(page, faults);
+        resident.insert(page);
+        faults += 1;
+    }
+    faults
+}
+
+fn belady_faults(refs: &[u64], capacity: usize) -> u64 {
+    let order: Vec<PageId> = refs.iter().map(|&r| PageId(r)).collect();
+    let mut ideal = Ideal::new(NextUseOracle::from_order(order));
+    replay(&mut ideal, refs, capacity)
+}
+
+fn policies() -> Vec<Box<dyn EvictionPolicy>> {
+    vec![
+        Box::new(Lru::new()),
+        Box::new(RandomPolicy::seeded(42)),
+        Box::new(Lfu::new()),
+        Box::new(Rrip::new(RripConfig::default())),
+        Box::new(Rrip::new(RripConfig::for_thrashing())),
+        Box::new(Clock::new()),
+        Box::new(WsClock::new(WsClockConfig { tau: 64 })),
+        Box::new(ClockPro::new(ClockProConfig { m_c: 8 })),
+        Box::new(Bip::new()),
+        Box::new(Dip::new()),
+        Box::new(ArcPolicy::new()),
+        Box::new(Car::new()),
+        Box::new(SetLru::new(4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_respects_residency_and_fault_bounds(
+        refs in proptest::collection::vec(0u64..48, 1..600),
+        capacity in 2usize..32,
+    ) {
+        let distinct = refs.iter().collect::<HashSet<_>>().len() as u64;
+        for mut policy in policies() {
+            let faults = replay(policy.as_mut(), &refs, capacity);
+            prop_assert!(
+                faults >= distinct,
+                "{}: {} faults < {} compulsory",
+                policy.name(), faults, distinct
+            );
+            prop_assert!(
+                faults <= refs.len() as u64,
+                "{}: more faults than references",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn no_policy_beats_belady(
+        refs in proptest::collection::vec(0u64..32, 1..400),
+        capacity in 2usize..24,
+    ) {
+        let min = belady_faults(&refs, capacity);
+        for mut policy in policies() {
+            let faults = replay(policy.as_mut(), &refs, capacity);
+            prop_assert!(
+                faults >= min,
+                "{}: {} faults beats MIN's {}",
+                policy.name(), faults, min
+            );
+        }
+    }
+
+    #[test]
+    fn policies_hit_entirely_within_capacity_working_sets(
+        ws in 2u64..16,
+        rounds in 2u32..10,
+    ) {
+        // A working set that fits must only ever take compulsory faults
+        // (no pathological self-eviction). Random is excluded: it evicts
+        // only when capacity is exceeded, so it also satisfies this.
+        let refs: Vec<u64> = (0..rounds).flat_map(|_| 0..ws).collect();
+        for mut policy in policies() {
+            let faults = replay(policy.as_mut(), &refs, ws as usize);
+            prop_assert_eq!(
+                faults, ws,
+                "{}: faulted {} times on a resident working set of {}",
+                policy.name(), faults, ws
+            );
+        }
+    }
+}

@@ -1,0 +1,781 @@
+//! The discrete-event simulation engine.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use uvm_policies::EvictionPolicy;
+use uvm_types::{ConfigError, PageId, SimConfig, SimStats};
+use uvm_workloads::{Op, Trace};
+
+use crate::memory::GpuMemory;
+use crate::observer::{EventLog, SimEvent, SimObserver};
+use crate::tlb::Tlb;
+
+/// Window (in evictions) within which a re-fault on an evicted page counts
+/// as a *wrong eviction* in the driver statistics. The paper's dynamic
+/// adjustment uses two intervals (128 faults); the driver-level diagnostic
+/// uses the same horizon.
+const WRONG_EVICTION_WINDOW: usize = 128;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A warp is ready to execute its next op (or replay a faulted one).
+    WarpReady(usize),
+    /// The driver finished servicing the fault on this page.
+    DriverDone(PageId),
+    /// The driver picks up the next queued fault. Scheduled *after* the
+    /// waiter wake-ups of the previous fault so that replayed translations
+    /// register with the policy before the next eviction decision — a
+    /// just-migrated page must not be victimized before the warp that
+    /// requested it even replays.
+    DriverPickup,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct Warp {
+    sm: usize,
+    ops: Vec<Op>,
+    cursor: usize,
+    /// The current op already advanced the policy's access oracle; a replay
+    /// after a fault must not advance it again.
+    issued: bool,
+}
+
+/// Result of a simulation run: the statistics plus the policy itself, so
+/// callers can inspect policy-specific state (e.g. HPE's classification or
+/// strategy timeline).
+#[derive(Debug)]
+pub struct SimOutcome<P> {
+    /// End-to-end statistics (policy counters already folded in).
+    pub stats: SimStats,
+    /// The policy, returned for post-run inspection.
+    pub policy: P,
+}
+
+/// A configured simulation, consumed by [`Simulation::run`].
+///
+/// See the crate-level documentation for the modelled system and
+/// `DESIGN.md` for how it maps to the paper's infrastructure.
+#[derive(Debug)]
+pub struct Simulation<P> {
+    cfg: SimConfig,
+    policy: P,
+    memory: GpuMemory,
+    l1: Vec<Tlb>,
+    l2: Tlb,
+    warps: Vec<Warp>,
+    events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    now: u64,
+    live_warps: usize,
+    waiters: HashMap<PageId, Vec<usize>>,
+    fault_queue: VecDeque<PageId>,
+    in_service: Option<PageId>,
+    /// Pages (demand + prefetched) migrating in the current service; they
+    /// become resident together at `DriverDone`.
+    in_flight: Vec<PageId>,
+    /// Workload footprint, bounding prefetch candidates.
+    footprint_pages: u64,
+    memory_full_notified: bool,
+    recent_evictions: VecDeque<PageId>,
+    recent_counts: HashMap<PageId, u32>,
+    observer: Option<Rc<RefCell<dyn SimObserver>>>,
+    stats: SimStats,
+}
+
+impl<P: EvictionPolicy> Simulation<P> {
+    /// Builds a simulation of `trace` under `policy` with GPU memory of
+    /// `capacity_pages`.
+    ///
+    /// Streams in `trace` are assigned round-robin to warps: stream `i`
+    /// becomes warp `i % warps_per_sm` of SM `i / warps_per_sm`. A trace
+    /// may have fewer streams than `n_sms * warps_per_sm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cfg` is invalid or the trace has more
+    /// streams than the configuration has warps.
+    pub fn new(
+        cfg: SimConfig,
+        trace: &Trace,
+        policy: P,
+        capacity_pages: u64,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let max_streams = (cfg.n_sms * cfg.warps_per_sm) as usize;
+        if trace.streams().len() > max_streams {
+            return Err(ConfigError::invalid(
+                "trace.streams",
+                "more streams than n_sms * warps_per_sm warps",
+            ));
+        }
+        if capacity_pages == 0 {
+            return Err(ConfigError::invalid("capacity_pages", "must be nonzero"));
+        }
+        let warps: Vec<Warp> = trace
+            .streams()
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| Warp {
+                sm: i / cfg.warps_per_sm as usize,
+                ops: ops.clone(),
+                cursor: 0,
+                issued: false,
+            })
+            .collect();
+        let l1 = (0..cfg.n_sms)
+            .map(|_| Tlb::new(cfg.l1_tlb))
+            .collect::<Vec<_>>();
+        let l2 = Tlb::new(cfg.l2_tlb);
+        let mut sim = Simulation {
+            cfg,
+            policy,
+            memory: GpuMemory::new(capacity_pages),
+            l1,
+            l2,
+            warps,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            live_warps: 0,
+            waiters: HashMap::new(),
+            fault_queue: VecDeque::new(),
+            in_service: None,
+            in_flight: Vec::new(),
+            footprint_pages: trace.footprint_pages(),
+            memory_full_notified: false,
+            recent_evictions: VecDeque::new(),
+            recent_counts: HashMap::new(),
+            observer: None,
+            stats: SimStats::default(),
+        };
+        for w in 0..sim.warps.len() {
+            if !sim.warps[w].ops.is_empty() {
+                sim.live_warps += 1;
+                sim.schedule(0, EventKind::WarpReady(w));
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns a non-resident victim or no victim
+    /// while memory is full — both indicate a broken policy — or if warps
+    /// deadlock (an engine invariant violation).
+    pub fn run(mut self) -> SimOutcome<P> {
+        while let Some(Reverse(ev)) = self.events.pop() {
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            if self.now > self.stats.cycles {
+                self.stats.cycles = self.now;
+            }
+            match ev.kind {
+                EventKind::WarpReady(w) => self.step_warp(w),
+                EventKind::DriverDone(page) => self.finish_fault(page),
+                EventKind::DriverPickup => self.pickup_next_fault(),
+            }
+        }
+        assert_eq!(
+            self.live_warps, 0,
+            "deadlock: {} warps blocked with an empty event queue",
+            self.live_warps
+        );
+        self.stats.policy = self.policy.stats();
+        SimOutcome {
+            stats: self.stats,
+            policy: self.policy,
+        }
+    }
+
+    /// Installs an observer receiving paging events in simulated-time
+    /// order.
+    pub fn set_observer(&mut self, observer: Rc<RefCell<dyn SimObserver>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Attaches a fresh [`EventLog`] observer and returns a handle to it.
+    pub fn attach_event_log(&mut self) -> Rc<RefCell<EventLog>> {
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        self.observer = Some(log.clone());
+        log
+    }
+
+    fn emit(&self, event: SimEvent) {
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_event(event);
+        }
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn step_warp(&mut self, w: usize) {
+        let (sm, op, first_issue) = {
+            let warp = &self.warps[w];
+            let op = warp.ops[warp.cursor];
+            (warp.sm, op, !warp.issued)
+        };
+        if first_issue {
+            self.warps[w].issued = true;
+            self.policy.on_access(op.page);
+        }
+
+        // Address translation.
+        let mut latency = u64::from(self.l1[sm].latency());
+        let translated = if self.l1[sm].lookup(op.page) {
+            self.stats.tlb.l1_hits += 1;
+            debug_assert!(
+                self.memory.is_resident(op.page),
+                "L1 TLB holds non-resident page {}",
+                op.page
+            );
+            true
+        } else {
+            self.stats.tlb.l1_misses += 1;
+            latency += u64::from(self.l2.latency());
+            if self.l2.lookup(op.page) {
+                self.stats.tlb.l2_hits += 1;
+                debug_assert!(self.memory.is_resident(op.page));
+                self.l1[sm].fill(op.page);
+                true
+            } else {
+                self.stats.tlb.l2_misses += 1;
+                latency += u64::from(self.cfg.page_walk_cycles);
+                self.stats.walks += 1;
+                if self.memory.is_resident(op.page) {
+                    self.stats.walk_hits += 1;
+                    self.policy.on_walk_hit(op.page);
+                    self.l2.fill(op.page);
+                    self.l1[sm].fill(op.page);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+
+        if !translated {
+            // Page fault: suspend this warp until the driver migrates the
+            // page (replayable far-fault); other warps keep running.
+            self.raise_fault(op.page, w);
+            return;
+        }
+
+        // The access completes.
+        self.warps[w].issued = false;
+        self.warps[w].cursor += 1;
+        self.stats.mem_accesses += 1;
+        self.stats.instructions += 1 + u64::from(op.compute);
+        let done_at =
+            self.now + latency + u64::from(self.cfg.mem_access_cycles) + u64::from(op.compute);
+        if self.warps[w].cursor < self.warps[w].ops.len() {
+            self.schedule(done_at, EventKind::WarpReady(w));
+        } else {
+            self.live_warps -= 1;
+            if done_at > self.stats.cycles {
+                self.stats.cycles = done_at;
+            }
+        }
+    }
+
+    fn raise_fault(&mut self, page: PageId, warp: usize) {
+        match self.waiters.entry(page) {
+            Entry::Occupied(mut e) => {
+                // Fault already pending: coalesce.
+                e.get_mut().push(warp);
+            }
+            Entry::Vacant(e) => {
+                e.insert(vec![warp]);
+                self.emit(SimEvent::FaultRaised {
+                    time: self.now,
+                    page,
+                });
+                if self.recent_counts.contains_key(&page) {
+                    self.stats.driver.wrong_evictions += 1;
+                }
+                if self.in_service.is_none() {
+                    self.start_fault_service(page);
+                } else {
+                    self.fault_queue.push_back(page);
+                }
+            }
+        }
+    }
+
+    fn start_fault_service(&mut self, page: PageId) {
+        debug_assert!(self.in_service.is_none());
+        debug_assert!(!self.memory.is_resident(page));
+        self.in_service = Some(page);
+        self.in_flight.clear();
+        self.in_flight.push(page);
+
+        // Fault batching: service additional queued demand faults in this
+        // same window (real UVM drivers batch faults per interrupt). Never
+        // migrate more pages at once than memory can hold.
+        let batch_cap = u64::from(self.cfg.fault_batch).min(self.memory.capacity());
+        while (self.in_flight.len() as u64) < batch_cap {
+            let Some(next) = self.fault_queue.pop_front() else {
+                break;
+            };
+            if self.memory.is_resident(next) {
+                // Satisfied by an earlier prefetch while queued.
+                if let Some(warps) = self.waiters.remove(&next) {
+                    for w in warps {
+                        self.schedule(self.now, EventKind::WarpReady(w));
+                    }
+                }
+                continue;
+            }
+            if !self.in_flight.contains(&next) {
+                self.in_flight.push(next);
+            }
+        }
+        let demand_count = self.in_flight.len() as u64;
+
+        // Sequential prefetch: pull following contiguous pages (within the
+        // workload's footprint) that are neither resident nor already
+        // demanded by a queued fault.
+        for i in 1..=u64::from(self.cfg.prefetch_pages) {
+            // Never migrate more pages than memory can hold at once.
+            if self.in_flight.len() as u64 >= self.memory.capacity() {
+                break;
+            }
+            let candidate = PageId(page.0 + i);
+            if candidate.0 < self.footprint_pages
+                && !self.memory.is_resident(candidate)
+                && !self.waiters.contains_key(&candidate)
+            {
+                self.in_flight.push(candidate);
+            }
+        }
+
+        let fault_num = self.stats.driver.faults_serviced;
+        self.stats.driver.faults_serviced += demand_count;
+        self.stats.driver.prefetched_pages += self.in_flight.len() as u64 - demand_count;
+
+        // Free enough frames for every migrating page.
+        let needed = (self.memory.len() + self.in_flight.len() as u64)
+            .saturating_sub(self.memory.capacity());
+        for _ in 0..needed {
+            let victim = self
+                .policy
+                .select_victim()
+                .expect("memory full but policy offered no victim");
+            assert!(
+                self.memory.remove(victim),
+                "policy selected non-resident victim {victim}"
+            );
+            for l1 in &mut self.l1 {
+                l1.invalidate(victim);
+            }
+            self.l2.invalidate(victim);
+            self.stats.driver.evictions += 1;
+            self.remember_eviction(victim);
+            self.emit(SimEvent::Eviction {
+                time: self.now,
+                page: victim,
+            });
+        }
+
+        let mut outcome = uvm_policies::FaultOutcome::default();
+        for (i, &p) in self.in_flight.clone().iter().enumerate() {
+            // Batched demand faults get distinct fault numbers; prefetched
+            // pages ride on the last demand number.
+            let n = fault_num + (i as u64).min(demand_count - 1);
+            let o = self.policy.on_fault(p, n);
+            outcome.transfer_bytes += o.transfer_bytes;
+            outcome.driver_busy_cycles += o.driver_busy_cycles;
+        }
+        // Prefetched pages each pay their own PCIe transfer.
+        let prefetch_bytes = (self.in_flight.len() as u64 - 1) * uvm_types::PAGE_SIZE;
+        let transfer = self
+            .cfg
+            .pcie_transfer_cycles(outcome.transfer_bytes + prefetch_bytes);
+        let duration = self.cfg.fault_service_cycles() + transfer;
+        self.stats.driver.busy_cycles += duration + outcome.driver_busy_cycles;
+        self.stats.driver.hit_transfer_cycles +=
+            self.cfg.pcie_transfer_cycles(outcome.transfer_bytes);
+        self.schedule(self.now + duration, EventKind::DriverDone(page));
+    }
+
+    fn finish_fault(&mut self, page: PageId) {
+        debug_assert_eq!(self.in_service, Some(page));
+        self.in_service = None;
+        for p in std::mem::take(&mut self.in_flight) {
+            self.memory
+                .insert(p)
+                .expect("slots were freed when service started");
+            self.emit(SimEvent::FaultServiced {
+                time: self.now,
+                page: p,
+            });
+            if let Some(warps) = self.waiters.remove(&p) {
+                for w in warps {
+                    self.schedule(self.now, EventKind::WarpReady(w));
+                }
+            }
+        }
+        if self.memory.is_full() && !self.memory_full_notified {
+            self.memory_full_notified = true;
+            self.policy.on_memory_full();
+            self.emit(SimEvent::MemoryFull { time: self.now });
+        }
+        if !self.fault_queue.is_empty() {
+            self.schedule(self.now, EventKind::DriverPickup);
+        }
+    }
+
+    fn pickup_next_fault(&mut self) {
+        if self.in_service.is_some() {
+            return;
+        }
+        while let Some(next) = self.fault_queue.pop_front() {
+            if self.memory.is_resident(next) {
+                // Satisfied by a prefetch while queued: wake the waiters.
+                if let Some(warps) = self.waiters.remove(&next) {
+                    for w in warps {
+                        self.schedule(self.now, EventKind::WarpReady(w));
+                    }
+                }
+                continue;
+            }
+            self.start_fault_service(next);
+            break;
+        }
+    }
+
+    fn remember_eviction(&mut self, page: PageId) {
+        self.recent_evictions.push_back(page);
+        *self.recent_counts.entry(page).or_insert(0) += 1;
+        if self.recent_evictions.len() > WRONG_EVICTION_WINDOW {
+            let old = self.recent_evictions.pop_front().expect("nonempty");
+            if let Some(c) = self.recent_counts.get_mut(&old) {
+                *c -= 1;
+                if *c == 0 {
+                    self.recent_counts.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ideal_for, trace_for};
+    use uvm_policies::{Lru, RandomPolicy};
+    use uvm_types::Oversubscription;
+    use uvm_workloads::registry;
+
+    fn tiny_cfg(n_sms: u32, warps: u32) -> SimConfig {
+        SimConfig::builder()
+            .n_sms(n_sms)
+            .warps_per_sm(warps)
+            .l1_tlb(uvm_types::TlbConfig {
+                entries: 4,
+                ways: 4,
+                latency_cycles: 1,
+            })
+            .l2_tlb(uvm_types::TlbConfig {
+                entries: 8,
+                ways: 4,
+                latency_cycles: 10,
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn run_lru(global: &[u64], footprint: u64, capacity: u64, streams: u32) -> SimStats {
+        let cfg = tiny_cfg(streams, 1);
+        let trace = Trace::from_global(global, footprint, 2, streams, 4);
+        Simulation::new(cfg, &trace, Lru::new(), capacity)
+            .unwrap()
+            .run()
+            .stats
+    }
+
+    #[test]
+    fn unconstrained_memory_faults_once_per_page() {
+        let global: Vec<u64> = (0..50).chain(0..50).collect();
+        let stats = run_lru(&global, 50, 64, 2);
+        assert_eq!(stats.faults(), 50);
+        assert_eq!(stats.evictions(), 0);
+        assert_eq!(stats.mem_accesses, 100);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn cyclic_sweep_under_lru_thrashes() {
+        // 40 pages, capacity 30, 4 sweeps: after the first sweep every
+        // reference misses under LRU (reuse distance 40 > 30).
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let stats = run_lru(&global, 40, 30, 1);
+        assert_eq!(stats.faults(), 160);
+        assert_eq!(stats.evictions(), 130);
+        assert!(stats.driver.wrong_evictions > 0);
+    }
+
+    #[test]
+    fn instructions_counted_once_despite_replays() {
+        let global: Vec<u64> = (0..20u64).cycle().take(60).collect();
+        let stats = run_lru(&global, 20, 10, 2);
+        // 60 ops, compute 2 each -> exactly 180 instructions regardless of
+        // how many faults were replayed.
+        assert_eq!(stats.mem_accesses, 60);
+        assert_eq!(stats.instructions, 180);
+    }
+
+    #[test]
+    fn more_warps_overlap_faults() {
+        // With one warp, every fault serializes against execution; with
+        // eight warps the 20 us services overlap with other warps' work...
+        let global: Vec<u64> = (0..400u64).collect();
+        let serial = run_lru(&global, 400, 500, 1);
+        let parallel = run_lru(&global, 400, 500, 8);
+        assert_eq!(serial.faults(), parallel.faults());
+        assert!(
+            parallel.cycles < serial.cycles,
+            "parallel {} !< serial {}",
+            parallel.cycles,
+            serial.cycles
+        );
+    }
+
+    #[test]
+    fn fault_coalescing_services_each_page_once() {
+        // All eight warps hammer the same few pages: each page must be
+        // serviced exactly once even though many warps fault on it.
+        let global: Vec<u64> = std::iter::repeat(0..4u64).flatten().take(64).collect();
+        let cfg = tiny_cfg(2, 4);
+        let trace = Trace::from_global(&global, 4, 0, 8, 1);
+        let stats = Simulation::new(cfg, &trace, Lru::new(), 16)
+            .unwrap()
+            .run()
+            .stats;
+        assert_eq!(stats.faults(), 4);
+    }
+
+    #[test]
+    fn driver_core_load_is_bounded() {
+        let global: Vec<u64> = (0..60u64).cycle().take(240).collect();
+        let stats = run_lru(&global, 60, 45, 4);
+        let load = stats.driver.core_load(stats.cycles);
+        assert!(load > 0.0 && load <= 1.0, "load {load}");
+    }
+
+    #[test]
+    fn ideal_never_faults_more_than_lru_full_stack() {
+        let cfg = SimConfig::scaled_default();
+        for abbr in ["STN", "NW"] {
+            let app = registry::by_abbr(abbr).unwrap();
+            let trace = trace_for(&cfg, app);
+            let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+            let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)
+                .unwrap()
+                .run()
+                .stats;
+            let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)
+                .unwrap()
+                .run()
+                .stats;
+            assert!(
+                ideal.faults() <= lru.faults(),
+                "{abbr}: ideal {} > lru {}",
+                ideal.faults(),
+                lru.faults()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let app = registry::by_abbr("STN").unwrap();
+        let cfg = SimConfig::scaled_default();
+        let trace = trace_for(&cfg, app);
+        let run = || {
+            Simulation::new(cfg.clone(), &trace, RandomPolicy::seeded(5), 576)
+                .unwrap()
+                .run()
+                .stats
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_too_many_streams() {
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&[0, 1], 2, 0, 2, 1);
+        assert!(Simulation::new(cfg, &trace, Lru::new(), 4).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&[0], 1, 0, 1, 1);
+        assert!(Simulation::new(cfg, &trace, Lru::new(), 0).is_err());
+    }
+
+    #[test]
+    fn tlb_stats_accumulate() {
+        // Each page: one faulting walk + one replay walk that hits and
+        // fills the TLBs; re-touches within TLB reach are L1 hits.
+        let global: Vec<u64> = vec![0, 0, 0, 1, 1, 1];
+        let stats = run_lru(&global, 2, 4, 1);
+        assert_eq!(stats.walks, 4);
+        assert_eq!(stats.walk_hits, 2);
+        assert_eq!(stats.tlb.l1_hits, 4);
+    }
+
+    #[test]
+    fn event_log_observer_records_timeline() {
+        let global: Vec<u64> = (0..12u64).cycle().take(36).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 12, 0, 2, 3);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 8).unwrap();
+        let log = sim.attach_event_log();
+        let stats = sim.run().stats;
+        let log = log.borrow();
+        assert_eq!(log.fault_count() as u64, stats.faults());
+        assert_eq!(log.eviction_count() as u64, stats.evictions());
+        // Events are in nondecreasing time order.
+        let times: Vec<u64> = log.events().iter().map(|e| e.time()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // MemoryFull appears exactly once.
+        let fulls = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::SimEvent::MemoryFull { .. }))
+            .count();
+        assert_eq!(fulls, 1);
+        // The fault-rate series accounts for every fault.
+        let series = log.fault_rate_series(28_000);
+        assert_eq!(series.iter().sum::<u64>(), stats.faults());
+    }
+
+    #[test]
+    fn prefetch_reduces_demand_faults_on_streaming() {
+        let global: Vec<u64> = (0..200u64).collect();
+        let trace = Trace::from_global(&global, 200, 2, 2, 4);
+        let mut cfg = tiny_cfg(2, 1);
+        let base = Simulation::new(cfg.clone(), &trace, Lru::new(), 250)
+            .unwrap()
+            .run()
+            .stats;
+        assert_eq!(base.faults(), 200);
+        cfg.prefetch_pages = 4;
+        let pf = Simulation::new(cfg, &trace, Lru::new(), 250)
+            .unwrap()
+            .run()
+            .stats;
+        assert!(
+            pf.faults() < 80,
+            "prefetch should absorb most demand faults, got {}",
+            pf.faults()
+        );
+        assert!(pf.driver.prefetched_pages > 100);
+        // All 200 pages became resident one way or the other.
+        assert_eq!(pf.faults() + pf.driver.prefetched_pages, 200);
+        assert!(pf.cycles < base.cycles, "fewer 20us services -> faster");
+    }
+
+    #[test]
+    fn prefetch_respects_capacity_and_footprint() {
+        // Footprint 20, capacity 8, heavy prefetch: residency accounting
+        // must hold and prefetches never exceed the footprint.
+        let global: Vec<u64> = (0..20u64).cycle().take(100).collect();
+        let trace = Trace::from_global(&global, 20, 0, 2, 2);
+        let mut cfg = tiny_cfg(2, 1);
+        cfg.prefetch_pages = 8;
+        let stats = Simulation::new(cfg, &trace, Lru::new(), 8)
+            .unwrap()
+            .run()
+            .stats;
+        let inserted = stats.faults() + stats.driver.prefetched_pages;
+        let resident_end = inserted - stats.evictions();
+        assert!(resident_end <= 8);
+        assert!(resident_end >= 1);
+    }
+
+    #[test]
+    fn fault_batching_amortizes_service_time() {
+        // Eight warps streaming disjoint pages fill the fault queue; with
+        // batching the driver clears several per 20 us window.
+        let global: Vec<u64> = (0..320u64).collect();
+        let trace = Trace::from_global(&global, 320, 0, 8, 1);
+        let mut cfg = tiny_cfg(2, 4);
+        let base = Simulation::new(cfg.clone(), &trace, Lru::new(), 400)
+            .unwrap()
+            .run()
+            .stats;
+        cfg.fault_batch = 8;
+        let batched = Simulation::new(cfg, &trace, Lru::new(), 400)
+            .unwrap()
+            .run()
+            .stats;
+        // Same demand faults either way; far fewer service windows.
+        assert_eq!(base.faults(), 320);
+        assert_eq!(batched.faults(), 320);
+        assert_eq!(batched.driver.prefetched_pages, 0);
+        assert!(
+            batched.cycles < base.cycles / 2,
+            "batching should at least halve runtime: {} vs {}",
+            batched.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn fault_batch_larger_than_capacity_is_safe() {
+        let global: Vec<u64> = (0..64u64).cycle().take(256).collect();
+        let trace = Trace::from_global(&global, 64, 0, 8, 1);
+        let mut cfg = tiny_cfg(2, 4);
+        cfg.fault_batch = 256;
+        let stats = Simulation::new(cfg, &trace, Lru::new(), 8)
+            .unwrap()
+            .run()
+            .stats;
+        let resident_end = stats.faults() - stats.evictions();
+        assert!(resident_end <= 8);
+    }
+
+    #[test]
+    fn replayed_access_hits_page_table_after_migration() {
+        // One page, capacity ample: the faulting warp replays and the walk
+        // then hits (counted as a walk hit, reported to the policy).
+        let global: Vec<u64> = vec![0, 1];
+        let stats = run_lru(&global, 2, 4, 1);
+        assert_eq!(stats.faults(), 2);
+        // Each fault's replay re-walks and hits.
+        assert_eq!(stats.walk_hits, 2);
+        assert_eq!(stats.walks, 4);
+    }
+}

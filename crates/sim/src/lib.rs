@@ -1,0 +1,84 @@
+//! Event-driven GPU unified-memory simulator.
+//!
+//! This crate stands in for the paper's GPGPU-Sim + TLB/GMMU infrastructure
+//! (Section III). It simulates, at page granularity:
+//!
+//! * SMs with multiple warps, each executing an op stream from a
+//!   [`uvm_workloads::Trace`]; warps suspended on page faults while others
+//!   continue (the replayable far-fault model of Zheng et al.),
+//! * per-SM L1 TLBs and a shared L2 TLB with invalidation on eviction,
+//! * a page-table walker with fixed walk latency; walk hits are reported to
+//!   the eviction policy (ideal model) or recorded for HPE's HIR,
+//! * a serialized CPU-side fault driver with the paper's 20 µs service
+//!   time, fault coalescing, and policy-driven eviction,
+//! * a PCIe transfer model charging HPE's hit-information flushes.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_policies::Lru;
+//! use uvm_sim::Simulation;
+//! use uvm_types::{Oversubscription, SimConfig};
+//! use uvm_workloads::{registry, Trace};
+//!
+//! let cfg = SimConfig::scaled_default();
+//! let app = registry::by_abbr("STN").unwrap();
+//! let trace = Trace::build(app, cfg.n_sms * cfg.warps_per_sm, 4);
+//! let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+//! let outcome = Simulation::new(cfg, &trace, Lru::new(), capacity)
+//!     .expect("valid configuration")
+//!     .run();
+//! assert!(outcome.stats.faults() >= app.footprint_pages());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod memory;
+mod observer;
+mod tlb;
+
+pub use engine::{SimOutcome, Simulation};
+pub use memory::GpuMemory;
+pub use observer::{EventLog, SimEvent, SimObserver};
+pub use tlb::Tlb;
+
+use uvm_policies::{EvictionPolicy, Ideal, NextUseOracle};
+use uvm_types::{ConfigError, Oversubscription, SimConfig, SimStats};
+use uvm_workloads::{App, Trace};
+
+/// Default tile size used when distributing a global reference sequence
+/// over warps (see [`Trace::build`]). Small enough that the concurrency
+/// window (streams x tile) stays well below both a sweep of any registered
+/// footprint and the reuse windows the workload models rely on.
+pub const DEFAULT_TILE: u32 = 2;
+
+/// Builds the trace for `app` matching `cfg`'s warp count.
+pub fn trace_for(cfg: &SimConfig, app: &App) -> Trace {
+    Trace::build(app, cfg.n_sms * cfg.warps_per_sm, DEFAULT_TILE)
+}
+
+/// Constructs the offline Ideal (Belady-MIN) policy for `trace`.
+pub fn ideal_for(trace: &Trace) -> Ideal {
+    Ideal::new(NextUseOracle::from_order(trace.round_robin_interleave()))
+}
+
+/// Runs `app` under `policy` at the given oversubscription rate and
+/// returns the statistics (dropping the policy).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `cfg` is invalid.
+pub fn run_app<P: EvictionPolicy>(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    policy: P,
+) -> Result<SimStats, ConfigError> {
+    let trace = trace_for(cfg, app);
+    let capacity = rate.capacity_pages(app.footprint_pages());
+    Ok(Simulation::new(cfg.clone(), &trace, policy, capacity)?
+        .run()
+        .stats)
+}

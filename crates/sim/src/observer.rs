@@ -1,0 +1,172 @@
+//! Observation hooks: record what happens inside a simulation run.
+//!
+//! A [`SimObserver`] receives the paging-relevant events as they occur,
+//! enabling timeline analyses (fault rate over time, eviction targets,
+//! inter-fault distances) without touching the engine. [`EventLog`] is a
+//! ready-made recording observer.
+
+use uvm_types::PageId;
+
+/// One paging event, stamped with the simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A warp raised a page fault (first fault for this page; coalesced
+    /// faults are not re-reported).
+    FaultRaised {
+        /// Simulated cycle.
+        time: u64,
+        /// Faulting page.
+        page: PageId,
+    },
+    /// The driver finished migrating a page (it is now resident).
+    FaultServiced {
+        /// Simulated cycle.
+        time: u64,
+        /// Migrated page.
+        page: PageId,
+    },
+    /// A page was evicted from GPU memory.
+    Eviction {
+        /// Simulated cycle.
+        time: u64,
+        /// Evicted page.
+        page: PageId,
+    },
+    /// GPU memory reached capacity for the first time.
+    MemoryFull {
+        /// Simulated cycle.
+        time: u64,
+    },
+}
+
+impl SimEvent {
+    /// The simulated cycle of the event.
+    pub fn time(&self) -> u64 {
+        match *self {
+            SimEvent::FaultRaised { time, .. }
+            | SimEvent::FaultServiced { time, .. }
+            | SimEvent::Eviction { time, .. }
+            | SimEvent::MemoryFull { time } => time,
+        }
+    }
+}
+
+/// Receives simulation events.
+///
+/// The `Debug` supertrait keeps `Simulation` debuggable with an observer
+/// attached.
+pub trait SimObserver: std::fmt::Debug {
+    /// Called for every paging event in simulated-time order.
+    fn on_event(&mut self, event: SimEvent);
+}
+
+/// An observer that records every event.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_policies::Lru;
+/// use uvm_sim::{EventLog, Simulation};
+/// use uvm_types::SimConfig;
+/// use uvm_workloads::Trace;
+///
+/// let cfg = SimConfig::builder().n_sms(1).warps_per_sm(1).build()?;
+/// let trace = Trace::from_global(&[0, 1, 0], 2, 0, 1, 1);
+/// let mut sim = Simulation::new(cfg, &trace, Lru::new(), 4)?;
+/// let log = sim.attach_event_log();
+/// sim.run();
+/// let events = log.borrow();
+/// assert_eq!(events.fault_count(), 2);
+/// # Ok::<(), uvm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<SimEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Number of `FaultRaised` events.
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::FaultRaised { .. }))
+            .count()
+    }
+
+    /// Number of `Eviction` events.
+    pub fn eviction_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Eviction { .. }))
+            .count()
+    }
+
+    /// Fault counts per time bucket of `bucket_cycles` (fault-rate series).
+    pub fn fault_rate_series(&self, bucket_cycles: u64) -> Vec<u64> {
+        assert!(bucket_cycles > 0, "bucket_cycles must be nonzero");
+        let mut series = Vec::new();
+        for e in &self.events {
+            if let SimEvent::FaultRaised { time, .. } = e {
+                let bucket = (time / bucket_cycles) as usize;
+                if bucket >= series.len() {
+                    series.resize(bucket + 1, 0);
+                }
+                series[bucket] += 1;
+            }
+        }
+        series
+    }
+}
+
+impl SimObserver for EventLog {
+    fn on_event(&mut self, event: SimEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_counts_and_series() {
+        let mut log = EventLog::new();
+        log.on_event(SimEvent::FaultRaised {
+            time: 5,
+            page: PageId(1),
+        });
+        log.on_event(SimEvent::FaultServiced {
+            time: 10,
+            page: PageId(1),
+        });
+        log.on_event(SimEvent::Eviction {
+            time: 12,
+            page: PageId(0),
+        });
+        log.on_event(SimEvent::FaultRaised {
+            time: 25,
+            page: PageId(2),
+        });
+        assert_eq!(log.fault_count(), 2);
+        assert_eq!(log.eviction_count(), 1);
+        assert_eq!(log.fault_rate_series(10), vec![1, 0, 1]);
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(log.events()[0].time(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_cycles must be nonzero")]
+    fn zero_bucket_rejected() {
+        EventLog::new().fault_rate_series(0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Virtual addresses, pages, and page sets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Base-2 logarithm of the page size: the paper uses 4 KB OS pages
+/// (Section III), the default page size of current GPUs.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes (4 KB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A byte-granular virtual address in the unified address space.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_types::{VirtAddr, PageId};
+///
+/// let va = VirtAddr(0x8000_0123);
+/// assert_eq!(va.page(), PageId(0x8000_0));
+/// assert_eq!(va.page_offset(), 0x123);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Returns the virtual page containing this address.
+    pub fn page(self) -> PageId {
+        PageId(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the byte offset of this address within its page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl From<PageId> for VirtAddr {
+    fn from(page: PageId) -> Self {
+        VirtAddr(page.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A virtual page number (a virtual address shifted right by [`PAGE_SHIFT`]).
+///
+/// This is the granularity at which demand paging migrates data between CPU
+/// and GPU memory and at which the baseline policies (LRU, RRIP, CLOCK-Pro)
+/// keep their metadata.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_types::{PageId, PageSetId};
+///
+/// // With the paper's default page set size of 16 pages (shift = 4),
+/// // pages 0x80000..=0x8000f all belong to page set 0x8000.
+/// let page = PageId(0x8000_f);
+/// assert_eq!(page.page_set(4), PageSetId(0x8000));
+/// assert_eq!(page.set_offset(4), 0xf);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Returns the page set this page belongs to, for a page set of
+    /// `1 << set_shift` pages.
+    pub fn page_set(self, set_shift: u32) -> PageSetId {
+        PageSetId(self.0 >> set_shift)
+    }
+
+    /// Returns this page's index within its page set (0-based).
+    pub fn set_offset(self, set_shift: u32) -> u32 {
+        (self.0 & ((1u64 << set_shift) - 1)) as u32
+    }
+
+    /// Returns the base virtual address of this page.
+    pub fn base_addr(self) -> VirtAddr {
+        VirtAddr::from(self)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:0x{:x}", self.0)
+    }
+}
+
+/// A page set identifier: a group of `2^k` virtually contiguous pages
+/// (Section IV, Definition 1 — analogous to a "chunk" in NVIDIA Pascal).
+///
+/// HPE manages its chain at page-set rather than page granularity, which
+/// both shortens the chain and exposes the spatial locality of contiguous
+/// virtual pages.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_types::{PageId, PageSetId};
+///
+/// let set = PageSetId(0x8000);
+/// let pages: Vec<PageId> = set.pages(4).collect();
+/// assert_eq!(pages.len(), 16);
+/// assert_eq!(pages[0], PageId(0x80000));
+/// assert_eq!(pages[15], PageId(0x8000f));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageSetId(pub u64);
+
+impl PageSetId {
+    /// Returns an iterator over the pages of this set in ascending address
+    /// order, for a page set of `1 << set_shift` pages.
+    ///
+    /// HPE evicts the pages of a selected set in exactly this order
+    /// (Section IV-A).
+    pub fn pages(self, set_shift: u32) -> impl Iterator<Item = PageId> {
+        let base = self.0 << set_shift;
+        (0..(1u64 << set_shift)).map(move |i| PageId(base + i))
+    }
+
+    /// Returns the `index`-th page of this set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 1 << set_shift`.
+    pub fn page_at(self, set_shift: u32, index: u32) -> PageId {
+        assert!(
+            (index as u64) < (1u64 << set_shift),
+            "page index {index} out of range for page set of 2^{set_shift} pages"
+        );
+        PageId((self.0 << set_shift) + index as u64)
+    }
+}
+
+impl fmt::Display for PageSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set:0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_roundtrip() {
+        let va = VirtAddr(0xdead_beef);
+        assert_eq!(va.page(), PageId(0xdead_beef >> 12));
+        assert_eq!(va.page_offset(), 0xeef);
+        let back = VirtAddr::from(va.page());
+        assert_eq!(back.0, va.0 & !(PAGE_SIZE - 1));
+    }
+
+    #[test]
+    fn page_set_membership_matches_paper_example() {
+        // Paper Section IV: "page set 8000 with a size of 16 constitutes
+        // virtual pages 80000, 80001, ..., 8000f".
+        let set = PageSetId(0x8000);
+        for (i, page) in set.pages(4).enumerate() {
+            assert_eq!(page, PageId(0x80000 + i as u64));
+            assert_eq!(page.page_set(4), set);
+            assert_eq!(page.set_offset(4), i as u32);
+        }
+    }
+
+    #[test]
+    fn page_at_agrees_with_pages_iter() {
+        let set = PageSetId(77);
+        for shift in [3u32, 4, 5] {
+            let via_iter: Vec<PageId> = set.pages(shift).collect();
+            for (i, want) in via_iter.iter().enumerate() {
+                assert_eq!(set.page_at(shift, i as u32), *want);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_at_rejects_out_of_range() {
+        PageSetId(1).page_at(4, 16);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", VirtAddr(0)).is_empty());
+        assert!(!format!("{}", PageId(0)).is_empty());
+        assert!(!format!("{}", PageSetId(0)).is_empty());
+    }
+
+    #[test]
+    fn set_shift_zero_makes_singleton_sets() {
+        // Degenerate configuration: one page per set.
+        let p = PageId(42);
+        assert_eq!(p.page_set(0), PageSetId(42));
+        assert_eq!(p.set_offset(0), 0);
+        assert_eq!(PageSetId(42).pages(0).count(), 1);
+    }
+}

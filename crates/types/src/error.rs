@@ -1,0 +1,65 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration parameter.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_types::SimConfig;
+///
+/// let err = SimConfig::builder().n_sms(0).build().unwrap_err();
+/// assert!(err.to_string().contains("n_sms"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    parameter: &'static str,
+    reason: &'static str,
+}
+
+impl ConfigError {
+    /// Creates an error naming the offending `parameter` and why it is
+    /// invalid.
+    pub fn invalid(parameter: &'static str, reason: &'static str) -> Self {
+        ConfigError { parameter, reason }
+    }
+
+    /// The name of the offending parameter.
+    pub fn parameter(&self) -> &str {
+        self.parameter
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid configuration parameter `{}`: {}",
+            self.parameter, self.reason
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter_and_reason() {
+        let err = ConfigError::invalid("interval_len", "must be nonzero");
+        let s = err.to_string();
+        assert!(s.contains("interval_len"));
+        assert!(s.contains("must be nonzero"));
+        assert_eq!(err.parameter(), "interval_len");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ConfigError::invalid("x", "y"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Common types for the HPE GPU unified-memory stack.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: virtual addresses, [`PageId`]s and [`PageSetId`]s (the paper's
+//! "page set" is a group of virtually contiguous pages, Section IV), the
+//! simulated-system configuration of Table I ([`SimConfig`]), and the metric
+//! containers the simulator and benchmark harness report.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_types::{PageId, PageSetId, SimConfig};
+//!
+//! let cfg = SimConfig::paper_default();
+//! assert_eq!(cfg.n_sms, 15);
+//!
+//! let page = PageId(0x8000_3);
+//! let set = page.page_set(cfg.page_set_shift());
+//! assert_eq!(set, PageSetId(0x8000));
+//! assert_eq!(page.set_offset(cfg.page_set_shift()), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod addr;
+mod config;
+mod error;
+mod metrics;
+
+pub use addr::{PageId, PageSetId, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use config::{HirGeometry, Oversubscription, SimConfig, SimConfigBuilder, TlbConfig};
+pub use error::ConfigError;
+pub use metrics::{DriverStats, PolicyStats, SimStats, TlbStats};

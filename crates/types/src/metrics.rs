@@ -1,0 +1,207 @@
+//! Metric containers reported by the simulator and the policies.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB hierarchy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// L1 TLB hits (summed over all SMs).
+    pub l1_hits: u64,
+    /// L1 TLB misses.
+    pub l1_misses: u64,
+    /// Shared L2 TLB hits.
+    pub l2_hits: u64,
+    /// Shared L2 TLB misses (each becomes a page walk).
+    pub l2_misses: u64,
+}
+
+impl TlbStats {
+    /// L1 hit rate in `[0, 1]`, or 0 if there were no lookups.
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+    }
+
+    /// L2 hit rate in `[0, 1]`, or 0 if there were no lookups.
+    pub fn l2_hit_rate(&self) -> f64 {
+        ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+    }
+}
+
+/// CPU-side driver counters (Section V-C's core-load analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriverStats {
+    /// Cycles the host core spent busy on fault handling and (for HPE)
+    /// chain updates.
+    pub busy_cycles: u64,
+    /// Distinct page faults serviced.
+    pub faults_serviced: u64,
+    /// Pages evicted from GPU memory.
+    pub evictions: u64,
+    /// Evictions that faulted again ("wrong evictions", Section IV-E).
+    pub wrong_evictions: u64,
+    /// Cycles spent transferring HIR hit information over PCIe (HPE only;
+    /// zero for the ideal-model baselines).
+    pub hit_transfer_cycles: u64,
+    /// Pages migrated by sequential prefetching (0 with prefetch off).
+    #[serde(default)]
+    pub prefetched_pages: u64,
+}
+
+impl DriverStats {
+    /// Host core load: busy cycles divided by total execution cycles.
+    pub fn core_load(&self, total_cycles: u64) -> f64 {
+        ratio(self.busy_cycles, total_cycles)
+    }
+}
+
+/// Counters a policy reports about its own operation.
+///
+/// Policies fill only the fields that apply to them; the rest stay zero.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyStats {
+    /// Victim selections performed.
+    pub selections: u64,
+    /// Chain-entry comparisons performed across all victim searches
+    /// (Fig. 14's search overhead for HPE's MRU-C).
+    pub search_comparisons: u64,
+    /// HIR flushes to the driver (HPE only).
+    pub hir_flushes: u64,
+    /// Total HIR entries transferred across all flushes (Fig. 15).
+    pub hir_entries_transferred: u64,
+    /// HIR insertions lost to way conflicts (Section IV-B issue 2).
+    pub hir_conflict_evictions: u64,
+    /// Eviction-strategy switches performed by dynamic adjustment (Fig. 13).
+    pub strategy_switches: u64,
+    /// Intervals during which the LRU strategy was active (HPE only).
+    pub intervals_lru: u64,
+    /// Intervals during which the MRU-C strategy was active (HPE only).
+    pub intervals_mruc: u64,
+    /// Page sets divided into primary/secondary (Section IV-C).
+    pub page_sets_divided: u64,
+}
+
+impl PolicyStats {
+    /// Average comparisons per victim search (Fig. 14), or 0 with no
+    /// searches.
+    pub fn avg_search_comparisons(&self) -> f64 {
+        ratio(self.search_comparisons, self.selections)
+    }
+
+    /// Average HIR entries transferred per flush (Fig. 15), or 0 with no
+    /// flushes.
+    pub fn avg_hir_entries_per_flush(&self) -> f64 {
+        ratio(self.hir_entries_transferred, self.hir_flushes)
+    }
+}
+
+/// End-to-end simulation results.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles until every warp retired.
+    pub cycles: u64,
+    /// Instructions executed (memory + compute).
+    pub instructions: u64,
+    /// Memory instructions executed.
+    pub mem_accesses: u64,
+    /// Page walks performed (L2 TLB misses).
+    pub walks: u64,
+    /// Page walks that hit in the page table (resident pages).
+    pub walk_hits: u64,
+    /// TLB hierarchy counters.
+    pub tlb: TlbStats,
+    /// Driver-side counters.
+    pub driver: DriverStats,
+    /// Policy-side counters.
+    pub policy: PolicyStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle, or 0 for an empty run.
+    pub fn ipc(&self) -> f64 {
+        ratio(self.instructions, self.cycles)
+    }
+
+    /// Page faults serviced (alias for the driver counter, for readability
+    /// at call sites comparing policies).
+    pub fn faults(&self) -> u64 {
+        self.driver.faults_serviced
+    }
+
+    /// Pages evicted (alias for the driver counter).
+    pub fn evictions(&self) -> u64 {
+        self.driver.evictions
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let t = TlbStats::default();
+        assert_eq!(t.l1_hit_rate(), 0.0);
+        assert_eq!(t.l2_hit_rate(), 0.0);
+        let d = DriverStats::default();
+        assert_eq!(d.core_load(0), 0.0);
+        let p = PolicyStats::default();
+        assert_eq!(p.avg_search_comparisons(), 0.0);
+        assert_eq!(p.avg_hir_entries_per_flush(), 0.0);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let t = TlbStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            l2_hits: 1,
+            l2_misses: 3,
+        };
+        assert!((t.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((t.l2_hit_rate() - 0.25).abs() < 1e-12);
+
+        let d = DriverStats {
+            busy_cycles: 30,
+            ..Default::default()
+        };
+        assert!((d.core_load(100) - 0.3).abs() < 1e-12);
+
+        let s = SimStats {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aliases_track_driver_counters() {
+        let mut s = SimStats::default();
+        s.driver.faults_serviced = 7;
+        s.driver.evictions = 5;
+        assert_eq!(s.faults(), 7);
+        assert_eq!(s.evictions(), 5);
+    }
+
+    #[test]
+    fn policy_averages() {
+        let p = PolicyStats {
+            selections: 4,
+            search_comparisons: 100,
+            hir_flushes: 2,
+            hir_entries_transferred: 30,
+            ..Default::default()
+        };
+        assert!((p.avg_search_comparisons() - 25.0).abs() < 1e-12);
+        assert!((p.avg_hir_entries_per_flush() - 15.0).abs() < 1e-12);
+    }
+}

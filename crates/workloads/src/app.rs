@@ -1,0 +1,188 @@
+//! Application model type and pattern taxonomy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The six access-pattern types of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PatternType {
+    /// Type I — streaming: every page referenced once (or a fixed small
+    /// number of times) in a single pass.
+    Streaming,
+    /// Type II — thrashing: the whole footprint (larger than memory) is
+    /// swept repeatedly.
+    Thrashing,
+    /// Type III — part repetitive: a pass in which part of the pages is
+    /// re-referenced with some probability.
+    PartRepetitive,
+    /// Type IV — most repetitive: most pages referenced multiple times.
+    MostRepetitive,
+    /// Type V — repetitive-thrashing: a most-repetitive sequence repeated,
+    /// with footprint larger than memory.
+    RepetitiveThrashing,
+    /// Type VI — region moving: contiguous regions referenced intensively
+    /// one after another, never returning.
+    RegionMoving,
+}
+
+impl PatternType {
+    /// All six types in paper order.
+    pub const ALL: [PatternType; 6] = [
+        PatternType::Streaming,
+        PatternType::Thrashing,
+        PatternType::PartRepetitive,
+        PatternType::MostRepetitive,
+        PatternType::RepetitiveThrashing,
+        PatternType::RegionMoving,
+    ];
+
+    /// The roman-numeral label used throughout the paper ("I".."VI").
+    pub fn roman(self) -> &'static str {
+        match self {
+            PatternType::Streaming => "I",
+            PatternType::Thrashing => "II",
+            PatternType::PartRepetitive => "III",
+            PatternType::MostRepetitive => "IV",
+            PatternType::RepetitiveThrashing => "V",
+            PatternType::RegionMoving => "VI",
+        }
+    }
+}
+
+impl fmt::Display for PatternType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Type {}", self.roman())
+    }
+}
+
+/// Source benchmark suite (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Rodinia benchmark suite.
+    Rodinia,
+    /// Parboil benchmark suite.
+    Parboil,
+    /// Polybench/GPU benchmark suite.
+    Polybench,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Rodinia => "Rodinia",
+            Suite::Parboil => "Parboil",
+            Suite::Polybench => "Polybench",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A synthetic model of one of the paper's 23 applications.
+///
+/// Each model owns a deterministic generator producing its global
+/// page-reference sequence over page indices `0..footprint_pages`. Models
+/// are registered in [`crate::registry`].
+///
+/// # Examples
+///
+/// ```
+/// use uvm_workloads::registry;
+///
+/// let nw = registry::by_abbr("NW").unwrap();
+/// let seq = nw.global_sequence();
+/// assert!(seq.iter().all(|&p| p < nw.footprint_pages()));
+/// ```
+#[derive(Clone)]
+pub struct App {
+    pub(crate) name: &'static str,
+    pub(crate) abbr: &'static str,
+    pub(crate) suite: Suite,
+    pub(crate) pattern: PatternType,
+    pub(crate) footprint_pages: u64,
+    pub(crate) compute_per_op: u16,
+    pub(crate) seed: u64,
+    pub(crate) build: fn(&App) -> Vec<u64>,
+}
+
+impl App {
+    /// Full application name ("hotspot", "b+tree", ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The paper's abbreviation ("HOT", "B+T", ...).
+    pub fn abbr(&self) -> &'static str {
+        self.abbr
+    }
+
+    /// Source benchmark suite.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The access-pattern type assigned by Table II.
+    pub fn pattern(&self) -> PatternType {
+        self.pattern
+    }
+
+    /// Footprint in pages; all generated page indices are below this.
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_pages
+    }
+
+    /// Compute instructions modelled per memory operation (shapes IPC
+    /// without affecting paging behaviour).
+    pub fn compute_per_op(&self) -> u16 {
+        self.compute_per_op
+    }
+
+    /// RNG seed used by stochastic generators; fixed per app so traces are
+    /// reproducible.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the global page-reference sequence (deterministic).
+    pub fn global_sequence(&self) -> Vec<u64> {
+        (self.build)(self)
+    }
+}
+
+impl fmt::Debug for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("App")
+            .field("name", &self.name)
+            .field("abbr", &self.abbr)
+            .field("suite", &self.suite)
+            .field("pattern", &self.pattern)
+            .field("footprint_pages", &self.footprint_pages)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.abbr, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roman_labels() {
+        assert_eq!(PatternType::Streaming.roman(), "I");
+        assert_eq!(PatternType::RegionMoving.roman(), "VI");
+        assert_eq!(PatternType::ALL.len(), 6);
+        assert_eq!(format!("{}", PatternType::Thrashing), "Type II");
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Rodinia.to_string(), "Rodinia");
+        assert_eq!(Suite::Parboil.to_string(), "Parboil");
+        assert_eq!(Suite::Polybench.to_string(), "Polybench");
+    }
+}

@@ -1,0 +1,528 @@
+//! Generators for the six access-pattern types of Fig. 2.
+//!
+//! Every generator produces a *global* page-reference sequence over a local
+//! page index space `0..footprint`; [`crate::Trace::build`] later distributes
+//! it over per-warp streams. In Fig. 2's notation, a sequence element `a_i`
+//! is a virtual page and `a_i^{N_i}` means `a_i` is referenced `N_i` times.
+//!
+//! Page-set spatial locality (the paper's second observation in Section I)
+//! is realized by generating reuse at *page set* granularity where an
+//! application is "regular", and at page granularity where it is not.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Type I — streaming: `(a_1, a_2, a_3, ..., a_k)`, every page referenced
+/// the same small number of times in a single pass.
+///
+/// # Examples
+///
+/// ```
+/// let s = uvm_workloads::patterns::streaming(4, 2);
+/// assert_eq!(s, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+/// ```
+pub fn streaming(pages: u64, refs_per_page: u32) -> Vec<u64> {
+    let mut out = Vec::with_capacity((pages * refs_per_page as u64) as usize);
+    for p in 0..pages {
+        for _ in 0..refs_per_page {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Type II — thrashing: `(a_1, ..., a_k)^N` with `k` larger than memory,
+/// i.e. the whole footprint is swept `sweeps` times.
+///
+/// # Examples
+///
+/// ```
+/// let s = uvm_workloads::patterns::thrashing(3, 2);
+/// assert_eq!(s, vec![0, 1, 2, 0, 1, 2]);
+/// ```
+pub fn thrashing(pages: u64, sweeps: u32) -> Vec<u64> {
+    let mut out = Vec::with_capacity((pages * sweeps as u64) as usize);
+    for _ in 0..sweeps {
+        out.extend(0..pages);
+    }
+    out
+}
+
+/// Type III — part repetitive:
+/// `(a_1^{N_1}·ε_1, ..., a_k^{N_k}·ε_k)` — a streaming pass in which a
+/// fraction `eps` of *page sets* is re-referenced (entirely, preserving
+/// spatial locality) `extra_refs` additional times shortly after first
+/// touch.
+///
+/// `set_size` is the page-set granularity of the reuse. The generated
+/// counters stay divisible by the page set size, which is what makes these
+/// applications classify as **regular** (Section IV-D).
+pub fn part_repetitive(
+    pages: u64,
+    set_size: u64,
+    eps: f64,
+    extra_refs: u32,
+    rng: &mut StdRng,
+) -> Vec<u64> {
+    assert!(set_size > 0, "set_size must be nonzero");
+    let mut out = Vec::new();
+    let mut set_start = 0u64;
+    while set_start < pages {
+        let set_end = (set_start + set_size).min(pages);
+        let passes = if rng.gen_bool(eps) { 1 + extra_refs } else { 1 };
+        for _ in 0..passes {
+            out.extend(set_start..set_end);
+        }
+        set_start = set_end;
+    }
+    out
+}
+
+/// Page-granular irregular reuse: the footprint is processed in contiguous
+/// windows of `window` pages; within each window, each *page* independently
+/// receives `1 + extra` references (`extra` uniform in `0..=max_extra`),
+/// spread across repeated passes over the window so the reuse escapes the
+/// TLBs and is visible at the page-walk level.
+///
+/// Because reuse counts vary per page rather than per page set, the
+/// resulting page-set counters are mostly *indivisible* by the page set
+/// size — the signature of the paper's **irregular#2** category (KMN, SAD).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn page_irregular(pages: u64, window: u64, max_extra: u32, rng: &mut StdRng) -> Vec<u64> {
+    assert!(window > 0, "window must be nonzero");
+    let mut out = Vec::new();
+    let mut start = 0u64;
+    while start < pages {
+        let end = (start + window).min(pages);
+        let refs: Vec<u32> = (start..end).map(|_| 1 + rng.gen_range(0..=max_extra)).collect();
+        for pass in 0..=max_extra {
+            for (i, p) in (start..end).enumerate() {
+                if pass < refs[i] {
+                    out.push(p);
+                }
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// Even/odd phase with per-page jitter (NW): pages of `parity` within
+/// `0..pages` are swept repeatedly; page `p` participates in
+/// `min_refs..=max_refs` sweeps (drawn per page). The jitter makes NW's
+/// page-set counters indivisible by the set size, matching its irregular
+/// classification, while pages that accumulate the full saturating count
+/// still trigger HPE's page-set division.
+///
+/// # Panics
+///
+/// Panics if `parity >= 2` or `min_refs > max_refs` or `min_refs == 0`.
+pub fn parity_phase_jittered(
+    pages: u64,
+    parity: u64,
+    min_refs: u32,
+    max_refs: u32,
+    rng: &mut StdRng,
+) -> Vec<u64> {
+    assert!(parity < 2, "parity must be 0 or 1");
+    assert!(min_refs >= 1 && min_refs <= max_refs, "bad refs range");
+    let members: Vec<u64> = (parity..pages).step_by(2).collect();
+    let refs: Vec<u32> = members
+        .iter()
+        .map(|_| rng.gen_range(min_refs..=max_refs))
+        .collect();
+    let mut out = Vec::new();
+    for sweep in 0..max_refs {
+        for (i, &p) in members.iter().enumerate() {
+            if sweep < refs[i] {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Type IV/V building block — most repetitive:
+/// `(a_1^{N_1}, ..., a_k^{N_k})`, each page referenced `refs_per_page`
+/// times, with the repetitions of a page *spread across the pass* (rather
+/// than back-to-back) so that repeated references escape the TLBs and are
+/// visible to the eviction policy, as in the paper's page-walk traces.
+///
+/// The pass is organized as `refs_per_page` interleaved sweeps of the
+/// region, offset by `phase_stride` pages each time.
+pub fn most_repetitive(pages: u64, refs_per_page: u32, phase_stride: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity((pages * refs_per_page as u64) as usize);
+    for r in 0..refs_per_page as u64 {
+        let shift = (r * phase_stride) % pages.max(1);
+        for p in 0..pages {
+            out.push((p + shift) % pages);
+        }
+    }
+    out
+}
+
+/// Type V — repetitive-thrashing: a most-repetitive pass over the whole
+/// footprint, repeated `outer` times (`(a_1^{N_1},...,a_k^{N_k})^N` with
+/// `k` > memory).
+pub fn repetitive_thrashing(
+    pages: u64,
+    refs_per_page: u32,
+    phase_stride: u64,
+    outer: u32,
+) -> Vec<u64> {
+    let one = most_repetitive(pages, refs_per_page, phase_stride);
+    let mut out = Vec::with_capacity(one.len() * outer as usize);
+    for _ in 0..outer {
+        out.extend_from_slice(&one);
+    }
+    out
+}
+
+/// Type VI — region moving: the footprint is divided into `regions`
+/// contiguous regions; each region is swept `rounds_per_region` times
+/// before the application moves to the next region and never returns.
+///
+/// # Panics
+///
+/// Panics if `regions` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let s = uvm_workloads::patterns::region_moving(4, 2, 2);
+/// assert_eq!(s, vec![0, 1, 0, 1, 2, 3, 2, 3]);
+/// ```
+pub fn region_moving(pages: u64, regions: u64, rounds_per_region: u32) -> Vec<u64> {
+    assert!(regions > 0, "regions must be nonzero");
+    let per = pages / regions;
+    let mut out = Vec::new();
+    for r in 0..regions {
+        let start = r * per;
+        let end = if r == regions - 1 { pages } else { start + per };
+        for _ in 0..rounds_per_region {
+            out.extend(start..end);
+        }
+    }
+    out
+}
+
+/// Strided touches: references pages `offset, offset+stride, ...` below
+/// `pages`, each `refs` times back-to-back. Models MVT's stride-4 page
+/// touches (Section V-B), which waste HIR entry space.
+pub fn strided(pages: u64, stride: u64, offset: u64, refs: u32) -> Vec<u64> {
+    assert!(stride > 0, "stride must be nonzero");
+    let mut out = Vec::new();
+    let mut p = offset;
+    while p < pages {
+        for _ in 0..refs {
+            out.push(p);
+        }
+        p += stride;
+    }
+    out
+}
+
+/// Even/odd phase pattern (NW, Section IV-C): pages of `parity` (0 = even,
+/// 1 = odd) inside `0..pages` are swept `rounds` times.
+pub fn parity_phase(pages: u64, parity: u64, rounds: u32) -> Vec<u64> {
+    assert!(parity < 2, "parity must be 0 or 1");
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        let mut p = parity;
+        while p < pages {
+            out.push(p);
+            p += 2;
+        }
+    }
+    out
+}
+
+/// Hot-region interjections: returns `base` with references into a hot
+/// region `hot_start..hot_start+hot_pages` inserted every `period` base
+/// references (each insertion touches one hot page, round-robin, possibly
+/// repeatedly). Models histogram bins (HIS) and sparse vectors (SPV).
+pub fn with_hot_region(
+    base: &[u64],
+    hot_start: u64,
+    hot_pages: u64,
+    period: usize,
+    touches_per_insert: u32,
+    rng: &mut StdRng,
+) -> Vec<u64> {
+    assert!(period > 0, "period must be nonzero");
+    assert!(hot_pages > 0, "hot_pages must be nonzero");
+    let mut out = Vec::with_capacity(base.len() + base.len() / period + 1);
+    for (i, &p) in base.iter().enumerate() {
+        out.push(p);
+        if (i + 1) % period == 0 {
+            for _ in 0..touches_per_insert {
+                out.push(hot_start + rng.gen_range(0..hot_pages));
+            }
+        }
+    }
+    out
+}
+
+/// Concatenates phases into one sequence, offsetting each phase's page
+/// indices by its region base so phases can address disjoint regions.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_workloads::patterns::{concat_regions, streaming};
+///
+/// let a = streaming(2, 1);        // pages 0,1
+/// let b = streaming(2, 1);        // pages 0,1 -> offset to 10,11
+/// let s = concat_regions(vec![(0, a), (10, b)]);
+/// assert_eq!(s, vec![0, 1, 10, 11]);
+/// ```
+pub fn concat_regions(phases: Vec<(u64, Vec<u64>)>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(phases.iter().map(|(_, v)| v.len()).sum());
+    for (base, seq) in phases {
+        out.extend(seq.into_iter().map(|p| base + p));
+    }
+    out
+}
+
+/// Interleaves two sequences by dealing `chunk_a` elements from `a` then
+/// `chunk_b` from `b`, repeating until both are exhausted. Used to overlay
+/// concurrently-active operand regions (e.g. GEMM's A stream against B
+/// resweeps).
+pub fn interleave(a: &[u64], chunk_a: usize, b: &[u64], chunk_b: usize) -> Vec<u64> {
+    assert!(chunk_a > 0 && chunk_b > 0, "chunks must be nonzero");
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < a.len() || ib < b.len() {
+        let ea = (ia + chunk_a).min(a.len());
+        out.extend_from_slice(&a[ia..ea]);
+        ia = ea;
+        let eb = (ib + chunk_b).min(b.len());
+        out.extend_from_slice(&b[ib..eb]);
+        ib = eb;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn streaming_touches_each_page_refs_times() {
+        let s = streaming(10, 3);
+        assert_eq!(s.len(), 30);
+        for p in 0..10 {
+            assert_eq!(s.iter().filter(|&&x| x == p).count(), 3);
+        }
+        // Single pass: first occurrence order is ascending.
+        let firsts: Vec<u64> = {
+            let mut seen = std::collections::HashSet::new();
+            s.iter().copied().filter(|p| seen.insert(*p)).collect()
+        };
+        assert_eq!(firsts, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thrashing_is_repeated_sweeps() {
+        let s = thrashing(5, 3);
+        assert_eq!(s.len(), 15);
+        assert_eq!(&s[0..5], &[0, 1, 2, 3, 4]);
+        assert_eq!(&s[5..10], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn part_repetitive_reuses_whole_sets() {
+        let s = part_repetitive(64, 16, 1.0, 1, &mut rng());
+        // eps=1.0: every set repeated once -> every page exactly twice.
+        assert_eq!(s.len(), 128);
+        for p in 0..64 {
+            assert_eq!(s.iter().filter(|&&x| x == p).count(), 2);
+        }
+        // eps=0.0: pure streaming.
+        let s0 = part_repetitive(64, 16, 0.0, 3, &mut rng());
+        assert_eq!(s0, streaming(64, 1));
+    }
+
+    #[test]
+    fn part_repetitive_counters_divisible_by_set_size() {
+        let s = part_repetitive(256, 16, 0.4, 2, &mut rng());
+        for set in 0..(256 / 16) {
+            let count = s
+                .iter()
+                .filter(|&&p| p / 16 == set)
+                .count();
+            assert_eq!(count % 16, 0, "set {set} count {count} not divisible");
+        }
+    }
+
+    #[test]
+    fn page_irregular_produces_indivisible_set_counts() {
+        let s = page_irregular(512, 256, 3, &mut rng());
+        let mut irregular_sets = 0;
+        for set in 0..(512 / 16) {
+            let count = s.iter().filter(|&&p| p / 16 == set).count();
+            if count % 16 != 0 {
+                irregular_sets += 1;
+            }
+        }
+        // With per-page randomness nearly every set count is indivisible.
+        assert!(irregular_sets > 24, "only {irregular_sets} irregular sets");
+    }
+
+    #[test]
+    fn page_irregular_spreads_reuse_across_window_passes() {
+        let s = page_irregular(64, 32, 2, &mut rng());
+        // Repetitions of any page are at least a window apart (minus the
+        // pages skipped in later passes), never adjacent.
+        let pos: Vec<usize> = s
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(pos.windows(2).all(|w| w[1] - w[0] > 8));
+        // Every page appears between 1 and 3 times.
+        for p in 0..64u64 {
+            let n = s.iter().filter(|&&x| x == p).count();
+            assert!((1..=3).contains(&n), "page {p} appears {n} times");
+        }
+    }
+
+    #[test]
+    fn parity_phase_jittered_respects_parity_and_bounds() {
+        let s = parity_phase_jittered(64, 0, 6, 8, &mut rng());
+        assert!(s.iter().all(|p| p % 2 == 0));
+        for p in (0..64u64).step_by(2) {
+            let n = s.iter().filter(|&&x| x == p).count();
+            assert!((6..=8).contains(&n), "page {p} appears {n} times");
+        }
+        // Repetitions are spread: page 0's touches are a full sweep apart.
+        let pos: Vec<usize> = s
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(pos.windows(2).all(|w| w[1] - w[0] > 16));
+    }
+
+    #[test]
+    fn most_repetitive_spreads_reuse() {
+        let s = most_repetitive(8, 3, 2);
+        assert_eq!(s.len(), 24);
+        for p in 0..8 {
+            assert_eq!(s.iter().filter(|&&x| x == p).count(), 3);
+        }
+        // Repetitions of page 0 are not adjacent.
+        let pos: Vec<usize> = s
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(pos.windows(2).all(|w| w[1] - w[0] > 1));
+    }
+
+    #[test]
+    fn repetitive_thrashing_repeats_outer() {
+        let one = most_repetitive(8, 2, 1);
+        let s = repetitive_thrashing(8, 2, 1, 3);
+        assert_eq!(s.len(), one.len() * 3);
+        assert_eq!(&s[0..one.len()], one.as_slice());
+        assert_eq!(&s[one.len()..2 * one.len()], one.as_slice());
+    }
+
+    #[test]
+    fn region_moving_never_returns() {
+        let s = region_moving(100, 4, 3);
+        // Once a region is left, no reference to it appears again.
+        let region_of = |p: u64| (p / 25).min(3);
+        let mut max_region = 0;
+        let mut left = [false; 4];
+        for &p in &s {
+            let r = region_of(p) as usize;
+            assert!(!left[r], "returned to region {r}");
+            if r > max_region {
+                for l in left.iter_mut().take(r) {
+                    *l = true;
+                }
+                max_region = r;
+            }
+        }
+        assert_eq!(max_region, 3);
+    }
+
+    #[test]
+    fn region_moving_last_region_absorbs_remainder() {
+        let s = region_moving(10, 3, 1);
+        // Regions: 0..3, 3..6, 6..10.
+        assert_eq!(s, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn strided_touches_only_stride_pages() {
+        let s = strided(64, 4, 1, 2);
+        assert!(s.iter().all(|&p| p % 4 == 1));
+        assert_eq!(s.iter().filter(|&&p| p == 1).count(), 2);
+        assert_eq!(s.len(), 2 * 16);
+    }
+
+    #[test]
+    fn parity_phase_respects_parity() {
+        let even = parity_phase(10, 0, 2);
+        assert!(even.iter().all(|p| p % 2 == 0));
+        assert_eq!(even.len(), 10);
+        let odd = parity_phase(10, 1, 1);
+        assert!(odd.iter().all(|p| p % 2 == 1));
+        assert_eq!(odd.len(), 5);
+    }
+
+    #[test]
+    fn with_hot_region_inserts_hot_touches() {
+        let base = streaming(100, 1);
+        let s = with_hot_region(&base, 1000, 8, 10, 2, &mut rng());
+        let hot: Vec<u64> = s.iter().copied().filter(|&p| p >= 1000).collect();
+        assert_eq!(hot.len(), 20);
+        assert!(hot.iter().all(|&p| p < 1008));
+        let cold: Vec<u64> = s.iter().copied().filter(|&p| p < 1000).collect();
+        assert_eq!(cold, base);
+    }
+
+    #[test]
+    fn concat_regions_offsets() {
+        let s = concat_regions(vec![(0, vec![0, 1]), (100, vec![0, 5])]);
+        assert_eq!(s, vec![0, 1, 100, 105]);
+    }
+
+    #[test]
+    fn interleave_preserves_both_orders() {
+        let a = vec![0, 1, 2, 3];
+        let b = vec![10, 11];
+        let s = interleave(&a, 2, &b, 1);
+        assert_eq!(s, vec![0, 1, 10, 2, 3, 11]);
+        // Exhausted b: remaining a continues.
+        let s2 = interleave(&a, 1, &b, 1);
+        assert_eq!(s2, vec![0, 10, 1, 11, 2, 3]);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = part_repetitive(128, 16, 0.5, 2, &mut rng());
+        let b = part_repetitive(128, 16, 0.5, 2, &mut rng());
+        assert_eq!(a, b);
+        let c = page_irregular(128, 64, 3, &mut rng());
+        let d = page_irregular(128, 64, 3, &mut rng());
+        assert_eq!(c, d);
+        let e = parity_phase_jittered(128, 1, 2, 4, &mut rng());
+        let f = parity_phase_jittered(128, 1, 2, 4, &mut rng());
+        assert_eq!(e, f);
+    }
+}

@@ -1,0 +1,79 @@
+//! Capacity planning: sweep the oversubscription rate for a workload and
+//! watch each policy's fault count — the practical question a deployment
+//! faces when choosing how much of a dataset to leave in host memory.
+//!
+//! ```sh
+//! cargo run --release --example oversubscription_sweep [APP]
+//! ```
+//!
+//! `APP` is a paper abbreviation (default: SRD).
+
+use hpe::core::{Hpe, HpeConfig};
+use hpe::policies::{ClockPro, ClockProConfig, Lru, Rrip, RripConfig};
+use hpe::sim::{ideal_for, trace_for, Simulation};
+use hpe::types::{Oversubscription, SimConfig};
+use hpe::workloads::registry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "SRD".to_string());
+    let app = registry::by_abbr(&abbr)
+        .ok_or_else(|| format!("unknown application {abbr:?}; try SRD, HSD, BFS, GEM, ..."))?;
+    let cfg = SimConfig::scaled_default();
+    let trace = trace_for(&cfg, app);
+
+    println!(
+        "{app} ({}), footprint {} pages — faults per policy as GPU memory shrinks\n",
+        app.pattern(),
+        app.footprint_pages()
+    );
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "memory", "LRU", "RRIP", "CLOCK-Pro", "HPE", "Ideal"
+    );
+
+    for pct in [95, 90, 75, 60, 50, 40] {
+        let rate = Oversubscription::Custom(pct as f64 / 100.0);
+        let capacity = rate.capacity_pages(app.footprint_pages());
+        let faults = |stats: hpe::types::SimStats| stats.faults();
+
+        let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+        let rrip = Simulation::new(
+            cfg.clone(),
+            &trace,
+            Rrip::new(if app.pattern() == hpe::workloads::PatternType::Thrashing {
+                RripConfig::for_thrashing()
+            } else {
+                RripConfig::default()
+            }),
+            capacity,
+        )?
+        .run();
+        let cp = Simulation::new(
+            cfg.clone(),
+            &trace,
+            ClockPro::new(ClockProConfig::default()),
+            capacity,
+        )?
+        .run();
+        let hpe_run = Simulation::new(
+            cfg.clone(),
+            &trace,
+            Hpe::new(HpeConfig::from_sim(&cfg))?,
+            capacity,
+        )?
+        .run();
+        let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run();
+
+        println!(
+            "{:>7}%  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+            pct,
+            faults(lru.stats),
+            faults(rrip.stats),
+            faults(cp.stats),
+            faults(hpe_run.stats),
+            faults(ideal.stats),
+        );
+    }
+    println!("\nCompulsory faults (unconstrained memory): {}", trace.distinct_pages());
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Build a synthetic workload from the Fig. 2 pattern generators and watch
+//! how each eviction policy handles it — useful for characterizing a new
+//! application before committing to a policy.
+//!
+//! The workload mixes a thrashing sweep (type II) with a hot region
+//! (histogram-bin style), exactly the kind of composite the paper's
+//! classifier has to get right.
+//!
+//! ```sh
+//! cargo run --release --example pattern_explorer
+//! ```
+
+use hpe::core::{Hpe, HpeConfig};
+use hpe::policies::{Lru, RandomPolicy};
+use hpe::sim::{ideal_for, Simulation, DEFAULT_TILE};
+use hpe::types::SimConfig;
+use hpe::workloads::{patterns, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::scaled_default();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1024 sweep pages + 256 hot pages = 1280-page footprint.
+    let sweep_pages = 1024u64;
+    let hot_pages = 256u64;
+    let footprint = sweep_pages + hot_pages;
+
+    // Type II sweep with hot-region interjections every 12 references.
+    let base = patterns::thrashing(sweep_pages, 5);
+    let global = patterns::with_hot_region(&base, sweep_pages, hot_pages, 12, 2, &mut rng);
+
+    let trace = Trace::from_global(
+        &global,
+        footprint,
+        4,
+        cfg.n_sms * cfg.warps_per_sm,
+        DEFAULT_TILE,
+    );
+    let capacity = footprint * 3 / 4; // 75% oversubscription
+
+    println!(
+        "composite workload: {} refs over {} pages, {} pages of GPU memory\n",
+        trace.total_ops(),
+        footprint,
+        capacity
+    );
+
+    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+    let rnd = Simulation::new(cfg.clone(), &trace, RandomPolicy::seeded(1), capacity)?.run();
+    let hpe = Simulation::new(
+        cfg.clone(),
+        &trace,
+        Hpe::new(HpeConfig::from_sim(&cfg))?,
+        capacity,
+    )?
+    .run();
+    let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run();
+
+    println!("{:>7}  {:>9}  {:>9}  {:>8}", "policy", "faults", "evictions", "IPC");
+    for (name, s) in [
+        ("LRU", &lru.stats),
+        ("Random", &rnd.stats),
+        ("HPE", &hpe.stats),
+        ("Ideal", &ideal.stats),
+    ] {
+        println!(
+            "{name:>7}  {:>9}  {:>9}  {:>8.5}",
+            s.faults(),
+            s.evictions(),
+            s.ipc()
+        );
+    }
+
+    if let Some(c) = hpe.policy.classification() {
+        println!(
+            "\nHPE classification: {} (ratio1 {:.2}, ratio2 {:.2}); final strategy {}",
+            c.category,
+            c.ratio1,
+            c.ratio2,
+            hpe.policy.strategy()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: run one oversubscribed GPU workload under LRU and HPE and
+//! compare page faults, evictions, and IPC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hpe::core::{Hpe, HpeConfig};
+use hpe::policies::Lru;
+use hpe::sim::{trace_for, Simulation};
+use hpe::types::{Oversubscription, SimConfig};
+use hpe::workloads::registry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The scaled reproduction configuration: Table I latencies, TLB reach
+    // scaled with the synthetic footprints.
+    let cfg = SimConfig::scaled_default();
+
+    // hotspot3D: the paper's best case for HPE (type II, thrashing).
+    let app = registry::by_abbr("HSD").expect("registered application");
+    let trace = trace_for(&cfg, app);
+
+    // Only 75% of the application's footprint fits in GPU memory.
+    let rate = Oversubscription::Rate75;
+    let capacity = rate.capacity_pages(app.footprint_pages());
+    println!(
+        "{app}: {} pages footprint, {} pages of GPU memory ({})",
+        app.footprint_pages(),
+        capacity,
+        rate.label()
+    );
+
+    // Baseline: page-level LRU.
+    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+
+    // HPE with the paper-default parameters.
+    let hpe_policy = Hpe::new(HpeConfig::from_sim(&cfg))?;
+    let hpe = Simulation::new(cfg.clone(), &trace, hpe_policy, capacity)?.run();
+
+    for (name, stats) in [("LRU", &lru.stats), ("HPE", &hpe.stats)] {
+        println!(
+            "{name:4}  faults {:>7}  evictions {:>7}  cycles {:>12}  IPC {:.5}",
+            stats.faults(),
+            stats.evictions(),
+            stats.cycles,
+            stats.ipc()
+        );
+    }
+    println!(
+        "HPE speedup over LRU: {:.2}x  (evictions reduced {:.0}%)",
+        lru.stats.cycles as f64 / hpe.stats.cycles as f64,
+        100.0 * (1.0 - hpe.stats.evictions() as f64 / lru.stats.evictions().max(1) as f64)
+    );
+
+    // HPE classified the application when memory first filled:
+    if let Some(c) = hpe.policy.classification() {
+        println!(
+            "HPE classified {} as {} (ratio1 {:.2}, ratio2 {:.2})",
+            app.abbr(),
+            c.category,
+            c.ratio1,
+            c.ratio2
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Profile the registered workloads' access patterns: reuse (LRU stack)
+//! distances and touch counts — the quantities the paper's Fig. 2
+//! taxonomy is built on.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use hpe::workloads::{analysis, registry};
+
+fn main() {
+    println!(
+        "{:<5} {:<5} {:>8} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "app", "type", "refs", "distinct", "compulsory%", "median-reuse", "p90-reuse", "max refs"
+    );
+    for app in registry::all() {
+        let seq = app.global_sequence();
+        let p = analysis::profile(&seq);
+        println!(
+            "{:<5} {:<5} {:>8} {:>9} {:>11.0}% {:>12} {:>12} {:>10}",
+            app.abbr(),
+            app.pattern().roman(),
+            p.refs,
+            p.distinct,
+            100.0 * p.compulsory_fraction,
+            p.median_reuse.map_or("-".to_string(), |d| d.to_string()),
+            p.p90_reuse.map_or("-".to_string(), |d| d.to_string()),
+            p.max_refs_per_page,
+        );
+    }
+    println!(
+        "\nreading guide: type I has no finite reuse; type II reuse clusters at the footprint;\n\
+         region/window types cluster at the region size; irregular types spread widely."
+    );
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the extension features: the workload builder,
+//! simulation observers, prefetching, and fault batching — exercised
+//! through the full public API.
+
+use hpe::core::{Hpe, HpeConfig};
+use hpe::policies::Lru;
+use hpe::sim::{SimEvent, Simulation};
+use hpe::types::{Oversubscription, SimConfig};
+use hpe::workloads::{registry, WorkloadBuilder};
+
+#[test]
+fn custom_workload_runs_end_to_end() {
+    let cfg = SimConfig::scaled_default();
+    let workload = WorkloadBuilder::new("stencil-like")
+        .region("grid", 512)
+        .region("halo", 64)
+        .stream("halo")
+        .unwrap()
+        .sweeps("grid", 4)
+        .unwrap()
+        .build()
+        .unwrap();
+    let trace = workload.trace(cfg.n_sms * cfg.warps_per_sm, 2, 3);
+    let capacity = workload.footprint_pages() * 3 / 4;
+    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)
+        .unwrap()
+        .run()
+        .stats;
+    let hpe = Simulation::new(
+        cfg.clone(),
+        &trace,
+        Hpe::new(HpeConfig::from_sim(&cfg)).unwrap(),
+        capacity,
+    )
+    .unwrap()
+    .run()
+    .stats;
+    // A cyclic-sweep composite behaves like type II: HPE clearly ahead.
+    assert!(
+        hpe.faults() < lru.faults(),
+        "HPE {} !< LRU {}",
+        hpe.faults(),
+        lru.faults()
+    );
+}
+
+#[test]
+fn observer_timeline_matches_statistics_for_hpe() {
+    let cfg = SimConfig::scaled_default();
+    let app = registry::by_abbr("STN").unwrap();
+    let trace = hpe::sim::trace_for(&cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &trace,
+        Hpe::new(HpeConfig::from_sim(&cfg)).unwrap(),
+        capacity,
+    )
+    .unwrap();
+    let log = sim.attach_event_log();
+    let outcome = sim.run();
+    let log = log.borrow();
+    assert_eq!(log.fault_count() as u64, outcome.stats.faults());
+    assert_eq!(log.eviction_count() as u64, outcome.stats.evictions());
+    // MemoryFull is recorded once, before the first eviction.
+    let full_at = log
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            SimEvent::MemoryFull { time } => Some(*time),
+            _ => None,
+        })
+        .expect("memory fills");
+    let first_eviction = log
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            SimEvent::Eviction { time, .. } => Some(*time),
+            _ => None,
+        })
+        .expect("evictions happen");
+    assert!(full_at <= first_eviction);
+    // The fault-rate series is front-loaded for a thrashing app at 75%:
+    // some faults happen in every phase of execution.
+    let series = log.fault_rate_series(outcome.stats.cycles / 10 + 1);
+    assert!(series.iter().filter(|&&n| n > 0).count() >= 8);
+}
+
+#[test]
+fn prefetch_and_batching_compose() {
+    let app = registry::by_abbr("LEU").unwrap();
+    let mut cfg = SimConfig::scaled_default();
+    cfg.prefetch_pages = 4;
+    cfg.fault_batch = 8;
+    let trace = hpe::sim::trace_for(&cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    let stats = Simulation::new(cfg, &trace, Lru::new(), capacity)
+        .unwrap()
+        .run()
+        .stats;
+    // Everything still adds up with both features on.
+    let inserted = stats.faults() + stats.driver.prefetched_pages;
+    assert!(inserted >= app.footprint_pages());
+    assert_eq!(inserted - stats.evictions(), capacity);
+    assert!(stats.driver.prefetched_pages > 0);
+}
+
+#[test]
+fn builder_workload_classifies_sensibly() {
+    // A histogram-like composite should classify irregular#2 like HIS.
+    let cfg = SimConfig::scaled_default();
+    let workload = WorkloadBuilder::new("histo-like")
+        .seed(11)
+        .region("bins", 512)
+        .region("input", 1024)
+        .stream("bins")
+        .unwrap()
+        .hot_mix("input", "bins", 8, 3)
+        .unwrap()
+        .hot_mix("input", "bins", 8, 3)
+        .unwrap()
+        .build()
+        .unwrap();
+    let trace = workload.trace(cfg.n_sms * cfg.warps_per_sm, 2, 3);
+    let capacity = workload.footprint_pages() * 3 / 4;
+    let outcome = Simulation::new(
+        cfg.clone(),
+        &trace,
+        Hpe::new(HpeConfig::from_sim(&cfg)).unwrap(),
+        capacity,
+    )
+    .unwrap()
+    .run();
+    let c = outcome.policy.classification().expect("memory fills");
+    assert!(
+        c.ratio1 > 0.5,
+        "hot-bin composite should have irregular counters, ratio1 {}",
+        c.ratio1
+    );
+}
