@@ -8,6 +8,7 @@
 use hpe_bench::{bench_config, f3, run_hpe_with, run_policy, save_json, PolicyKind, Table};
 use hpe_core::HpeConfig;
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -30,7 +31,15 @@ fn main() {
 
     let mut t = Table::new(
         "Ablation: IPC of each variant normalized to full HPE (75%)",
-        &["app", "full HPE IPC", "no-division", "no-adjustment", "no-partitions", "ideal-transfer", "LRU"],
+        &[
+            "app",
+            "full HPE IPC",
+            "no-division",
+            "no-adjustment",
+            "no-partitions",
+            "ideal-transfer",
+            "LRU",
+        ],
     );
     let mut json = Vec::new();
     for abbr in apps {
@@ -38,18 +47,18 @@ fn main() {
         let full = run_hpe_with(&cfg, app, rate, HpeConfig::from_sim(&cfg));
         let base_ipc = full.stats.ipc();
         let mut row = vec![abbr.to_string(), format!("{base_ipc:.5}")];
-        let mut entry = serde_json::json!({ "app": abbr, "full_ipc": base_ipc });
+        let mut entry = json!({ "app": abbr, "full_ipc": base_ipc });
         for (name, tweak) in variants {
             let mut hpe_cfg = HpeConfig::from_sim(&cfg);
             tweak(&mut hpe_cfg);
             let r = run_hpe_with(&cfg, app, rate, hpe_cfg);
             let norm = r.stats.ipc() / base_ipc;
             row.push(f3(norm));
-            entry[name] = serde_json::json!(norm);
+            entry[name] = json!(norm);
         }
         let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
         row.push(f3(lru.stats.ipc() / base_ipc));
-        entry["lru"] = serde_json::json!(lru.stats.ipc() / base_ipc);
+        entry["lru"] = json!(lru.stats.ipc() / base_ipc);
         t.row(row);
         json.push(entry);
     }

@@ -5,6 +5,7 @@
 
 use hpe_bench::{bench_config, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -14,7 +15,10 @@ fn main() {
     let mut json = Vec::new();
     for kind in [PolicyKind::Lru, PolicyKind::Hpe] {
         let mut t = Table::new(
-            format!("Fault-batch sweep under {} (75%): cycles (IPC x1000)", kind.label()),
+            format!(
+                "Fault-batch sweep under {} (75%): cycles (IPC x1000)",
+                kind.label()
+            ),
             &["app", "batch=1", "batch=4", "batch=16", "batch=64"],
         );
         for abbr in apps {
@@ -24,8 +28,12 @@ fn main() {
                 let mut cfg = bench_config();
                 cfg.fault_batch = b;
                 let r = run_policy(&cfg, app, rate, kind);
-                row.push(format!("{} ({:.2})", r.stats.cycles, r.stats.ipc() * 1000.0));
-                json.push(serde_json::json!({
+                row.push(format!(
+                    "{} ({:.2})",
+                    r.stats.cycles,
+                    r.stats.ipc() * 1000.0
+                ));
+                json.push(json!({
                     "app": abbr,
                     "policy": kind.label(),
                     "batch": b,

@@ -11,6 +11,7 @@
 
 use hpe_bench::{bench_config, f3, geomean, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -19,7 +20,14 @@ fn main() {
     let mut json = Vec::new();
     let mut t = Table::new(
         "Section V-C: HPE driver busy-cycles relative to each baseline",
-        &["rate", "vs LRU", "vs RRIP", "vs CLOCK-Pro", "abs load (LRU)", "abs load (HPE)"],
+        &[
+            "rate",
+            "vs LRU",
+            "vs RRIP",
+            "vs CLOCK-Pro",
+            "abs load (LRU)",
+            "abs load (HPE)",
+        ],
     );
     for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
         let mut ratios = vec![Vec::new(); baselines.len()];
@@ -35,8 +43,7 @@ fn main() {
                 }
                 if base.stats.driver.busy_cycles > 0 {
                     ratios[i].push(
-                        hpe.stats.driver.busy_cycles as f64
-                            / base.stats.driver.busy_cycles as f64,
+                        hpe.stats.driver.busy_cycles as f64 / base.stats.driver.busy_cycles as f64,
                     );
                 }
             }
@@ -45,7 +52,7 @@ fn main() {
         for (i, kind) in baselines.iter().enumerate() {
             let g = geomean(&ratios[i]);
             row.push(f3(g));
-            json.push(serde_json::json!({
+            json.push(json!({
                 "rate": rate.label(),
                 "baseline": kind.label(),
                 "hpe_busy_ratio": g,

@@ -7,6 +7,7 @@
 
 use hpe_bench::{bench_config, f3, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -31,7 +32,7 @@ fn main() {
             f3(nl),
             f3(nr),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "app": app.abbr(),
             "ideal_evictions": ideal.stats.evictions(),
             "lru_norm": nl,

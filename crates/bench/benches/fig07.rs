@@ -8,6 +8,7 @@
 use hpe_bench::{bench_config, f3, manual_strategy_for, mean, run_hpe_with, save_json, Table};
 use hpe_core::HpeConfig;
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::{registry, PatternType};
 
 fn sensitivity_cfg(page_set_size: u32, interval_len: u32, app: &uvm_workloads::App) -> HpeConfig {
@@ -65,7 +66,7 @@ fn main() {
             f3(norm[1]),
             f3(norm[2]),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "pattern": pattern.roman(),
             "normalized_ipc": norm,
         }));

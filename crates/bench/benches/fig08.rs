@@ -10,6 +10,7 @@
 use hpe_bench::{bench_config, f3, manual_strategy_for, mean, run_hpe_with, save_json, Table};
 use hpe_core::HpeConfig;
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::{registry, PatternType};
 
 fn sensitivity_cfg(interval_len: u32, app: &uvm_workloads::App) -> HpeConfig {
@@ -63,7 +64,7 @@ fn main() {
             f3(norm[1]),
             f3(norm[2]),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "pattern": pattern.roman(),
             "normalized_ipc": norm,
         }));
@@ -78,7 +79,11 @@ fn main() {
     for app in registry::by_pattern(PatternType::Thrashing) {
         let ipcs: Vec<f64> = intervals
             .iter()
-            .map(|&i| run_hpe_with(&cfg, app, rate, sensitivity_cfg(i, app)).stats.ipc())
+            .map(|&i| {
+                run_hpe_with(&cfg, app, rate, sensitivity_cfg(i, app))
+                    .stats
+                    .ipc()
+            })
             .collect();
         t2.row(vec![
             app.abbr().to_string(),

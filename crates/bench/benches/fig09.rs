@@ -7,6 +7,7 @@
 
 use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -14,7 +15,14 @@ fn main() {
     let rate = Oversubscription::Rate75;
     let mut t = Table::new(
         "Fig. 9: ratio1 / ratio2 at first memory-full (75% oversubscription)",
-        &["app", "type", "ratio1", "ratio2", "category", "old sets @full"],
+        &[
+            "app",
+            "type",
+            "ratio1",
+            "ratio2",
+            "category",
+            "old sets @full",
+        ],
     );
     let mut json = Vec::new();
     for app in registry::all() {
@@ -34,7 +42,7 @@ fn main() {
                 .old_sets_at_full
                 .map_or("-".to_string(), |n| n.to_string()),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "app": app.abbr(),
             "pattern": app.pattern().roman(),
             "ratio1": if r1.is_finite() { r1 } else { -1.0 },

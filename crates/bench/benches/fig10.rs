@@ -8,6 +8,7 @@
 
 use hpe_bench::{bench_config, f3, geomean, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -31,7 +32,7 @@ fn main() {
                 format!("{:.5}", hpe.stats.ipc()),
                 f3(speedup),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "app": app.abbr(),
                 "rate": rate.label(),
                 "lru_ipc": lru.stats.ipc(),

@@ -7,6 +7,7 @@
 
 use hpe_bench::{bench_config, f3, mean, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -14,7 +15,10 @@ fn main() {
     let mut json = Vec::new();
     for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
         let mut t = Table::new(
-            format!("Fig. 11: HPE vs LRU evictions, oversubscription {}", rate.label()),
+            format!(
+                "Fig. 11: HPE vs LRU evictions, oversubscription {}",
+                rate.label()
+            ),
             &["app", "type", "LRU evictions", "HPE evictions", "HPE/LRU"],
         );
         let mut ratios = Vec::new();
@@ -34,7 +38,7 @@ fn main() {
                 hpe.stats.evictions().to_string(),
                 f3(ratio),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "app": app.abbr(),
                 "rate": rate.label(),
                 "lru_evictions": lru.stats.evictions(),
@@ -54,7 +58,11 @@ fn main() {
         println!(
             "measured: {:.0}% fewer evictions on average (paper: {}%)",
             100.0 * (1.0 - avg),
-            if matches!(rate, Oversubscription::Rate75) { 18 } else { 12 }
+            if matches!(rate, Oversubscription::Rate75) {
+                18
+            } else {
+                12
+            }
         );
     }
     save_json("fig11", &json);

@@ -10,6 +10,7 @@
 
 use hpe_bench::{bench_config, f3, geomean, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -47,7 +48,7 @@ fn main() {
                 norm_ev[i].push(e);
                 prow.push(f3(p));
                 erow.push(f3(e));
-                json.push(serde_json::json!({
+                json.push(json!({
                     "app": app.abbr(),
                     "rate": rate.label(),
                     "policy": kind.label(),
@@ -62,9 +63,7 @@ fn main() {
         let mut emean = vec!["MEAN".to_string()];
         for i in 0..kinds.len() {
             pmean.push(f3(geomean(&norm_perf[i])));
-            emean.push(f3(
-                norm_ev[i].iter().sum::<f64>() / norm_ev[i].len() as f64
-            ));
+            emean.push(f3(norm_ev[i].iter().sum::<f64>() / norm_ev[i].len() as f64));
         }
         perf.row(pmean);
         evs.row(emean);

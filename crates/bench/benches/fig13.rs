@@ -10,6 +10,7 @@
 use hpe_bench::{bench_config, run_policy, save_json, PolicyKind, Table};
 use hpe_core::StrategyKind;
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -17,7 +18,10 @@ fn main() {
     let mut json = Vec::new();
     for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
         let mut t = Table::new(
-            format!("Fig. 13: eviction-strategy usage breakdown ({})", rate.label()),
+            format!(
+                "Fig. 13: eviction-strategy usage breakdown ({})",
+                rate.label()
+            ),
             &["app", "%LRU", "%MRU-C", "switches", "jumps", "timeline"],
         );
         for app in registry::all() {
@@ -37,10 +41,7 @@ fn main() {
                 }
             }
             let pct_lru = 100.0 * lru_faults as f64 / active_span as f64;
-            let timeline_str: Vec<String> = tl
-                .iter()
-                .map(|(f, s)| format!("{s}@{f}"))
-                .collect();
+            let timeline_str: Vec<String> = tl.iter().map(|(f, s)| format!("{s}@{f}")).collect();
             t.row(vec![
                 app.abbr().to_string(),
                 format!("{pct_lru:.0}"),
@@ -49,7 +50,7 @@ fn main() {
                 report.jump_events.len().to_string(),
                 timeline_str.join(" -> "),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "app": app.abbr(),
                 "rate": rate.label(),
                 "pct_lru": pct_lru,

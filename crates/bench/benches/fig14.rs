@@ -7,6 +7,7 @@
 
 use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -30,7 +31,7 @@ fn main() {
                 report.mruc_searches.to_string(),
                 f2(avg),
             ]);
-            json.push(serde_json::json!({
+            json.push(json!({
                 "app": app.abbr(),
                 "rate": rate.label(),
                 "searches": report.mruc_searches,

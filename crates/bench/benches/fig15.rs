@@ -7,6 +7,7 @@
 
 use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -27,7 +28,7 @@ fn main() {
             f2(p.avg_hir_entries_per_flush()),
             p.hir_conflict_evictions.to_string(),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "app": app.abbr(),
             "flushes": p.hir_flushes,
             "entries": p.hir_entries_transferred,

@@ -7,6 +7,7 @@
 use hpe_bench::{bench_config, run_hpe_with, save_json, Table};
 use hpe_core::HpeConfig;
 use uvm_types::{HirGeometry, Oversubscription};
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -41,7 +42,7 @@ fn main() {
                 p.hir_conflict_evictions,
                 r.stats.ipc() * 1000.0
             ));
-            json.push(serde_json::json!({
+            json.push(json!({
                 "app": abbr,
                 "entries": entries,
                 "ways": ways,

@@ -6,10 +6,11 @@
 //! same operations on this implementation's structures; absolute numbers
 //! differ with hardware, but each should remain well under 20 µs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hpe_core::{classify, Hpe, HpeConfig, PageSetChain, StrategyKind};
 use uvm_policies::{ClockPro, ClockProConfig, EvictionPolicy, Lru, Rrip, RripConfig};
 use uvm_types::PageId;
+use uvm_util::bench::{BatchSize, Criterion};
+use uvm_util::{criterion_group, criterion_main};
 
 /// A chain with `sets` fully faulted page sets rotated into the old
 /// partition.

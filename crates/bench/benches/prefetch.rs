@@ -5,6 +5,7 @@
 
 use hpe_bench::{bench_config, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
                     r.stats.faults(),
                     r.stats.ipc() * 1000.0
                 ));
-                json.push(serde_json::json!({
+                json.push(json!({
                     "app": abbr,
                     "policy": kind.label(),
                     "prefetch": n,

@@ -16,6 +16,7 @@ use uvm_policies::{
 };
 use uvm_sim::{trace_for, Simulation};
 use uvm_types::{Oversubscription, SimConfig, SimStats};
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn run<P: EvictionPolicy>(cfg: &SimConfig, abbr: &str, policy: P) -> SimStats {
@@ -33,7 +34,9 @@ fn main() {
     let apps = ["LEU", "GEM", "HSD", "STN", "BFS", "KMN", "HWL", "B+T"];
     let mut t = Table::new(
         "Related-work policies: IPC normalized to LRU (75%)",
-        &["app", "CLOCK", "WSClock", "LFU", "BIP", "DIP", "ARC", "CAR", "SetLRU", "HPE"],
+        &[
+            "app", "CLOCK", "WSClock", "LFU", "BIP", "DIP", "ARC", "CAR", "SetLRU", "HPE",
+        ],
     );
     let mut json = Vec::new();
     for abbr in apps {
@@ -66,7 +69,7 @@ fn main() {
         let mut row = vec![abbr.to_string()];
         for (name, ipc) in &results {
             row.push(f3(ipc / lru));
-            json.push(serde_json::json!({
+            json.push(json!({
                 "app": abbr,
                 "policy": name,
                 "ipc_vs_lru": ipc / lru,

@@ -5,6 +5,7 @@
 
 use hpe_bench::{save_json, Table};
 use uvm_types::SimConfig;
+use uvm_util::json;
 
 fn main() {
     let paper = SimConfig::paper_default();
@@ -17,13 +18,29 @@ fn main() {
     let row = |t: &mut Table, name: &str, p: String, s: String| {
         t.row(vec![name.to_string(), p, s]);
     };
-    row(&mut t, "GPU cores", format!("{} @ {} GHz", paper.n_sms, paper.clock_ghz), format!("{} @ {} GHz", scaled.n_sms, scaled.clock_ghz));
-    row(&mut t, "warps per SM", paper.warps_per_sm.to_string(), scaled.warps_per_sm.to_string());
+    row(
+        &mut t,
+        "GPU cores",
+        format!("{} @ {} GHz", paper.n_sms, paper.clock_ghz),
+        format!("{} @ {} GHz", scaled.n_sms, scaled.clock_ghz),
+    );
+    row(
+        &mut t,
+        "warps per SM",
+        paper.warps_per_sm.to_string(),
+        scaled.warps_per_sm.to_string(),
+    );
     row(
         &mut t,
         "private L1 TLB",
-        format!("{}-entry, {}-cycle", paper.l1_tlb.entries, paper.l1_tlb.latency_cycles),
-        format!("{}-entry, {}-cycle", scaled.l1_tlb.entries, scaled.l1_tlb.latency_cycles),
+        format!(
+            "{}-entry, {}-cycle",
+            paper.l1_tlb.entries, paper.l1_tlb.latency_cycles
+        ),
+        format!(
+            "{}-entry, {}-cycle",
+            scaled.l1_tlb.entries, scaled.l1_tlb.latency_cycles
+        ),
     );
     row(
         &mut t,
@@ -37,17 +54,50 @@ fn main() {
             scaled.l2_tlb.entries, scaled.l2_tlb.ways, scaled.l2_tlb.latency_cycles
         ),
     );
-    row(&mut t, "page walk", format!("{} cycles", paper.page_walk_cycles), format!("{} cycles", scaled.page_walk_cycles));
+    row(
+        &mut t,
+        "page walk",
+        format!("{} cycles", paper.page_walk_cycles),
+        format!("{} cycles", scaled.page_walk_cycles),
+    );
     row(
         &mut t,
         "fault service",
-        format!("{} us ({} cycles)", paper.fault_service_us, paper.fault_service_cycles()),
-        format!("{} us ({} cycles)", scaled.fault_service_us, scaled.fault_service_cycles()),
+        format!(
+            "{} us ({} cycles)",
+            paper.fault_service_us,
+            paper.fault_service_cycles()
+        ),
+        format!(
+            "{} us ({} cycles)",
+            scaled.fault_service_us,
+            scaled.fault_service_cycles()
+        ),
     );
-    row(&mut t, "CPU-GPU interconnect", format!("{} GB/s", paper.pcie_gbps), format!("{} GB/s", scaled.pcie_gbps));
-    row(&mut t, "page set size", paper.page_set_size.to_string(), scaled.page_set_size.to_string());
-    row(&mut t, "interval length", format!("{} faults", paper.interval_len), format!("{} faults", scaled.interval_len));
-    row(&mut t, "transfer interval", format!("{} faults", paper.transfer_interval), format!("{} faults", scaled.transfer_interval));
+    row(
+        &mut t,
+        "CPU-GPU interconnect",
+        format!("{} GB/s", paper.pcie_gbps),
+        format!("{} GB/s", scaled.pcie_gbps),
+    );
+    row(
+        &mut t,
+        "page set size",
+        paper.page_set_size.to_string(),
+        scaled.page_set_size.to_string(),
+    );
+    row(
+        &mut t,
+        "interval length",
+        format!("{} faults", paper.interval_len),
+        format!("{} faults", scaled.interval_len),
+    );
+    row(
+        &mut t,
+        "transfer interval",
+        format!("{} faults", paper.transfer_interval),
+        format!("{} faults", scaled.transfer_interval),
+    );
     row(
         &mut t,
         "HIR cache",
@@ -56,5 +106,5 @@ fn main() {
     );
     t.print();
 
-    save_json("table1", &serde_json::json!({ "paper": paper, "scaled": scaled }));
+    save_json("table1", &json!({ "paper": paper, "scaled": scaled }));
 }

@@ -3,13 +3,21 @@
 
 use hpe_bench::{bench_config, save_json, Table};
 use uvm_sim::trace_for;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
     let cfg = bench_config();
     let mut t = Table::new(
         "Table II: workload characteristics",
-        &["type", "suite", "app", "abbr", "footprint (pages)", "trace ops"],
+        &[
+            "type",
+            "suite",
+            "app",
+            "abbr",
+            "footprint (pages)",
+            "trace ops",
+        ],
     );
     let mut json = Vec::new();
     for app in registry::all() {
@@ -22,7 +30,7 @@ fn main() {
             app.footprint_pages().to_string(),
             trace.total_ops().to_string(),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "abbr": app.abbr(),
             "name": app.name(),
             "suite": app.suite().to_string(),

@@ -5,6 +5,7 @@
 use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
 use hpe_core::{classify, Category, CounterStats};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -20,9 +21,33 @@ fn main() {
 
     // Demonstration on synthetic distributions.
     let cases = [
-        ("mostly small+regular", CounterStats { regular: 95, irregular: 5, small_regular: 90, large_regular: 5 }),
-        ("mostly large+regular", CounterStats { regular: 90, irregular: 10, small_regular: 20, large_regular: 70 }),
-        ("mostly irregular", CounterStats { regular: 30, irregular: 70, small_regular: 25, large_regular: 5 }),
+        (
+            "mostly small+regular",
+            CounterStats {
+                regular: 95,
+                irregular: 5,
+                small_regular: 90,
+                large_regular: 5,
+            },
+        ),
+        (
+            "mostly large+regular",
+            CounterStats {
+                regular: 90,
+                irregular: 10,
+                small_regular: 20,
+                large_regular: 70,
+            },
+        ),
+        (
+            "mostly irregular",
+            CounterStats {
+                regular: 30,
+                irregular: 70,
+                small_regular: 25,
+                large_regular: 5,
+            },
+        ),
     ];
     let mut demo = Table::new(
         "classification on synthetic counter distributions",
@@ -30,7 +55,12 @@ fn main() {
     );
     for (name, c) in cases {
         let r = classify(&c, 0.3, 2.0);
-        demo.row(vec![name.into(), f2(r.ratio1), f2(r.ratio2), r.category.to_string()]);
+        demo.row(vec![
+            name.into(),
+            f2(r.ratio1),
+            f2(r.ratio2),
+            r.category.to_string(),
+        ]);
     }
     demo.print();
 
@@ -44,10 +74,7 @@ fn main() {
     let mut counts = [0usize; 3];
     for app in registry::all() {
         let r = run_policy(&cfg, app, Oversubscription::Rate75, PolicyKind::Hpe);
-        let cat = r
-            .hpe
-            .and_then(|h| h.classification)
-            .map(|c| c.category);
+        let cat = r.hpe.and_then(|h| h.classification).map(|c| c.category);
         let label = cat.map_or("(memory never filled)".to_string(), |c| c.to_string());
         if let Some(c) = cat {
             counts[match c {
@@ -61,7 +88,7 @@ fn main() {
             app.pattern().roman().to_string(),
             label.clone(),
         ]);
-        json.push(serde_json::json!({ "app": app.abbr(), "category": label }));
+        json.push(json!({ "app": app.abbr(), "category": label }));
     }
     measured.print();
     println!(

@@ -7,6 +7,7 @@
 use hpe_bench::{bench_config, f3, geomean, run_hpe_with, save_json, Table};
 use hpe_core::HpeConfig;
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -39,7 +40,7 @@ fn main() {
             row.push(f3(norm));
         }
         t.row(row);
-        json.push(serde_json::json!({ "app": abbr, "ipc": ipcs }));
+        json.push(json!({ "app": abbr, "ipc": ipcs }));
     }
     let mut means = vec!["GEOMEAN".to_string()];
     for series in &per_interval {

@@ -6,6 +6,7 @@
 
 use hpe_bench::{bench_config, f3, run_policy, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn main() {
@@ -13,7 +14,13 @@ fn main() {
     let apps = ["HSD", "STN", "BFS", "B+T", "GEM", "KMN"];
     let mut t = Table::new(
         "Page-walk-latency sensitivity: IPC at 20 cycles normalized to 8 cycles",
-        &["app", "LRU 20/8", "HPE 20/8", "LRU faults same?", "HPE faults same?"],
+        &[
+            "app",
+            "LRU 20/8",
+            "HPE 20/8",
+            "LRU faults same?",
+            "HPE faults same?",
+        ],
     );
     let mut json = Vec::new();
     for abbr in apps {
@@ -35,7 +42,7 @@ fn main() {
             (lru20.stats.faults() == lru8.stats.faults()).to_string(),
             (hpe20.stats.faults() == hpe8.stats.faults()).to_string(),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "app": abbr,
             "lru_ratio": lru20.stats.ipc() / lru8.stats.ipc(),
             "hpe_ratio": hpe20.stats.ipc() / hpe8.stats.ipc(),

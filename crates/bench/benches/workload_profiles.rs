@@ -4,12 +4,22 @@
 //! region/window types reuse at region scale, irregular types spread.
 
 use hpe_bench::{save_json, Table};
+use uvm_util::json;
 use uvm_workloads::{analysis, registry, PatternType};
 
 fn main() {
     let mut t = Table::new(
         "Workload access-pattern profiles (LRU stack distances over the global sequence)",
-        &["app", "type", "refs", "distinct", "compulsory%", "median reuse", "p90 reuse", "max refs/page"],
+        &[
+            "app",
+            "type",
+            "refs",
+            "distinct",
+            "compulsory%",
+            "median reuse",
+            "p90 reuse",
+            "max refs/page",
+        ],
     );
     let mut json = Vec::new();
     for app in registry::all() {
@@ -25,7 +35,7 @@ fn main() {
             p.p90_reuse.map_or("-".to_string(), |d| d.to_string()),
             p.max_refs_per_page.to_string(),
         ]);
-        json.push(serde_json::json!({
+        json.push(json!({
             "app": app.abbr(),
             "pattern": app.pattern().roman(),
             "refs": p.refs,

@@ -13,6 +13,7 @@
 
 use hpe_bench::{bench_config, run_policy, PolicyKind, Table};
 use uvm_types::Oversubscription;
+use uvm_util::json;
 use uvm_workloads::registry;
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -76,7 +77,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn cmd_list() {
-    let mut t = Table::new("registered applications", &["abbr", "name", "suite", "type", "pages"]);
+    let mut t = Table::new(
+        "registered applications",
+        &["abbr", "name", "suite", "type", "pages"],
+    );
     for app in registry::all() {
         t.row(vec![
             app.abbr().to_string(),
@@ -94,7 +98,7 @@ fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
     let cfg = bench_config();
     let r = run_policy(&cfg, app, opts.rate, opts.policy);
     if opts.json {
-        let mut v = serde_json::json!({
+        let mut v = json!({
             "app": r.app,
             "policy": r.policy,
             "rate": r.rate.label(),
@@ -105,7 +109,7 @@ fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
             "driver_core_load": r.stats.driver.core_load(r.stats.cycles),
         });
         if let Some(h) = &r.hpe {
-            v["hpe"] = serde_json::json!({
+            v["hpe"] = json!({
                 "category": h.classification.map(|c| c.category.to_string()),
                 "ratio1": h.classification.map(|c| c.ratio1),
                 "ratio2": h.classification.map(|c| c.ratio2),
@@ -113,7 +117,7 @@ fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
                 "strategy_switches": h.timeline.len() - 1,
             });
         }
-        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+        println!("{}", v.pretty());
     } else {
         println!(
             "{} under {} at {}: {} faults, {} evictions, {} cycles, IPC {:.5}",
@@ -223,9 +227,7 @@ fn main() {
             },
             other => Err(format!("unknown command {other:?}")),
         },
-        None => {
-            Err("usage: hpe-lab <list|run|compare|sweep|profile> [APP] [options]".to_string())
-        }
+        None => Err("usage: hpe-lab <list|run|compare|sweep|profile> [APP] [options]".to_string()),
     };
     if let Err(msg) = result {
         eprintln!("error: {msg}");

@@ -18,7 +18,10 @@ pub mod report;
 pub mod runner;
 
 pub use report::{f2, f3, geomean, mean, save_json, Table};
-pub use runner::{manual_strategy_for, rrip_config_for, run_hpe_with, run_policy, HpeReport, PolicyKind, RunResult};
+pub use runner::{
+    manual_strategy_for, rrip_config_for, run_hpe_with, run_policy, HpeReport, PolicyKind,
+    RunResult,
+};
 
 use uvm_types::SimConfig;
 

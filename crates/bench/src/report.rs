@@ -103,24 +103,19 @@ pub fn mean(xs: &[f64]) -> f64 {
 
 /// Directory where benches drop their JSON series.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results");
     let _ = fs::create_dir_all(&dir);
     dir
 }
 
 /// Saves a JSON-serializable value as `target/paper-results/<name>.json`.
-pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn save_json<T: uvm_util::ToJson>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("[saved {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    let json = value.to_json().pretty();
+    if let Err(e) = fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[saved {}]", path.display());
     }
 }
 

@@ -141,7 +141,12 @@ pub fn run_policy(
             None,
         ),
         PolicyKind::ClockPro => (
-            run_sim(cfg, &trace, ClockPro::new(ClockProConfig::default()), capacity),
+            run_sim(
+                cfg,
+                &trace,
+                ClockPro::new(ClockProConfig::default()),
+                capacity,
+            ),
             None,
         ),
         PolicyKind::Ideal => (run_sim(cfg, &trace, ideal_for(&trace), capacity), None),

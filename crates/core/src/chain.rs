@@ -264,7 +264,11 @@ impl PageSetChain {
                     let mut min_any: Option<(u32, SetKey)> = None;
                     let len = chain.len();
                     let skip = if len == 0 { 0 } else { jump as usize % len };
-                    for k in chain.iter_rev().skip(skip).chain(chain.iter_rev().take(skip)) {
+                    for k in chain
+                        .iter_rev()
+                        .skip(skip)
+                        .chain(chain.iter_rev().take(skip))
+                    {
                         comparisons += 1;
                         if !live(k) {
                             zombies.push(*k);

@@ -66,7 +66,11 @@ pub struct Classification {
 /// let c = classify(&stats, 0.3, 2.0);
 /// assert_eq!(c.category, Category::Regular);
 /// ```
-pub fn classify(counts: &CounterStats, ratio1_threshold: f64, ratio2_threshold: f64) -> Classification {
+pub fn classify(
+    counts: &CounterStats,
+    ratio1_threshold: f64,
+    ratio2_threshold: f64,
+) -> Classification {
     let ratio1 = if counts.regular == 0 {
         if counts.irregular == 0 {
             0.0

@@ -172,7 +172,10 @@ impl EvictionPolicy for Hpe {
 
         let mut outcome = FaultOutcome::default();
         if let Some(hir) = &mut self.hir {
-            if self.fault_count.is_multiple_of(u64::from(self.cfg.transfer_interval)) {
+            if self
+                .fault_count
+                .is_multiple_of(u64::from(self.cfg.transfer_interval))
+            {
                 let records = hir.flush();
                 if !records.is_empty() {
                     self.hir_flushes += 1;
@@ -205,11 +208,7 @@ impl EvictionPolicy for Hpe {
 
     fn on_memory_full(&mut self) {
         let stats = self.chain.counter_stats();
-        let classification = classify(
-            &stats,
-            self.cfg.ratio1_threshold,
-            self.cfg.ratio2_threshold,
-        );
+        let classification = classify(&stats, self.cfg.ratio1_threshold, self.cfg.ratio2_threshold);
         let old_sets = self.chain.old_len();
         self.adjuster
             .set_category(classification.category, old_sets, self.fault_count);

@@ -2,89 +2,96 @@
 //! under flush, first-touch ordering, and conflict accounting.
 
 use hpe_core::HirCache;
-use proptest::prelude::*;
 use std::collections::HashMap;
 use uvm_types::{HirGeometry, PageId};
+use uvm_util::prop::Checker;
+use uvm_util::Rng;
 
-fn geometry() -> impl Strategy<Value = HirGeometry> {
-    (1u32..5, 0u32..3).prop_map(|(sets_log2, ways_log2)| {
-        let ways = 1 << ways_log2;
-        HirGeometry {
-            entries: (1 << sets_log2) * ways,
-            ways,
-            counter_bits: 2,
-        }
-    })
+fn gen_geometry(rng: &mut Rng) -> HirGeometry {
+    let sets_log2 = rng.gen_range(1u32..5);
+    let ways_log2 = rng.gen_range(0u32..3);
+    let ways = 1 << ways_log2;
+    HirGeometry {
+        entries: (1 << sets_log2) * ways,
+        ways,
+        counter_bits: 2,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn flush_never_overreports_hits(
-        geom in geometry(),
-        pages in proptest::collection::vec(0u64..256, 1..300),
-    ) {
-        let mut hir = HirCache::new(geom, 4);
-        let mut truth: HashMap<(u64, usize), u32> = HashMap::new();
-        for &p in &pages {
-            hir.record(PageId(p));
-            *truth.entry((p >> 4, (p & 15) as usize)).or_insert(0) += 1;
-        }
-        let records = hir.flush();
-        for rec in &records {
-            for (off, &c) in rec.counts.iter().enumerate() {
-                if c > 0 {
-                    let true_count = truth.get(&(rec.set.0, off)).copied().unwrap_or(0);
-                    // Counters saturate at 3 and conflicts can only *lose*
-                    // information, never invent it.
-                    prop_assert!(
-                        u32::from(c) <= true_count,
-                        "set {} off {off}: reported {c} > true {true_count}",
-                        rec.set
-                    );
-                    prop_assert!(u32::from(c) <= 3);
+#[test]
+fn flush_never_overreports_hits() {
+    Checker::new().cases(64).run(
+        |rng| {
+            (
+                gen_geometry(rng),
+                rng.gen_vec(1..300, |r| r.gen_range(0u64..256)),
+            )
+        },
+        |(geom, pages)| {
+            let mut hir = HirCache::new(*geom, 4);
+            let mut truth: HashMap<(u64, usize), u32> = HashMap::new();
+            for &p in pages {
+                hir.record(PageId(p));
+                *truth.entry((p >> 4, (p & 15) as usize)).or_insert(0) += 1;
+            }
+            let records = hir.flush();
+            for rec in &records {
+                for (off, &c) in rec.counts.iter().enumerate() {
+                    if c > 0 {
+                        let true_count = truth.get(&(rec.set.0, off)).copied().unwrap_or(0);
+                        // Counters saturate at 3 and conflicts can only *lose*
+                        // information, never invent it.
+                        assert!(
+                            u32::from(c) <= true_count,
+                            "set {} off {off}: reported {c} > true {true_count}",
+                            rec.set
+                        );
+                        assert!(u32::from(c) <= 3);
+                    }
                 }
             }
-        }
-        // No duplicate sets in one flush.
-        let mut seen = std::collections::HashSet::new();
-        for rec in &records {
-            prop_assert!(seen.insert(rec.set), "set {} flushed twice", rec.set);
-        }
-        // After a flush the cache is empty.
-        prop_assert_eq!(hir.touched_len(), 0);
-        prop_assert!(hir.flush().is_empty());
-    }
+            // No duplicate sets in one flush.
+            let mut seen = std::collections::HashSet::new();
+            for rec in &records {
+                assert!(seen.insert(rec.set), "set {} flushed twice", rec.set);
+            }
+            // After a flush the cache is empty.
+            assert_eq!(hir.touched_len(), 0);
+            assert!(hir.flush().is_empty());
+        },
+    );
+}
 
-    #[test]
-    fn no_conflicts_means_no_information_loss(
-        pages in proptest::collection::vec(0u64..128, 1..200),
-    ) {
-        // 1024-entry HIR over at most 8 distinct sets: never conflicts,
-        // so every hit below saturation is reported exactly.
-        let mut hir = HirCache::new(HirGeometry::paper_default(), 4);
-        let mut truth: HashMap<(u64, usize), u32> = HashMap::new();
-        for &p in &pages {
-            hir.record(PageId(p));
-            *truth.entry((p >> 4, (p & 15) as usize)).or_insert(0) += 1;
-        }
-        prop_assert_eq!(hir.conflict_evictions(), 0);
-        let records = hir.flush();
-        let mut reported: HashMap<(u64, usize), u32> = HashMap::new();
-        for rec in &records {
-            for (off, &c) in rec.counts.iter().enumerate() {
-                if c > 0 {
-                    reported.insert((rec.set.0, off), u32::from(c));
+#[test]
+fn no_conflicts_means_no_information_loss() {
+    Checker::new().cases(64).run(
+        |rng| rng.gen_vec(1..200, |r| r.gen_range(0u64..128)),
+        |pages| {
+            // 1024-entry HIR over at most 8 distinct sets: never conflicts,
+            // so every hit below saturation is reported exactly.
+            let mut hir = HirCache::new(HirGeometry::paper_default(), 4);
+            let mut truth: HashMap<(u64, usize), u32> = HashMap::new();
+            for &p in pages {
+                hir.record(PageId(p));
+                *truth.entry((p >> 4, (p & 15) as usize)).or_insert(0) += 1;
+            }
+            assert_eq!(hir.conflict_evictions(), 0);
+            let records = hir.flush();
+            let mut reported: HashMap<(u64, usize), u32> = HashMap::new();
+            for rec in &records {
+                for (off, &c) in rec.counts.iter().enumerate() {
+                    if c > 0 {
+                        reported.insert((rec.set.0, off), u32::from(c));
+                    }
                 }
             }
-        }
-        for (&key, &t) in &truth {
-            prop_assert_eq!(
-                reported.get(&key).copied().unwrap_or(0),
-                t.min(3),
-                "hit count mismatch for {:?}", key
-            );
-        }
-    }
+            for (&key, &t) in &truth {
+                assert_eq!(
+                    reported.get(&key).copied().unwrap_or(0),
+                    t.min(3),
+                    "hit count mismatch for {key:?}"
+                );
+            }
+        },
+    );
 }

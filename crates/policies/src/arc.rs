@@ -242,9 +242,9 @@ mod tests {
 
     #[test]
     fn residency_and_fault_bounds_hold() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
-        let refs: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..64)).collect();
+        use uvm_util::Rng;
+        let mut rng = Rng::seed_from_u64(99);
+        let refs: Vec<u64> = (0..2000).map(|_| rng.gen_range(0u64..64)).collect();
         let faults = replay(&mut ArcPolicy::new(), &refs, 24);
         assert!(faults >= 64);
         assert!(faults <= 2000);

@@ -280,9 +280,9 @@ mod tests {
 
     #[test]
     fn never_beats_compulsory_bound() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(21);
-        let refs: Vec<u64> = (0..1200).map(|_| rng.gen_range(0..50)).collect();
+        use uvm_util::Rng;
+        let mut rng = Rng::seed_from_u64(21);
+        let refs: Vec<u64> = (0..1200).map(|_| rng.gen_range(0u64..50)).collect();
         let faults = replay(&mut Car::new(), &refs, 20);
         assert!(faults >= 50);
     }

@@ -252,7 +252,7 @@ impl<'a, K> Iterator for Iter<'a, K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use uvm_util::prop::{shrink_vec, Checker};
 
     #[test]
     fn basic_order() {
@@ -363,39 +363,44 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn matches_vec_model(ops in proptest::collection::vec((0u8..5, 0u16..24), 0..400)) {
-            let mut chain = RecencyChain::new();
-            let mut model = Model::default();
-            for (op, k) in ops {
-                match op {
-                    0 => {
-                        chain.insert_mru(k);
-                        model.insert_mru(k);
+    #[test]
+    fn matches_vec_model() {
+        Checker::new().run_shrink(
+            |rng| {
+                rng.gen_vec(0..400, |r| {
+                    (r.gen_range(0u16..5) as u8, r.gen_range(0u16..24))
+                })
+            },
+            shrink_vec,
+            |ops| {
+                let mut chain = RecencyChain::new();
+                let mut model = Model::default();
+                for &(op, k) in ops {
+                    match op {
+                        0 => {
+                            chain.insert_mru(k);
+                            model.insert_mru(k);
+                        }
+                        1 => {
+                            chain.touch(&k);
+                            model.touch(k);
+                        }
+                        2 => {
+                            chain.remove(&k);
+                            model.remove(k);
+                        }
+                        4 => {
+                            chain.insert_lru(k);
+                            model.insert_lru(k);
+                        }
+                        _ => {
+                            assert_eq!(chain.pop_lru(), model.pop_lru());
+                        }
                     }
-                    1 => {
-                        chain.touch(&k);
-                        model.touch(k);
-                    }
-                    2 => {
-                        chain.remove(&k);
-                        model.remove(k);
-                    }
-                    4 => {
-                        chain.insert_lru(k);
-                        model.insert_lru(k);
-                    }
-                    _ => {
-                        prop_assert_eq!(chain.pop_lru(), model.pop_lru());
-                    }
+                    assert_eq!(chain.len(), model.0.len());
+                    assert_eq!(chain.iter().copied().collect::<Vec<_>>(), model.0);
                 }
-                prop_assert_eq!(chain.len(), model.0.len());
-                prop_assert_eq!(
-                    chain.iter().copied().collect::<Vec<_>>(),
-                    model.0.clone()
-                );
-            }
-        }
+            },
+        );
     }
 }

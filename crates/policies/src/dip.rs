@@ -7,9 +7,8 @@
 //! duels over *time*: alternating short sample epochs of each policy and
 //! following whichever faulted less, re-sampled periodically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use uvm_types::{PageId, PolicyStats};
+use uvm_util::Rng;
 
 use crate::chain::RecencyChain;
 use crate::{EvictionPolicy, FaultOutcome};
@@ -33,7 +32,7 @@ use crate::{EvictionPolicy, FaultOutcome};
 #[derive(Debug)]
 pub struct Bip {
     chain: RecencyChain<PageId>,
-    rng: StdRng,
+    rng: Rng,
     epsilon_inv: u32,
     stats: PolicyStats,
 }
@@ -54,7 +53,7 @@ impl Bip {
         assert!(epsilon_inv > 0, "epsilon_inv must be nonzero");
         Bip {
             chain: RecencyChain::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             epsilon_inv,
             stats: PolicyStats::default(),
         }
@@ -109,7 +108,7 @@ impl EvictionPolicy for Bip {
 #[derive(Debug)]
 pub struct Dip {
     chain: RecencyChain<PageId>,
-    rng: StdRng,
+    rng: Rng,
     epsilon_inv: u32,
     /// Faults per sampling epoch.
     epoch_len: u32,
@@ -133,7 +132,7 @@ impl Dip {
     pub fn new() -> Self {
         Dip {
             chain: RecencyChain::new(),
-            rng: StdRng::seed_from_u64(0xD1B),
+            rng: Rng::seed_from_u64(0xD1B),
             epsilon_inv: 32,
             epoch_len: 64,
             epoch_faults: 0,

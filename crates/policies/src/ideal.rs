@@ -201,11 +201,11 @@ mod tests {
     fn ideal_never_worse_than_lru() {
         use crate::test_util::replay;
         use crate::Lru;
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use uvm_util::Rng;
 
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for trial in 0..5 {
-            let refs: Vec<u64> = (0..600).map(|_| rng.gen_range(0..40)).collect();
+            let refs: Vec<u64> = (0..600).map(|_| rng.gen_range(0u64..40)).collect();
             let cap = 8 + trial * 4;
             let ideal_faults = replay_ideal(&refs, cap);
             let lru_faults = replay(&mut Lru::new(), &refs, cap);

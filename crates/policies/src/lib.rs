@@ -49,9 +49,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod chain;
 mod arc;
 mod car;
+pub mod chain;
 mod clock;
 mod clockpro;
 mod dip;

@@ -1,9 +1,8 @@
 //! Uniform-random eviction (Zheng et al. found it competitive with LRU).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use uvm_types::{PageId, PolicyStats};
+use uvm_util::Rng;
 
 use crate::{EvictionPolicy, FaultOutcome};
 
@@ -26,7 +25,7 @@ use crate::{EvictionPolicy, FaultOutcome};
 pub struct RandomPolicy {
     pages: Vec<PageId>,
     index: HashMap<PageId, usize>,
-    rng: StdRng,
+    rng: Rng,
     stats: PolicyStats,
 }
 
@@ -41,7 +40,7 @@ impl RandomPolicy {
         RandomPolicy {
             pages: Vec::new(),
             index: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             stats: PolicyStats::default(),
         }
     }
@@ -118,7 +117,9 @@ mod tests {
             for p in 0..20u64 {
                 rnd.on_fault(PageId(p), p);
             }
-            (0..20).map(|_| rnd.select_victim().unwrap()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| rnd.select_victim().unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

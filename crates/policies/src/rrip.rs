@@ -122,7 +122,10 @@ pub struct Rrip {
 impl Rrip {
     /// Creates an RRIP policy with the given configuration.
     pub fn new(cfg: RripConfig) -> Self {
-        assert!(cfg.m_bits >= 1 && cfg.m_bits <= 8, "m_bits must be in 1..=8");
+        assert!(
+            cfg.m_bits >= 1 && cfg.m_bits <= 8,
+            "m_bits must be in 1..=8"
+        );
         Rrip {
             cfg,
             entries: HashMap::new(),
@@ -340,7 +343,7 @@ mod tests {
         let mut rrip = Rrip::new(cfg);
         rrip.on_fault(PageId(0), 0);
         rrip.on_fault(PageId(1), 11); // current_fault = 12
-        // Page 0: 12 - 0 >= 10 qualified. Page 1: 12 - 11 = 1 blocked.
+                                      // Page 0: 12 - 0 >= 10 qualified. Page 1: 12 - 11 = 1 blocked.
         assert_eq!(rrip.select_victim(), Some(PageId(0)));
     }
 

@@ -148,9 +148,9 @@ mod tests {
 
     #[test]
     fn resident_accounting_matches_driver() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(3);
-        let refs: Vec<u64> = (0..1500).map(|_| rng.gen_range(0..96)).collect();
+        use uvm_util::Rng;
+        let mut rng = Rng::seed_from_u64(3);
+        let refs: Vec<u64> = (0..1500).map(|_| rng.gen_range(0u64..96)).collect();
         let mut p = SetLru::new(3);
         let faults = replay(&mut p, &refs, 40);
         assert!(faults >= 96);

@@ -3,13 +3,13 @@
 //! (a) only evict resident pages, (b) never fault more than the reference
 //! count, (c) never beat Belady's MIN.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use uvm_policies::{
     ArcPolicy, Bip, Car, Clock, ClockPro, ClockProConfig, Dip, EvictionPolicy, Ideal, Lfu, Lru,
     NextUseOracle, RandomPolicy, Rrip, RripConfig, SetLru, WsClock, WsClockConfig,
 };
 use uvm_types::PageId;
+use uvm_util::prop::{shrink_vec, Checker};
 
 /// Drives the policy like the fault driver would; panics (failing the
 /// property) if a victim is not resident. Returns the fault count.
@@ -63,62 +63,95 @@ fn policies() -> Vec<Box<dyn EvictionPolicy>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn every_policy_respects_residency_and_fault_bounds() {
+    Checker::new().cases(48).run_shrink(
+        |rng| {
+            (
+                rng.gen_vec(1..600, |r| r.gen_range(0u64..48)),
+                rng.gen_range(2usize..32),
+            )
+        },
+        |(refs, capacity)| {
+            shrink_vec(refs)
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| (v, *capacity))
+                .collect()
+        },
+        |(refs, capacity)| {
+            let distinct = refs.iter().collect::<HashSet<_>>().len() as u64;
+            for mut policy in policies() {
+                let faults = replay(policy.as_mut(), refs, *capacity);
+                assert!(
+                    faults >= distinct,
+                    "{}: {} faults < {} compulsory",
+                    policy.name(),
+                    faults,
+                    distinct
+                );
+                assert!(
+                    faults <= refs.len() as u64,
+                    "{}: more faults than references",
+                    policy.name()
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn every_policy_respects_residency_and_fault_bounds(
-        refs in proptest::collection::vec(0u64..48, 1..600),
-        capacity in 2usize..32,
-    ) {
-        let distinct = refs.iter().collect::<HashSet<_>>().len() as u64;
-        for mut policy in policies() {
-            let faults = replay(policy.as_mut(), &refs, capacity);
-            prop_assert!(
-                faults >= distinct,
-                "{}: {} faults < {} compulsory",
-                policy.name(), faults, distinct
-            );
-            prop_assert!(
-                faults <= refs.len() as u64,
-                "{}: more faults than references",
-                policy.name()
-            );
-        }
-    }
+#[test]
+fn no_policy_beats_belady() {
+    Checker::new().cases(48).run_shrink(
+        |rng| {
+            (
+                rng.gen_vec(1..400, |r| r.gen_range(0u64..32)),
+                rng.gen_range(2usize..24),
+            )
+        },
+        |(refs, capacity)| {
+            shrink_vec(refs)
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| (v, *capacity))
+                .collect()
+        },
+        |(refs, capacity)| {
+            let min = belady_faults(refs, *capacity);
+            for mut policy in policies() {
+                let faults = replay(policy.as_mut(), refs, *capacity);
+                assert!(
+                    faults >= min,
+                    "{}: {} faults beats MIN's {}",
+                    policy.name(),
+                    faults,
+                    min
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn no_policy_beats_belady(
-        refs in proptest::collection::vec(0u64..32, 1..400),
-        capacity in 2usize..24,
-    ) {
-        let min = belady_faults(&refs, capacity);
-        for mut policy in policies() {
-            let faults = replay(policy.as_mut(), &refs, capacity);
-            prop_assert!(
-                faults >= min,
-                "{}: {} faults beats MIN's {}",
-                policy.name(), faults, min
-            );
-        }
-    }
-
-    #[test]
-    fn policies_hit_entirely_within_capacity_working_sets(
-        ws in 2u64..16,
-        rounds in 2u32..10,
-    ) {
-        // A working set that fits must only ever take compulsory faults
-        // (no pathological self-eviction). Random is excluded: it evicts
-        // only when capacity is exceeded, so it also satisfies this.
-        let refs: Vec<u64> = (0..rounds).flat_map(|_| 0..ws).collect();
-        for mut policy in policies() {
-            let faults = replay(policy.as_mut(), &refs, ws as usize);
-            prop_assert_eq!(
-                faults, ws,
-                "{}: faulted {} times on a resident working set of {}",
-                policy.name(), faults, ws
-            );
-        }
-    }
+#[test]
+fn policies_hit_entirely_within_capacity_working_sets() {
+    Checker::new().cases(48).run(
+        |rng| (rng.gen_range(2u64..16), rng.gen_range(2u32..10)),
+        |&(ws, rounds)| {
+            // A working set that fits must only ever take compulsory faults
+            // (no pathological self-eviction). Random is excluded: it evicts
+            // only when capacity is exceeded, so it also satisfies this.
+            let refs: Vec<u64> = (0..rounds).flat_map(|_| 0..ws).collect();
+            for mut policy in policies() {
+                let faults = replay(policy.as_mut(), &refs, ws as usize);
+                assert_eq!(
+                    faults,
+                    ws,
+                    "{}: faulted {} times on a resident working set of {}",
+                    policy.name(),
+                    faults,
+                    ws
+                );
+            }
+        },
+    );
 }

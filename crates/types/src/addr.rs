@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use uvm_util::impl_json_newtype;
 
 /// Base-2 logarithm of the page size: the paper uses 4 KB OS pages
 /// (Section III), the default page size of current GPUs.
@@ -22,7 +22,7 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// assert_eq!(va.page(), PageId(0x8000_0));
 /// assert_eq!(va.page_offset(), 0x123);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 impl VirtAddr {
@@ -66,7 +66,7 @@ impl fmt::Display for VirtAddr {
 /// assert_eq!(page.page_set(4), PageSetId(0x8000));
 /// assert_eq!(page.set_offset(4), 0xf);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub u64);
 
 impl PageId {
@@ -111,7 +111,7 @@ impl fmt::Display for PageId {
 /// assert_eq!(pages[0], PageId(0x80000));
 /// assert_eq!(pages[15], PageId(0x8000f));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageSetId(pub u64);
 
 impl PageSetId {
@@ -138,6 +138,8 @@ impl PageSetId {
         PageId((self.0 << set_shift) + index as u64)
     }
 }
+
+impl_json_newtype!(VirtAddr, PageId, PageSetId);
 
 impl fmt::Display for PageSetId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

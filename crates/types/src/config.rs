@@ -1,6 +1,6 @@
 //! Simulated-system configuration (Table I of the paper).
 
-use serde::{Deserialize, Serialize};
+use uvm_util::{impl_json_struct, FromJson, Json, JsonError, ToJson};
 
 use crate::error::ConfigError;
 
@@ -14,7 +14,7 @@ use crate::error::ConfigError;
 /// let l1 = TlbConfig { entries: 128, ways: 128, latency_cycles: 1 };
 /// assert_eq!(l1.sets(), 1); // fully associative
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Total number of entries.
     pub entries: u32,
@@ -50,11 +50,17 @@ impl TlbConfig {
     }
 }
 
+impl_json_struct!(TlbConfig {
+    entries,
+    ways,
+    latency_cycles
+});
+
 /// Geometry of the GPU-side hit-information record cache (HIR, Section IV-B).
 ///
 /// The paper's configuration is an 8-way set-associative cache with 1024
 /// entries and 2-bit per-page reference counters (10 KB total).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HirGeometry {
     /// Total number of entries (paper: 1024).
     pub entries: u32,
@@ -121,6 +127,12 @@ impl Default for HirGeometry {
     }
 }
 
+impl_json_struct!(HirGeometry {
+    entries,
+    ways,
+    counter_bits
+});
+
 /// Oversubscription rate: the fraction of the application footprint that
 /// fits in GPU memory (Section V evaluates 75% and 50%).
 ///
@@ -134,7 +146,7 @@ impl Default for HirGeometry {
 /// // A custom rate clamps capacity to at least one page.
 /// assert_eq!(Oversubscription::Custom(0.0001).capacity_pages(1000), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Oversubscription {
     /// 75% of the footprint fits in GPU memory.
     Rate75,
@@ -169,6 +181,41 @@ impl Oversubscription {
     }
 }
 
+// Serialized in serde's externally-tagged form: unit variants as their
+// name strings, `Custom(f)` as `{"Custom": f}`.
+impl ToJson for Oversubscription {
+    fn to_json(&self) -> Json {
+        match self {
+            Oversubscription::Rate75 => Json::Str("Rate75".to_string()),
+            Oversubscription::Rate50 => Json::Str("Rate50".to_string()),
+            Oversubscription::Custom(f) => {
+                let mut obj = Json::object();
+                obj.insert("Custom", f.to_json());
+                obj
+            }
+        }
+    }
+}
+
+impl FromJson for Oversubscription {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Rate75") => return Ok(Oversubscription::Rate75),
+            Some("Rate50") => return Ok(Oversubscription::Rate50),
+            Some(other) => {
+                return Err(JsonError::new(format!(
+                    "unknown Oversubscription variant '{other}'"
+                )))
+            }
+            None => {}
+        }
+        match v.get("Custom") {
+            Some(f) => Ok(Oversubscription::Custom(f64::from_json(f)?)),
+            None => Err(JsonError::new("expected Oversubscription")),
+        }
+    }
+}
+
 /// Configuration of the simulated GPU system (Table I) plus the HPE
 /// parameters fixed by the paper's sensitivity study (Section V-A).
 ///
@@ -188,7 +235,7 @@ impl Oversubscription {
 /// assert_eq!(cfg.page_set_shift(), 3);
 /// # Ok::<(), uvm_types::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of streaming multiprocessors (Table I: 15).
     pub n_sms: u32,
@@ -225,18 +272,12 @@ pub struct SimConfig {
     /// service (0 = off, the paper's configuration). An extension in the
     /// direction Zheng et al. motivate; extra pages pay PCIe transfer time
     /// and may trigger extra evictions.
-    #[serde(default)]
     pub prefetch_pages: u32,
     /// Fault batching: the driver services up to this many *queued* demand
     /// faults in one 20 µs window, amortizing the fixed handling cost
     /// (real UVM drivers batch up to 256 faults per interrupt; the paper's
     /// model — and the default here — is 1, one fault per service).
-    #[serde(default = "default_fault_batch")]
     pub fault_batch: u32,
-}
-
-fn default_fault_batch() -> u32 {
-    1
 }
 
 impl SimConfig {
@@ -366,10 +407,7 @@ impl SimConfig {
             return Err(ConfigError::invalid("transfer_interval", "must be nonzero"));
         }
         if self.prefetch_pages > 64 {
-            return Err(ConfigError::invalid(
-                "prefetch_pages",
-                "must be at most 64",
-            ));
+            return Err(ConfigError::invalid("prefetch_pages", "must be at most 64"));
         }
         if self.fault_batch == 0 || self.fault_batch > 256 {
             return Err(ConfigError::invalid("fault_batch", "must be in 1..=256"));
@@ -378,6 +416,24 @@ impl SimConfig {
         Ok(())
     }
 }
+
+impl_json_struct!(SimConfig {
+    n_sms,
+    warps_per_sm,
+    clock_ghz,
+    l1_tlb,
+    l2_tlb,
+    page_walk_cycles,
+    mem_access_cycles,
+    fault_service_us,
+    pcie_gbps,
+    page_set_size,
+    interval_len,
+    transfer_interval,
+    hir,
+    prefetch_pages = 0,
+    fault_batch = 1,
+});
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -589,10 +645,38 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
+    fn config_json_roundtrip() {
         let cfg = SimConfig::paper_default();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        let json = cfg.to_json().to_string();
+        let back = SimConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn config_json_defaults_absent_fields() {
+        // prefetch_pages / fault_batch were added after the first snapshot
+        // format; older documents omit them.
+        let mut j = SimConfig::paper_default().to_json();
+        let Json::Object(entries) = &mut j else {
+            panic!()
+        };
+        entries.retain(|(k, _)| k != "prefetch_pages" && k != "fault_batch");
+        let back = SimConfig::from_json(&j).unwrap();
+        assert_eq!(back.prefetch_pages, 0);
+        assert_eq!(back.fault_batch, 1);
+    }
+
+    #[test]
+    fn oversubscription_json_roundtrip() {
+        for o in [
+            Oversubscription::Rate75,
+            Oversubscription::Rate50,
+            Oversubscription::Custom(0.3),
+        ] {
+            let j = o.to_json();
+            let back = Oversubscription::from_json(&j).unwrap();
+            assert_eq!(back, o);
+        }
+        assert!(Oversubscription::from_json(&Json::Str("Rate99".into())).is_err());
     }
 }

@@ -1,9 +1,9 @@
 //! Metric containers reported by the simulator and the policies.
 
-use serde::{Deserialize, Serialize};
+use uvm_util::impl_json_struct;
 
 /// TLB hierarchy counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// L1 TLB hits (summed over all SMs).
     pub l1_hits: u64,
@@ -27,8 +27,15 @@ impl TlbStats {
     }
 }
 
+impl_json_struct!(TlbStats {
+    l1_hits,
+    l1_misses,
+    l2_hits,
+    l2_misses
+});
+
 /// CPU-side driver counters (Section V-C's core-load analysis).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DriverStats {
     /// Cycles the host core spent busy on fault handling and (for HPE)
     /// chain updates.
@@ -43,7 +50,6 @@ pub struct DriverStats {
     /// zero for the ideal-model baselines).
     pub hit_transfer_cycles: u64,
     /// Pages migrated by sequential prefetching (0 with prefetch off).
-    #[serde(default)]
     pub prefetched_pages: u64,
 }
 
@@ -54,10 +60,19 @@ impl DriverStats {
     }
 }
 
+impl_json_struct!(DriverStats {
+    busy_cycles,
+    faults_serviced,
+    evictions,
+    wrong_evictions,
+    hit_transfer_cycles,
+    prefetched_pages = 0,
+});
+
 /// Counters a policy reports about its own operation.
 ///
 /// Policies fill only the fields that apply to them; the rest stay zero.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PolicyStats {
     /// Victim selections performed.
     pub selections: u64,
@@ -94,8 +109,20 @@ impl PolicyStats {
     }
 }
 
+impl_json_struct!(PolicyStats {
+    selections,
+    search_comparisons,
+    hir_flushes,
+    hir_entries_transferred,
+    hir_conflict_evictions,
+    strategy_switches,
+    intervals_lru,
+    intervals_mruc,
+    page_sets_divided,
+});
+
 /// End-to-end simulation results.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles until every warp retired.
     pub cycles: u64,
@@ -114,6 +141,17 @@ pub struct SimStats {
     /// Policy-side counters.
     pub policy: PolicyStats,
 }
+
+impl_json_struct!(SimStats {
+    cycles,
+    instructions,
+    mem_accesses,
+    walks,
+    walk_hits,
+    tlb,
+    driver,
+    policy,
+});
 
 impl SimStats {
     /// Instructions per cycle, or 0 for an empty run.
@@ -190,6 +228,40 @@ mod tests {
         s.driver.evictions = 5;
         assert_eq!(s.faults(), 7);
         assert_eq!(s.evictions(), 5);
+    }
+
+    #[test]
+    fn stats_json_roundtrip() {
+        use uvm_util::{FromJson, Json, ToJson};
+        let s = SimStats {
+            cycles: 100,
+            instructions: 250,
+            mem_accesses: 60,
+            walks: 10,
+            walk_hits: 8,
+            tlb: TlbStats {
+                l1_hits: 3,
+                l1_misses: 1,
+                l2_hits: 1,
+                l2_misses: 3,
+            },
+            driver: DriverStats {
+                busy_cycles: 30,
+                faults_serviced: 7,
+                evictions: 5,
+                wrong_evictions: 2,
+                hit_transfer_cycles: 9,
+                prefetched_pages: 4,
+            },
+            policy: PolicyStats {
+                selections: 4,
+                search_comparisons: 100,
+                ..Default::default()
+            },
+        };
+        let text = s.to_json().to_string();
+        let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

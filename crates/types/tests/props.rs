@@ -1,51 +1,71 @@
 //! Property-based tests for the address/page/page-set arithmetic.
 
-use proptest::prelude::*;
 use uvm_types::{Oversubscription, PageId, PageSetId, VirtAddr, PAGE_SIZE};
+use uvm_util::prop::Checker;
 
-proptest! {
-    #[test]
-    fn addr_page_offset_roundtrip(addr in 0u64..(1u64 << 52)) {
-        let va = VirtAddr(addr);
-        let page = va.page();
-        let off = va.page_offset();
-        prop_assert!(off < PAGE_SIZE);
-        prop_assert_eq!(VirtAddr::from(page).0 + off, addr);
-    }
+#[test]
+fn addr_page_offset_roundtrip() {
+    Checker::new().run(
+        |rng| rng.gen_range(0u64..(1u64 << 52)),
+        |&addr| {
+            let va = VirtAddr(addr);
+            let page = va.page();
+            let off = va.page_offset();
+            assert!(off < PAGE_SIZE);
+            assert_eq!(VirtAddr::from(page).0 + off, addr);
+        },
+    );
+}
 
-    #[test]
-    fn page_set_partition_is_exact(page in 0u64..(1u64 << 40), shift in 0u32..7) {
-        let p = PageId(page);
-        let set = p.page_set(shift);
-        let off = p.set_offset(shift);
-        prop_assert!(u64::from(off) < (1u64 << shift));
-        prop_assert_eq!(set.page_at(shift, off), p);
-        // Every page of the set maps back to the set.
-        for q in set.pages(shift) {
-            prop_assert_eq!(q.page_set(shift), set);
-        }
-    }
+#[test]
+fn page_set_partition_is_exact() {
+    Checker::new().run(
+        |rng| (rng.gen_range(0u64..(1u64 << 40)), rng.gen_range(0u32..7)),
+        |&(page, shift)| {
+            let p = PageId(page);
+            let set = p.page_set(shift);
+            let off = p.set_offset(shift);
+            assert!(u64::from(off) < (1u64 << shift));
+            assert_eq!(set.page_at(shift, off), p);
+            // Every page of the set maps back to the set.
+            for q in set.pages(shift) {
+                assert_eq!(q.page_set(shift), set);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn set_pages_are_contiguous_and_sorted(set in 0u64..(1u64 << 30), shift in 0u32..7) {
-        let pages: Vec<PageId> = PageSetId(set).pages(shift).collect();
-        prop_assert_eq!(pages.len() as u64, 1u64 << shift);
-        for w in pages.windows(2) {
-            prop_assert_eq!(w[1].0, w[0].0 + 1);
-        }
-    }
+#[test]
+fn set_pages_are_contiguous_and_sorted() {
+    Checker::new().run(
+        |rng| (rng.gen_range(0u64..(1u64 << 30)), rng.gen_range(0u32..7)),
+        |&(set, shift)| {
+            let pages: Vec<PageId> = PageSetId(set).pages(shift).collect();
+            assert_eq!(pages.len() as u64, 1u64 << shift);
+            for w in pages.windows(2) {
+                assert_eq!(w[1].0, w[0].0 + 1);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn capacity_is_monotone_in_rate_and_footprint(
-        footprint in 1u64..1_000_000,
-        f1 in 0.01f64..1.0,
-        f2 in 0.01f64..1.0,
-    ) {
-        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        let c_lo = Oversubscription::Custom(lo).capacity_pages(footprint);
-        let c_hi = Oversubscription::Custom(hi).capacity_pages(footprint);
-        prop_assert!(c_lo <= c_hi);
-        prop_assert!(c_hi <= footprint);
-        prop_assert!(c_lo >= 1);
-    }
+#[test]
+fn capacity_is_monotone_in_rate_and_footprint() {
+    Checker::new().run(
+        |rng| {
+            (
+                rng.gen_range(1u64..1_000_000),
+                rng.gen_range(0.01f64..1.0),
+                rng.gen_range(0.01f64..1.0),
+            )
+        },
+        |&(footprint, f1, f2)| {
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            let c_lo = Oversubscription::Custom(lo).capacity_pages(footprint);
+            let c_hi = Oversubscription::Custom(hi).capacity_pages(footprint);
+            assert!(c_lo <= c_hi);
+            assert!(c_hi <= footprint);
+            assert!(c_lo >= 1);
+        },
+    );
 }

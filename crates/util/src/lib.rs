@@ -1,0 +1,28 @@
+//! `uvm-util`: the hermetic utility layer for the HPE workspace.
+//!
+//! Every crate in this workspace builds with **zero external dependencies**
+//! so the tier-1 verify (`cargo build --release && cargo test -q`) runs
+//! fully offline. This crate supplies the small, deterministic replacements
+//! for what the seed previously pulled from crates.io:
+//!
+//! - [`rng`] — a seeded SplitMix64/xoshiro256** PRNG (replaces `rand`).
+//! - [`json`] — a JSON value type, serializer, parser and derive-style
+//!   macros (replaces `serde`/`serde_json`).
+//! - [`prop`] — a deterministic, seed-reporting property-test harness
+//!   (replaces `proptest`).
+//! - [`bench`] — a micro-benchmark timer with a criterion-shaped API
+//!   (replaces `criterion`).
+//!
+//! Determinism contract: the PRNG algorithm and the property-harness seed
+//! derivation are frozen. Changing either invalidates every golden-trace
+//! snapshot in the workspace, so treat them as ABI.
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::Rng;

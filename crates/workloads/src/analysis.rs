@@ -78,7 +78,11 @@ pub fn stack_distances(global: &[u64]) -> Vec<Option<u64>> {
             Some(prev) => {
                 // Distinct pages touched in (prev, i) = marked positions.
                 let between = fen.prefix_sum(i.saturating_sub(1))
-                    - if prev == 0 { 0 } else { fen.prefix_sum(prev - 1) }
+                    - if prev == 0 {
+                        0
+                    } else {
+                        fen.prefix_sum(prev - 1)
+                    }
                     - 1; // exclude the page's own mark at prev
                 out.push(Some(between));
                 fen.add(prev, -1);

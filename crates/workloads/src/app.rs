@@ -2,10 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use uvm_util::impl_json_enum;
 
 /// The six access-pattern types of Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PatternType {
     /// Type I — streaming: every page referenced once (or a fixed small
     /// number of times) in a single pass.
@@ -50,6 +50,15 @@ impl PatternType {
     }
 }
 
+impl_json_enum!(PatternType {
+    Streaming,
+    Thrashing,
+    PartRepetitive,
+    MostRepetitive,
+    RepetitiveThrashing,
+    RegionMoving,
+});
+
 impl fmt::Display for PatternType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Type {}", self.roman())
@@ -57,7 +66,7 @@ impl fmt::Display for PatternType {
 }
 
 /// Source benchmark suite (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// Rodinia benchmark suite.
     Rodinia,
@@ -66,6 +75,12 @@ pub enum Suite {
     /// Polybench/GPU benchmark suite.
     Polybench,
 }
+
+impl_json_enum!(Suite {
+    Rodinia,
+    Parboil,
+    Polybench
+});
 
 impl fmt::Display for Suite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -177,6 +192,17 @@ mod tests {
         assert_eq!(PatternType::RegionMoving.roman(), "VI");
         assert_eq!(PatternType::ALL.len(), 6);
         assert_eq!(format!("{}", PatternType::Thrashing), "Type II");
+    }
+
+    #[test]
+    fn pattern_and_suite_json_roundtrip() {
+        use uvm_util::{FromJson, ToJson};
+        for p in PatternType::ALL {
+            assert_eq!(PatternType::from_json(&p.to_json()).unwrap(), p);
+        }
+        for s in [Suite::Rodinia, Suite::Parboil, Suite::Polybench] {
+            assert_eq!(Suite::from_json(&s.to_json()).unwrap(), s);
+        }
     }
 
     #[test]

@@ -29,8 +29,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use uvm_util::Rng;
 
 use crate::patterns;
 
@@ -62,11 +61,30 @@ impl Error for BuildError {}
 
 #[derive(Debug, Clone)]
 enum Phase {
-    Stream { region: String, refs: u32 },
-    Sweeps { region: String, n: u32 },
-    RegionMoving { region: String, parts: u64, rounds: u32 },
-    Irregular { region: String, window: u64, max_extra: u32 },
-    HotMix { base: String, hot: String, period: usize, touches: u32 },
+    Stream {
+        region: String,
+        refs: u32,
+    },
+    Sweeps {
+        region: String,
+        n: u32,
+    },
+    RegionMoving {
+        region: String,
+        parts: u64,
+        rounds: u32,
+    },
+    Irregular {
+        region: String,
+        window: u64,
+        max_extra: u32,
+    },
+    HotMix {
+        base: String,
+        hot: String,
+        period: usize,
+        touches: u32,
+    },
 }
 
 /// A finished custom workload.
@@ -96,7 +114,13 @@ impl CustomWorkload {
     /// Distributes the workload over `n_streams` warps (see
     /// [`crate::Trace::from_global`]).
     pub fn trace(&self, n_streams: u32, tile: u32, compute_per_op: u16) -> crate::Trace {
-        crate::Trace::from_global(&self.global, self.footprint, compute_per_op, n_streams, tile)
+        crate::Trace::from_global(
+            &self.global,
+            self.footprint,
+            compute_per_op,
+            n_streams,
+            tile,
+        )
     }
 }
 
@@ -183,7 +207,12 @@ impl WorkloadBuilder {
 
     /// Region-moving over the region: `parts` sub-regions, each swept
     /// `rounds` times (type VI).
-    pub fn region_moving(mut self, region: &str, parts: u64, rounds: u32) -> Result<Self, BuildError> {
+    pub fn region_moving(
+        mut self,
+        region: &str,
+        parts: u64,
+        rounds: u32,
+    ) -> Result<Self, BuildError> {
         self.check_region(region)?;
         self.phases.push(Phase::RegionMoving {
             region: region.to_string(),
@@ -194,7 +223,12 @@ impl WorkloadBuilder {
     }
 
     /// Windowed page-irregular reuse over the region (irregular#2-style).
-    pub fn irregular(mut self, region: &str, window: u64, max_extra: u32) -> Result<Self, BuildError> {
+    pub fn irregular(
+        mut self,
+        region: &str,
+        window: u64,
+        max_extra: u32,
+    ) -> Result<Self, BuildError> {
         self.check_region(region)?;
         self.phases.push(Phase::Irregular {
             region: region.to_string(),
@@ -243,7 +277,7 @@ impl WorkloadBuilder {
             return Err(BuildError::NoPhases);
         }
         let sizes: HashMap<String, u64> = self.regions.iter().cloned().collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut global = Vec::new();
         for phase in &self.phases {
             let (region, seq) = match phase {
@@ -255,7 +289,10 @@ impl WorkloadBuilder {
                     region,
                     parts,
                     rounds,
-                } => (region, patterns::region_moving(sizes[region], *parts, *rounds)),
+                } => (
+                    region,
+                    patterns::region_moving(sizes[region], *parts, *rounds),
+                ),
                 Phase::Irregular {
                     region,
                     window,
@@ -371,7 +408,10 @@ mod tests {
 
     #[test]
     fn no_phases_is_an_error() {
-        let err = WorkloadBuilder::new("w").region("x", 5).build().unwrap_err();
+        let err = WorkloadBuilder::new("w")
+            .region("x", 5)
+            .build()
+            .unwrap_err();
         assert_eq!(err, BuildError::NoPhases);
     }
 

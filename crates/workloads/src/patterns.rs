@@ -9,8 +9,7 @@
 //! is realized by generating reuse at *page set* granularity where an
 //! application is "regular", and at page granularity where it is not.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use uvm_util::Rng;
 
 /// Type I — streaming: `(a_1, a_2, a_3, ..., a_k)`, every page referenced
 /// the same small number of times in a single pass.
@@ -62,7 +61,7 @@ pub fn part_repetitive(
     set_size: u64,
     eps: f64,
     extra_refs: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Vec<u64> {
     assert!(set_size > 0, "set_size must be nonzero");
     let mut out = Vec::new();
@@ -91,13 +90,15 @@ pub fn part_repetitive(
 /// # Panics
 ///
 /// Panics if `window` is zero.
-pub fn page_irregular(pages: u64, window: u64, max_extra: u32, rng: &mut StdRng) -> Vec<u64> {
+pub fn page_irregular(pages: u64, window: u64, max_extra: u32, rng: &mut Rng) -> Vec<u64> {
     assert!(window > 0, "window must be nonzero");
     let mut out = Vec::new();
     let mut start = 0u64;
     while start < pages {
         let end = (start + window).min(pages);
-        let refs: Vec<u32> = (start..end).map(|_| 1 + rng.gen_range(0..=max_extra)).collect();
+        let refs: Vec<u32> = (start..end)
+            .map(|_| 1 + rng.gen_range(0..=max_extra))
+            .collect();
         for pass in 0..=max_extra {
             for (i, p) in (start..end).enumerate() {
                 if pass < refs[i] {
@@ -125,7 +126,7 @@ pub fn parity_phase_jittered(
     parity: u64,
     min_refs: u32,
     max_refs: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Vec<u64> {
     assert!(parity < 2, "parity must be 0 or 1");
     assert!(min_refs >= 1 && min_refs <= max_refs, "bad refs range");
@@ -250,7 +251,7 @@ pub fn with_hot_region(
     hot_pages: u64,
     period: usize,
     touches_per_insert: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Vec<u64> {
     assert!(period > 0, "period must be nonzero");
     assert!(hot_pages > 0, "hot_pages must be nonzero");
@@ -309,10 +310,9 @@ pub fn interleave(a: &[u64], chunk_a: usize, b: &[u64], chunk_b: usize) -> Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]
@@ -355,10 +355,7 @@ mod tests {
     fn part_repetitive_counters_divisible_by_set_size() {
         let s = part_repetitive(256, 16, 0.4, 2, &mut rng());
         for set in 0..(256 / 16) {
-            let count = s
-                .iter()
-                .filter(|&&p| p / 16 == set)
-                .count();
+            let count = s.iter().filter(|&&p| p / 16 == set).count();
             assert_eq!(count % 16, 0, "set {set} count {count} not divisible");
         }
     }

@@ -11,14 +11,13 @@
 //! (`uvm_sim::scaled_config`) shrinks TLB reach by the same factor so that
 //! page-walk-level reuse visibility matches the paper's setup.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uvm_util::Rng;
 
 use crate::app::{App, PatternType, Suite};
 use crate::patterns;
 
-fn rng_for(app: &App) -> StdRng {
-    StdRng::seed_from_u64(app.seed)
+fn rng_for(app: &App) -> Rng {
+    Rng::seed_from_u64(app.seed)
 }
 
 // ---------------------------------------------------------------------------
@@ -261,7 +260,12 @@ fn build_his(app: &App) -> Vec<u64> {
     for _ in 0..2 {
         let pass = patterns::streaming(input_pages, 1);
         out.extend(patterns::with_hot_region(
-            &pass, input_pages, bin_pages, 8, 3, &mut rng,
+            &pass,
+            input_pages,
+            bin_pages,
+            8,
+            3,
+            &mut rng,
         ));
     }
     out
@@ -277,7 +281,12 @@ fn build_spv(app: &App) -> Vec<u64> {
     let mut out: Vec<u64> = (matrix_pages..app.footprint_pages).collect();
     for _ in 0..3 {
         out.extend(patterns::with_hot_region(
-            &one, matrix_pages, 256, 48, 1, &mut rng,
+            &one,
+            matrix_pages,
+            256,
+            48,
+            1,
+            &mut rng,
         ));
     }
     out
@@ -323,33 +332,168 @@ macro_rules! app {
 pub static APPS: [App; 23] = [
     // Type I
     app!("hotspot", "HOT", Rodinia, Streaming, 2048, 6, 101, build_hot),
-    app!("leukocyte", "LEU", Rodinia, Streaming, 1536, 8, 102, build_leu),
+    app!(
+        "leukocyte",
+        "LEU",
+        Rodinia,
+        Streaming,
+        1536,
+        8,
+        102,
+        build_leu
+    ),
     app!("cutcp", "CUT", Parboil, Streaming, 1024, 10, 103, build_cut),
     app!("2DCONV", "2DC", Polybench, Streaming, 2048, 4, 104, build_2dc),
     app!("GEMM", "GEM", Polybench, Streaming, 2560, 6, 105, build_gem),
     // Type II
     app!("srad_v2", "SRD", Rodinia, Thrashing, 2048, 5, 201, build_srd),
-    app!("hotspot3D", "HSD", Rodinia, Thrashing, 2304, 5, 202, build_hsd),
+    app!(
+        "hotspot3D",
+        "HSD",
+        Rodinia,
+        Thrashing,
+        2304,
+        5,
+        202,
+        build_hsd
+    ),
     app!("mri-q", "MRQ", Parboil, Thrashing, 1280, 8, 203, build_mrq),
     app!("stencil", "STN", Parboil, Thrashing, 768, 5, 204, build_stn),
     // Type III
-    app!("pathfinder", "PAT", Rodinia, PartRepetitive, 1536, 4, 301, build_pat),
-    app!("dwt2d", "DWT", Rodinia, PartRepetitive, 2560, 5, 302, build_dwt),
-    app!("backprop", "BKP", Rodinia, PartRepetitive, 1280, 6, 303, build_bkp),
-    app!("kmeans", "KMN", Rodinia, PartRepetitive, 4096, 4, 304, build_kmn),
-    app!("sad", "SAD", Parboil, PartRepetitive, 2048, 5, 305, build_sad),
+    app!(
+        "pathfinder",
+        "PAT",
+        Rodinia,
+        PartRepetitive,
+        1536,
+        4,
+        301,
+        build_pat
+    ),
+    app!(
+        "dwt2d",
+        "DWT",
+        Rodinia,
+        PartRepetitive,
+        2560,
+        5,
+        302,
+        build_dwt
+    ),
+    app!(
+        "backprop",
+        "BKP",
+        Rodinia,
+        PartRepetitive,
+        1280,
+        6,
+        303,
+        build_bkp
+    ),
+    app!(
+        "kmeans",
+        "KMN",
+        Rodinia,
+        PartRepetitive,
+        4096,
+        4,
+        304,
+        build_kmn
+    ),
+    app!(
+        "sad",
+        "SAD",
+        Parboil,
+        PartRepetitive,
+        2048,
+        5,
+        305,
+        build_sad
+    ),
     // Type IV
     app!("nw", "NW", Rodinia, MostRepetitive, 1536, 4, 401, build_nw),
-    app!("bfs", "BFS", Rodinia, MostRepetitive, 1536, 3, 402, build_bfs),
-    app!("MVT", "MVT", Polybench, MostRepetitive, 1024, 4, 403, build_mvt),
+    app!(
+        "bfs",
+        "BFS",
+        Rodinia,
+        MostRepetitive,
+        1536,
+        3,
+        402,
+        build_bfs
+    ),
+    app!(
+        "MVT",
+        "MVT",
+        Polybench,
+        MostRepetitive,
+        1024,
+        4,
+        403,
+        build_mvt
+    ),
     // Type V
-    app!("heartwall", "HWL", Rodinia, RepetitiveThrashing, 1536, 6, 501, build_hwl),
-    app!("sgemm", "SGM", Parboil, RepetitiveThrashing, 1792, 6, 502, build_sgm),
-    app!("histo", "HIS", Parboil, RepetitiveThrashing, 1536, 4, 503, build_his),
-    app!("spmv", "SPV", Parboil, RepetitiveThrashing, 2304, 4, 504, build_spv),
+    app!(
+        "heartwall",
+        "HWL",
+        Rodinia,
+        RepetitiveThrashing,
+        1536,
+        6,
+        501,
+        build_hwl
+    ),
+    app!(
+        "sgemm",
+        "SGM",
+        Parboil,
+        RepetitiveThrashing,
+        1792,
+        6,
+        502,
+        build_sgm
+    ),
+    app!(
+        "histo",
+        "HIS",
+        Parboil,
+        RepetitiveThrashing,
+        1536,
+        4,
+        503,
+        build_his
+    ),
+    app!(
+        "spmv",
+        "SPV",
+        Parboil,
+        RepetitiveThrashing,
+        2304,
+        4,
+        504,
+        build_spv
+    ),
     // Type VI
-    app!("b+tree", "B+T", Rodinia, RegionMoving, 1536, 5, 601, build_bpt),
-    app!("hybridsort", "HYB", Rodinia, RegionMoving, 2048, 5, 602, build_hyb),
+    app!(
+        "b+tree",
+        "B+T",
+        Rodinia,
+        RegionMoving,
+        1536,
+        5,
+        601,
+        build_bpt
+    ),
+    app!(
+        "hybridsort",
+        "HYB",
+        Rodinia,
+        RegionMoving,
+        2048,
+        5,
+        602,
+        build_hyb
+    ),
 ];
 
 /// Returns all 23 registered applications in paper order.
@@ -410,7 +554,12 @@ mod tests {
                 "{} out of footprint",
                 app.abbr()
             );
-            assert_eq!(seq, app.global_sequence(), "{} nondeterministic", app.abbr());
+            assert_eq!(
+                seq,
+                app.global_sequence(),
+                "{} nondeterministic",
+                app.abbr()
+            );
         }
     }
 

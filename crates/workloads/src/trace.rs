@@ -1,19 +1,21 @@
 //! Trace representation and distribution over per-warp streams.
 
-use serde::{Deserialize, Serialize};
 use uvm_types::PageId;
+use uvm_util::impl_json_struct;
 
 use crate::App;
 
 /// One simulated instruction bundle: a memory access to `page` followed by
 /// `compute` compute instructions (one cycle each).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Op {
     /// The virtual page touched by the memory access.
     pub page: PageId,
     /// Compute instructions executed after the access.
     pub compute: u16,
 }
+
+impl_json_struct!(Op { page, compute });
 
 /// A workload trace: one op stream per simulated warp.
 ///
@@ -34,12 +36,18 @@ pub struct Op {
 /// let total: usize = trace.streams().iter().map(|s| s.len()).sum();
 /// assert_eq!(total as u64, trace.total_ops());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     streams: Vec<Vec<Op>>,
     footprint_pages: u64,
     total_ops: u64,
 }
+
+impl_json_struct!(Trace {
+    streams,
+    footprint_pages,
+    total_ops,
+});
 
 impl Trace {
     /// Builds a trace for `app`, dealing tiles of `tile` consecutive global
@@ -50,7 +58,13 @@ impl Trace {
     /// Panics if `n_streams` or `tile` is zero.
     pub fn build(app: &App, n_streams: u32, tile: u32) -> Trace {
         let global = app.global_sequence();
-        Self::from_global(&global, app.footprint_pages(), app.compute_per_op(), n_streams, tile)
+        Self::from_global(
+            &global,
+            app.footprint_pages(),
+            app.compute_per_op(),
+            n_streams,
+            tile,
+        )
     }
 
     /// Builds a trace directly from a global page-index sequence.
@@ -191,6 +205,15 @@ mod tests {
     fn compute_per_op_propagates() {
         let t = Trace::from_global(&[0, 1], 2, 7, 1, 1);
         assert!(t.streams()[0].iter().all(|o| o.compute == 7));
+    }
+
+    #[test]
+    fn trace_json_roundtrip() {
+        use uvm_util::{FromJson, Json, ToJson};
+        let t = Trace::from_global(&[0, 1, 1, 2], 3, 5, 2, 1);
+        let text = t.to_json().to_string();
+        let back = Trace::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

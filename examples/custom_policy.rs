@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?
     .run();
 
-    println!("{:>6}  {:>9}  {:>9}  {:>12}", "policy", "faults", "evictions", "cycles");
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>12}",
+        "policy", "faults", "evictions", "cycles"
+    );
     for (name, s) in [
         ("FIFO", &fifo.stats),
         ("LRU", &lru.stats),

@@ -74,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             faults(ideal.stats),
         );
     }
-    println!("\nCompulsory faults (unconstrained memory): {}", trace.distinct_pages());
+    println!(
+        "\nCompulsory faults (unconstrained memory): {}",
+        trace.distinct_pages()
+    );
     Ok(())
 }

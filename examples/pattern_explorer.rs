@@ -14,13 +14,12 @@ use hpe::core::{Hpe, HpeConfig};
 use hpe::policies::{Lru, RandomPolicy};
 use hpe::sim::{ideal_for, Simulation, DEFAULT_TILE};
 use hpe::types::SimConfig;
+use hpe::util::Rng;
 use hpe::workloads::{patterns, Trace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SimConfig::scaled_default();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
 
     // 1024 sweep pages + 256 hot pages = 1280-page footprint.
     let sweep_pages = 1024u64;
@@ -58,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run();
     let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run();
 
-    println!("{:>7}  {:>9}  {:>9}  {:>8}", "policy", "faults", "evictions", "IPC");
+    println!(
+        "{:>7}  {:>9}  {:>9}  {:>8}",
+        "policy", "faults", "evictions", "IPC"
+    );
     for (name, s) in [
         ("LRU", &lru.stats),
         ("Random", &rnd.stats),

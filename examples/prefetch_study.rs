@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\neach 20 us fault service migrates 1 + depth pages (bounded by footprint/capacity);");
+    println!(
+        "\neach 20 us fault service migrates 1 + depth pages (bounded by footprint/capacity);"
+    );
     println!("deeper prefetch trades PCIe bytes and eviction pressure for fewer stalls.");
     Ok(())
 }

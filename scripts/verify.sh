@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Full repo verification: formatting, hermetic offline build, and the
+# complete workspace test suite (tier-1 is the build + root-package
+# tests; this script is a superset).
+#
+# The workspace has zero external dependencies — `--offline` must
+# succeed with an empty registry cache. If it ever starts failing with
+# a missing-crate error, a dependency leaked in; see DESIGN.md §6.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline (tier-1 build)"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (tier-1 tests, root package)"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --workspace (all crates)"
+cargo test -q --offline --workspace
+
+echo "verify: OK"

@@ -14,6 +14,7 @@ pub use hpe_core as core;
 pub use uvm_policies as policies;
 pub use uvm_sim as sim;
 pub use uvm_types as types;
+pub use uvm_util as util;
 pub use uvm_workloads as workloads;
 
 pub use hpe_core::{Hpe, HpeConfig};

@@ -1,0 +1,125 @@
+//! Golden-trace determinism tests.
+//!
+//! Each test drives one eviction policy end to end over a fixed-seed
+//! workload (`STN`, the smallest registered footprint) at 75%
+//! oversubscription, twice, and asserts:
+//!
+//! 1. the two runs are bit-identical (`SimStats: Eq`), and
+//! 2. the stats match a pinned snapshot, serialized through the in-repo
+//!    JSON encoder so the whole struct is covered in one comparison.
+//!
+//! If an intentional change to the engine, a policy, the PRNG, or the
+//! workload builders shifts a snapshot, re-pin it from the "actual"
+//! string in the assertion failure. An *unintentional* diff here means
+//! determinism or replay compatibility broke.
+
+use hpe::core::{Hpe, HpeConfig};
+use hpe::policies::{
+    ClockPro, ClockProConfig, EvictionPolicy, Lru, RandomPolicy, Rrip, RripConfig,
+};
+use hpe::sim::{ideal_for, trace_for, Simulation};
+use hpe::types::{Oversubscription, SimConfig, SimStats};
+use hpe::util::ToJson;
+use hpe::workloads::registry;
+
+/// The fixture: STN (stencil, 768 pages) under `scaled_default` at 75%.
+const APP: &str = "STN";
+
+fn run_once(make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>) -> SimStats {
+    let cfg = SimConfig::scaled_default();
+    let app = registry::by_abbr(APP).expect("registered app");
+    let trace = trace_for(&cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    let policy = make(&cfg);
+    Simulation::new(cfg.clone(), &trace, policy, capacity)
+        .expect("valid sim")
+        .run()
+        .stats
+}
+
+fn golden(name: &str, make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>, pinned: &str) {
+    let first = run_once(make);
+    let second = run_once(make);
+    assert_eq!(first, second, "{name}: two identical runs diverged");
+    let actual = first.to_json().to_string();
+    assert_eq!(
+        actual, pinned,
+        "{name}: stats drifted from the pinned snapshot.\nactual: {actual}"
+    );
+}
+
+#[test]
+fn trace_generation_is_pinned() {
+    // The workload builder feeds every golden run; pin its shape first so
+    // a drifted policy snapshot can be told apart from a drifted trace.
+    let cfg = SimConfig::scaled_default();
+    let app = registry::by_abbr(APP).expect("registered app");
+    let a = trace_for(&cfg, app);
+    let b = trace_for(&cfg, app);
+    assert_eq!(
+        a.to_json().to_string(),
+        b.to_json().to_string(),
+        "trace generation is not deterministic"
+    );
+    assert_eq!(a.footprint_pages(), 768);
+    assert_eq!(a.total_ops(), 4608);
+    assert_eq!(a.distinct_pages(), 768);
+}
+
+#[test]
+fn golden_lru() {
+    golden(
+        "LRU",
+        &|_| Box::new(Lru::new()),
+        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":0,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+    );
+}
+
+#[test]
+fn golden_random() {
+    golden(
+        "Random",
+        &|_| Box::new(RandomPolicy::seeded(7)),
+        r#"{"cycles":45220672,"instructions":27648,"mem_accesses":4608,"walks":5470,"walk_hits":3344,"tlb":{"l1_hits":0,"l1_misses":6734,"l2_hits":1264,"l2_misses":5470},"driver":{"busy_cycles":45220000,"faults_serviced":1615,"evictions":1039,"wrong_evictions":364,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":1039,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+    );
+}
+
+#[test]
+fn golden_rrip() {
+    golden(
+        "RRIP",
+        &|_| Box::new(Rrip::new(RripConfig::default())),
+        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":0,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":2322432,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+    );
+}
+
+#[test]
+fn golden_clockpro() {
+    golden(
+        "CLOCK-Pro",
+        &|_| Box::new(ClockPro::new(ClockProConfig::default())),
+        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":448,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+    );
+}
+
+#[test]
+fn golden_ideal() {
+    golden(
+        "Ideal",
+        &|cfg| {
+            let app = registry::by_abbr(APP).expect("registered app");
+            let trace = trace_for(cfg, app);
+            Box::new(ideal_for(&trace))
+        },
+        r#"{"cycles":33628280,"instructions":27648,"mem_accesses":4608,"walks":4978,"walk_hits":3487,"tlb":{"l1_hits":0,"l1_misses":6099,"l2_hits":1121,"l2_misses":4978},"driver":{"busy_cycles":33628000,"faults_serviced":1201,"evictions":625,"wrong_evictions":76,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":625,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+    );
+}
+
+#[test]
+fn golden_hpe() {
+    golden(
+        "HPE",
+        &|cfg| Box::new(Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE")),
+        r#"{"cycles":70784920,"instructions":27648,"mem_accesses":4608,"walks":7136,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":7136,"l2_hits":0,"l2_misses":7136},"driver":{"busy_cycles":70924542,"faults_serviced":2528,"evictions":1952,"wrong_evictions":409,"hit_transfer_cycles":892,"prefetched_pages":0},"policy":{"selections":1952,"search_comparisons":38608,"hir_flushes":158,"hir_entries_transferred":931,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":9,"intervals_mruc":30,"page_sets_divided":0}}"#,
+    );
+}

@@ -27,7 +27,9 @@ fn category_of(abbr: &str) -> Category {
 
 #[test]
 fn thrashing_and_streaming_apps_classify_regular() {
-    for abbr in ["HOT", "LEU", "2DC", "GEM", "SRD", "HSD", "MRQ", "STN", "PAT", "BKP"] {
+    for abbr in [
+        "HOT", "LEU", "2DC", "GEM", "SRD", "HSD", "MRQ", "STN", "PAT", "BKP",
+    ] {
         assert_eq!(
             category_of(abbr),
             Category::Regular,
@@ -105,7 +107,10 @@ fn hir_flushes_happen_and_carry_entries() {
     let (stats, _) = run_hpe("HSD", Oversubscription::Rate75);
     assert!(stats.policy.hir_flushes > 0, "HSD must flush the HIR");
     assert!(stats.policy.hir_entries_transferred > 0);
-    assert!(stats.driver.hit_transfer_cycles > 0, "transfer latency charged");
+    assert!(
+        stats.driver.hit_transfer_cycles > 0,
+        "transfer latency charged"
+    );
 }
 
 #[test]

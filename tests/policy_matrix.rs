@@ -68,7 +68,10 @@ fn check(abbr: &str, rate: Oversubscription) {
             stats.faults(),
             ideal.faults()
         );
-        assert!(stats.cycles > 0 && stats.ipc() > 0.0, "{abbr}/{name}: no progress");
+        assert!(
+            stats.cycles > 0 && stats.ipc() > 0.0,
+            "{abbr}/{name}: no progress"
+        );
     }
 }
 
