@@ -7,7 +7,7 @@
 //! MRU-C throughout; SRD/HSD/DWT/SGM adjust the search point; BFS, SAD,
 //! HIS switch between strategies.
 
-use hpe_bench::{bench_config, run_policy, save_json, PolicyKind, Table};
+use hpe_bench::{bench_config, run_policy_traced, save_json, PolicyKind, Table};
 use hpe_core::StrategyKind;
 use uvm_types::Oversubscription;
 use uvm_util::json;
@@ -25,7 +25,7 @@ fn main() {
             &["app", "%LRU", "%MRU-C", "switches", "jumps", "timeline"],
         );
         for app in registry::all() {
-            let r = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe);
             let total_faults = r.stats.faults().max(1);
             let report = r.hpe.expect("HPE report");
             // Integrate the timeline over fault numbers, starting at the
@@ -50,12 +50,20 @@ fn main() {
                 report.jump_events.len().to_string(),
                 timeline_str.join(" -> "),
             ]);
+            // Enriched series from the trace: per fault-window counts of
+            // strategy switches and wrong evictions (fig. 13's "over time"
+            // axis, windowed by the classification interval length).
+            let rows = capture.by_fault.rows();
+            let switch_series: Vec<u64> = rows.iter().map(|w| w.strategy_switches).collect();
+            let wrong_series: Vec<u64> = rows.iter().map(|w| w.wrong_evictions).collect();
             json.push(json!({
                 "app": app.abbr(),
                 "rate": rate.label(),
                 "pct_lru": pct_lru,
                 "switches": report.timeline.len() - 1,
                 "jump_events": report.jump_events,
+                "switch_series": switch_series,
+                "wrong_eviction_series": wrong_series,
             }));
         }
         t.print();

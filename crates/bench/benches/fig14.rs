@@ -5,7 +5,7 @@
 //! the paper. Paper shape: typically below 50 comparisons, with BFS and
 //! HIS as outliers (irregular#2 apps that adjust during runtime).
 
-use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
+use hpe_bench::{bench_config, f2, run_policy_traced, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
 use uvm_util::json;
 use uvm_workloads::registry;
@@ -19,7 +19,7 @@ fn main() {
     let mut json = Vec::new();
     for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
         for app in registry::all() {
-            let r = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe);
             let report = r.hpe.expect("HPE report");
             if report.mruc_searches == 0 {
                 continue; // LRU for the entire execution: omitted.
@@ -31,11 +31,14 @@ fn main() {
                 report.mruc_searches.to_string(),
                 f2(avg),
             ]);
+            // Enriched: full distribution of per-search comparison counts
+            // (the figure only shows the average).
             json.push(json!({
                 "app": app.abbr(),
                 "rate": rate.label(),
                 "searches": report.mruc_searches,
                 "avg_comparisons": avg,
+                "comparisons_hist": capture.histograms.search_comparisons(),
             }));
         }
     }

@@ -5,7 +5,7 @@
 //! (its stride-4 touches waste HIR entry space, so many entries carry only
 //! a few counters each).
 
-use hpe_bench::{bench_config, f2, run_policy, save_json, PolicyKind, Table};
+use hpe_bench::{bench_config, f2, run_policy_traced, save_json, PolicyKind, Table};
 use uvm_types::Oversubscription;
 use uvm_util::json;
 use uvm_workloads::registry;
@@ -19,7 +19,7 @@ fn main() {
     );
     let mut json = Vec::new();
     for app in registry::all() {
-        let r = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+        let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe);
         let p = &r.stats.policy;
         t.row(vec![
             app.abbr().to_string(),
@@ -28,12 +28,22 @@ fn main() {
             f2(p.avg_hir_entries_per_flush()),
             p.hir_conflict_evictions.to_string(),
         ]);
+        // Enriched: flush-size distribution plus HIR entries per fault
+        // window (the figure only shows the average).
+        let hir_series: Vec<u64> = capture
+            .by_fault
+            .rows()
+            .iter()
+            .map(|w| w.hir_entries)
+            .collect();
         json.push(json!({
             "app": app.abbr(),
             "flushes": p.hir_flushes,
             "entries": p.hir_entries_transferred,
             "avg_per_flush": p.avg_hir_entries_per_flush(),
             "conflicts": p.hir_conflict_evictions,
+            "flush_entries_hist": capture.histograms.hir_flush_entries(),
+            "hir_series": hir_series,
         }));
     }
     t.print();

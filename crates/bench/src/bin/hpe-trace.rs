@@ -1,0 +1,397 @@
+//! `hpe-trace`: inspect simulation event traces.
+//!
+//! Operates on JSONL event streams written by the tracing layer (one
+//! compact JSON object per line, see `uvm_sim::JsonlWriter`), or runs an
+//! application live when given a registered abbreviation instead of a
+//! file.
+//!
+//! ```sh
+//! hpe-trace record STN --out stn.jsonl     # run + dump the event stream
+//! hpe-trace summarize stn.jsonl            # counters + intervals + histograms
+//! hpe-trace summarize STN                  # same, running STN live (HPE, 75%)
+//! hpe-trace timeline stn.jsonl             # windowed series + marker events
+//! hpe-trace diff a.jsonl b.jsonl           # first divergence of two streams
+//! hpe-trace shape fig13.json               # stable shape of a figure series
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hpe_bench::{bench_config, run_policy_traced, traces_dir, write_jsonl, PolicyKind, Table};
+use uvm_sim::{
+    parse_jsonl, EventCounters, IntervalCollector, IntervalKey, SimEvent, SimObserver,
+    TraceHistograms,
+};
+use uvm_types::Oversubscription;
+use uvm_util::{Json, ToJson};
+use uvm_workloads::registry;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hpe-trace <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 record    <APP> [--policy P] [--rate 75|50] [--out FILE]\n\
+         \x20           run APP and write its event stream as JSONL\n\
+         \x20           (default: target/paper-results/traces/<app>-<policy>-<rate>.jsonl)\n\
+         \x20 summarize <FILE|APP> [--policy P] [--rate 75|50]\n\
+         \x20           event counters, interval series and histograms\n\
+         \x20 timeline  <FILE|APP> [--window N] [--policy P] [--rate 75|50]\n\
+         \x20           fault-windowed series plus marker events\n\
+         \x20 diff      <FILE> <FILE>\n\
+         \x20           compare two streams; exit 1 if they differ\n\
+         \x20 shape     <FIG.json>\n\
+         \x20           stable shape of a figure's JSON series\n\
+         \n\
+         policies: LRU, Random, LFU, RRIP, CLOCK-Pro, Ideal, HPE (default HPE)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_policy(name: &str) -> Option<PolicyKind> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(name))
+}
+
+fn parse_rate(text: &str) -> Option<Oversubscription> {
+    match text.trim_end_matches('%') {
+        "75" => Some(Oversubscription::Rate75),
+        "50" => Some(Oversubscription::Rate50),
+        _ => None,
+    }
+}
+
+/// Common `--policy` / `--rate` / `--out` / `--window` flags.
+struct Flags {
+    policy: PolicyKind,
+    rate: Oversubscription,
+    out: Option<PathBuf>,
+    window: Option<u64>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        policy: PolicyKind::Hpe,
+        rate: Oversubscription::Rate75,
+        out: None,
+        window: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--policy" => {
+                let v = value("--policy")?;
+                flags.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                flags.rate = parse_rate(&v).ok_or_else(|| format!("unknown rate '{v}'"))?;
+            }
+            "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+            "--window" => {
+                let v = value("--window")?;
+                let w: u64 = v.parse().map_err(|_| format!("bad --window '{v}'"))?;
+                if w == 0 {
+                    return Err("--window must be nonzero".into());
+                }
+                flags.window = Some(w);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+/// Loads events from a JSONL file, or by running a registered app live.
+fn load_events(spec: &str, flags: &Flags) -> Result<Vec<SimEvent>, String> {
+    let path = Path::new(spec);
+    if path.exists() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        return parse_jsonl(&text).map_err(|e| format!("{spec}: {e}"));
+    }
+    let Some(app) = registry::by_abbr(spec) else {
+        return Err(format!(
+            "'{spec}' is neither a readable file nor a registered app"
+        ));
+    };
+    eprintln!(
+        "[running {} under {} at {} ...]",
+        app.abbr(),
+        flags.policy.label(),
+        flags.rate.label()
+    );
+    let (_, capture) = run_policy_traced(&bench_config(), app, flags.rate, flags.policy);
+    Ok(capture.log.events().to_vec())
+}
+
+fn cmd_record(flags: &Flags) -> Result<(), String> {
+    let [spec] = flags.positional.as_slice() else {
+        return Err("record needs exactly one APP".into());
+    };
+    let Some(app) = registry::by_abbr(spec) else {
+        return Err(format!("unknown app '{spec}'"));
+    };
+    let (result, capture) = run_policy_traced(&bench_config(), app, flags.rate, flags.policy);
+    let path = flags.out.clone().unwrap_or_else(|| {
+        traces_dir().join(format!(
+            "{}-{}-{}.jsonl",
+            app.abbr().to_lowercase().replace('+', "p"),
+            flags.policy.label().to_lowercase(),
+            flags.rate.label().trim_end_matches('%')
+        ))
+    });
+    let lines = write_jsonl(&path, capture.log.events()).map_err(|e| e.to_string())?;
+    println!(
+        "{} under {} at {}: {} faults, {} evictions, {} events -> {}",
+        result.app,
+        result.policy,
+        result.rate.label(),
+        result.stats.faults(),
+        result.stats.evictions(),
+        lines,
+        path.display()
+    );
+    Ok(())
+}
+
+fn replay<S: SimObserver>(sink: &mut S, events: &[SimEvent]) {
+    for &e in events {
+        sink.on_event(e);
+    }
+}
+
+fn cmd_summarize(flags: &Flags) -> Result<(), String> {
+    let [spec] = flags.positional.as_slice() else {
+        return Err("summarize needs exactly one FILE or APP".into());
+    };
+    let events = load_events(spec, flags)?;
+    let mut counters = EventCounters::default();
+    replay(&mut counters, &events);
+    let mut t = Table::new(format!("event counters ({spec})"), &["event", "count"]);
+    for (name, n) in [
+        ("FaultRaised", counters.faults_raised),
+        ("FaultServiced", counters.faults_serviced),
+        ("Eviction", counters.evictions),
+        ("WrongEviction", counters.wrong_evictions),
+        ("PageWalk", counters.page_walks),
+        ("  walk hits", counters.walk_hits),
+        ("PrefetchIssued", counters.prefetches),
+        ("VictimSelected", counters.victims_selected),
+        ("StrategySwitch", counters.strategy_switches),
+        ("HirFlush", counters.hir_flushes),
+        ("  entries", counters.hir_entries),
+        ("  dropped", counters.hir_dropped),
+        ("MemoryFull", counters.memory_full),
+    ] {
+        t.row(vec![name.to_string(), n.to_string()]);
+    }
+    t.print();
+
+    print_timeline_table(spec, &events, flags.window.unwrap_or(256));
+
+    let mut hists = TraceHistograms::new();
+    replay(&mut hists, &events);
+    for h in [
+        hists.inter_fault(),
+        hists.residency(),
+        hists.victim_age(),
+        hists.search_comparisons(),
+        hists.hir_flush_entries(),
+    ] {
+        println!("{}", h.render());
+    }
+    Ok(())
+}
+
+fn print_timeline_table(spec: &str, events: &[SimEvent], window: u64) {
+    let mut iv = IntervalCollector::new(IntervalKey::Faults(window));
+    replay(&mut iv, events);
+    let mut t = Table::new(
+        format!("interval series ({spec}, {window} faults per window)"),
+        &[
+            "window", "faults", "serviced", "evict", "wrong", "prefetch", "walks", "hits", "hir",
+            "switch",
+        ],
+    );
+    for (i, row) in iv.rows().iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            row.faults.to_string(),
+            row.serviced.to_string(),
+            row.evictions.to_string(),
+            row.wrong_evictions.to_string(),
+            row.prefetches.to_string(),
+            row.walks.to_string(),
+            row.walk_hits.to_string(),
+            row.hir_entries.to_string(),
+            row.strategy_switches.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn cmd_timeline(flags: &Flags) -> Result<(), String> {
+    let [spec] = flags.positional.as_slice() else {
+        return Err("timeline needs exactly one FILE or APP".into());
+    };
+    let events = load_events(spec, flags)?;
+    print_timeline_table(spec, &events, flags.window.unwrap_or(64));
+    println!("\nmarker events:");
+    let mut markers = 0;
+    for e in &events {
+        match *e {
+            SimEvent::MemoryFull { time } => {
+                println!("  cycle {time:>12}: memory full");
+                markers += 1;
+            }
+            SimEvent::StrategySwitch {
+                time,
+                from,
+                to,
+                fault_num,
+                ..
+            } => {
+                println!("  cycle {time:>12}: strategy {from} -> {to} (fault {fault_num})");
+                markers += 1;
+            }
+            _ => {}
+        }
+    }
+    if markers == 0 {
+        println!("  (none)");
+    }
+    Ok(())
+}
+
+fn cmd_diff(flags: &Flags) -> Result<bool, String> {
+    let [a_spec, b_spec] = flags.positional.as_slice() else {
+        return Err("diff needs exactly two FILEs".into());
+    };
+    let a = load_events(a_spec, flags)?;
+    let b = load_events(b_spec, flags)?;
+    let mut ca = EventCounters::default();
+    let mut cb = EventCounters::default();
+    replay(&mut ca, &a);
+    replay(&mut cb, &b);
+    let mut identical = true;
+    let mut t = Table::new(
+        format!("event counts: {a_spec} vs {b_spec}"),
+        &["event", "a", "b", "delta"],
+    );
+    for (name, na, nb) in [
+        ("FaultRaised", ca.faults_raised, cb.faults_raised),
+        ("FaultServiced", ca.faults_serviced, cb.faults_serviced),
+        ("Eviction", ca.evictions, cb.evictions),
+        ("WrongEviction", ca.wrong_evictions, cb.wrong_evictions),
+        ("PageWalk", ca.page_walks, cb.page_walks),
+        ("PrefetchIssued", ca.prefetches, cb.prefetches),
+        ("VictimSelected", ca.victims_selected, cb.victims_selected),
+        ("StrategySwitch", ca.strategy_switches, cb.strategy_switches),
+        ("HirFlush", ca.hir_flushes, cb.hir_flushes),
+        ("MemoryFull", ca.memory_full, cb.memory_full),
+    ] {
+        let delta = nb as i64 - na as i64;
+        if delta != 0 {
+            identical = false;
+        }
+        t.row(vec![
+            name.to_string(),
+            na.to_string(),
+            nb.to_string(),
+            if delta == 0 {
+                "=".to_string()
+            } else {
+                format!("{delta:+}")
+            },
+        ]);
+    }
+    t.print();
+    match a.iter().zip(&b).position(|(x, y)| x != y) {
+        Some(i) => {
+            identical = false;
+            println!("\nfirst divergence at event {i}:");
+            println!("  a: {}", a[i].to_json());
+            println!("  b: {}", b[i].to_json());
+        }
+        None if a.len() != b.len() => {
+            identical = false;
+            println!(
+                "\nstreams agree for {} events, then lengths differ: {} vs {}",
+                a.len().min(b.len()),
+                a.len(),
+                b.len()
+            );
+        }
+        None => println!("\nstreams are identical ({} events)", a.len()),
+    }
+    Ok(identical)
+}
+
+/// Prints a stable "shape" of a figure's JSON series: the entry count and,
+/// per entry, its identifying fields and sorted key set — but no measured
+/// values, so the shape survives algorithmic tuning while still catching
+/// missing apps, dropped fields, or schema drift.
+fn cmd_shape(flags: &Flags) -> Result<(), String> {
+    let [file] = flags.positional.as_slice() else {
+        return Err("shape needs exactly one FIG.json".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let entries = v
+        .as_array()
+        .ok_or_else(|| format!("{file}: expected a top-level array"))?;
+    println!("entries={}", entries.len());
+    for e in entries {
+        let Json::Object(fields) = e else {
+            return Err(format!("{file}: expected an array of objects"));
+        };
+        let mut keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        let app = e["app"].as_str().unwrap_or("?");
+        let rate = e["rate"].as_str().unwrap_or("-");
+        println!("app={app} rate={rate} keys={}", keys.join(","));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "record" => cmd_record(&flags).map(|()| true),
+        "summarize" => cmd_summarize(&flags).map(|()| true),
+        "timeline" => cmd_timeline(&flags).map(|()| true),
+        "diff" => cmd_diff(&flags),
+        "shape" => cmd_shape(&flags).map(|()| true),
+        _ => {
+            eprintln!("error: unknown command '{cmd}'");
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -119,6 +119,32 @@ pub fn save_json<T: uvm_util::ToJson>(name: &str, value: &T) {
     }
 }
 
+/// Directory where event traces (JSONL) are dropped:
+/// `target/paper-results/traces/`.
+pub fn traces_dir() -> PathBuf {
+    let dir = results_dir().join("traces");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `events` as JSONL to `path` (one compact object per line).
+/// The output is byte-identical for identical event sequences.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_jsonl(path: &std::path::Path, events: &[uvm_sim::SimEvent]) -> std::io::Result<u64> {
+    use std::io::Write as _;
+    let file = fs::File::create(path)?;
+    let mut writer = uvm_sim::JsonlWriter::new(std::io::BufWriter::new(file));
+    for &e in events {
+        uvm_sim::SimObserver::on_event(&mut writer, e);
+    }
+    let lines = writer.lines();
+    writer.finish()?.flush()?;
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

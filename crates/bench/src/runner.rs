@@ -1,12 +1,19 @@
 //! Shared experiment runner: one application x one policy x one
 //! oversubscription rate, on the scaled reproduction configuration.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use hpe_core::{Classification, Hpe, HpeConfig, StrategyKind};
 use uvm_policies::{
-    ClockPro, ClockProConfig, EvictionPolicy, Lfu, Lru, RandomPolicy, Rrip, RripConfig,
+    ClockPro, ClockProConfig, EvictionPolicy, Lfu, Lru, RandomPolicy, Rrip, RripConfig, Traced,
 };
-use uvm_sim::{ideal_for, trace_for, Simulation};
+use uvm_sim::{
+    ideal_for, trace_for, EventCounters, EventLog, IntervalCollector, IntervalKey, MultiObserver,
+    SimObserver, Simulation, TraceHistograms,
+};
 use uvm_types::{Oversubscription, SimConfig, SimStats};
+use uvm_util::{json, Json, ToJson};
 use uvm_workloads::{App, PatternType};
 
 /// The policies compared in the paper's evaluation (plus LFU from the
@@ -189,6 +196,126 @@ pub fn run_hpe_with(
         stats: outcome.stats,
         hpe: Some(report),
     }
+}
+
+/// Cycle-window width used by [`run_policy_traced`]'s cycle-keyed series
+/// (≈ 9 fault services on the Table I timing).
+pub const TRACE_CYCLE_WINDOW: u64 = 1 << 18;
+
+/// Everything the standard trace sinks collected during one
+/// [`run_policy_traced`] run.
+#[derive(Debug)]
+pub struct TraceCapture {
+    /// Event totals by kind.
+    pub counters: EventCounters,
+    /// Series bucketed by the policy interval clock (`cfg.interval_len`
+    /// faults per window).
+    pub by_fault: IntervalCollector,
+    /// Series bucketed by [`TRACE_CYCLE_WINDOW`] simulated cycles.
+    pub by_cycle: IntervalCollector,
+    /// Distribution histograms.
+    pub histograms: TraceHistograms,
+    /// The full event log, in simulated-time order.
+    pub log: EventLog,
+}
+
+impl TraceCapture {
+    /// The capture as one JSON document (counters + both interval series
+    /// + histograms; the raw log is exported separately as JSONL).
+    pub fn summary_json(&self) -> Json {
+        json!({
+            "counters": self.counters,
+            "intervals_by_fault": self.by_fault.to_json(),
+            "intervals_by_cycle": self.by_cycle.to_json(),
+            "histograms": self.histograms.to_json(),
+        })
+    }
+}
+
+/// Runs `app` under `kind` at `rate` with the full trace-sink stack
+/// attached: counters, fault- and cycle-keyed interval series,
+/// histograms, and a complete event log.
+///
+/// Baselines are wrapped in [`Traced`] so their victim selections are
+/// observable; HPE emits its native decision events. Tracing is purely
+/// observational — `RunResult.stats` is identical to [`run_policy`]'s.
+pub fn run_policy_traced(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    kind: PolicyKind,
+) -> (RunResult, TraceCapture) {
+    let trace = trace_for(cfg, app);
+    let capacity = rate.capacity_pages(app.footprint_pages());
+
+    let counters = Rc::new(RefCell::new(EventCounters::default()));
+    let by_fault = Rc::new(RefCell::new(IntervalCollector::new(IntervalKey::Faults(
+        u64::from(cfg.interval_len),
+    ))));
+    let by_cycle = Rc::new(RefCell::new(IntervalCollector::new(IntervalKey::Cycles(
+        TRACE_CYCLE_WINDOW,
+    ))));
+    let histograms = Rc::new(RefCell::new(TraceHistograms::new()));
+    let log = Rc::new(RefCell::new(EventLog::new()));
+    let mut multi = MultiObserver::new();
+    multi.push(counters.clone());
+    multi.push(by_fault.clone());
+    multi.push(by_cycle.clone());
+    multi.push(histograms.clone());
+    multi.push(log.clone());
+    let observer: Rc<RefCell<dyn SimObserver>> = Rc::new(RefCell::new(multi));
+
+    let run_traced = |policy: Box<dyn EvictionPolicy>| -> SimStats {
+        let mut sim = Simulation::new(cfg.clone(), &trace, Traced::new(policy), capacity)
+            .expect("valid simulation");
+        sim.set_observer(observer.clone());
+        sim.run().stats
+    };
+    let (stats, hpe) = match kind {
+        PolicyKind::Lru => (run_traced(Box::new(Lru::new())), None),
+        PolicyKind::Random => (run_traced(Box::new(RandomPolicy::seeded(app.seed()))), None),
+        PolicyKind::Lfu => (run_traced(Box::new(Lfu::new())), None),
+        PolicyKind::Rrip => (run_traced(Box::new(Rrip::new(rrip_config_for(app)))), None),
+        PolicyKind::ClockPro => (
+            run_traced(Box::new(ClockPro::new(ClockProConfig::default()))),
+            None,
+        ),
+        PolicyKind::Ideal => (run_traced(Box::new(ideal_for(&trace))), None),
+        PolicyKind::Hpe => {
+            let hpe = Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE config");
+            let mut sim =
+                Simulation::new(cfg.clone(), &trace, hpe, capacity).expect("valid simulation");
+            sim.set_observer(observer.clone());
+            let outcome = sim.run();
+            let report = HpeReport::from_policy(&outcome.policy);
+            (outcome.stats, Some(report))
+        }
+    };
+
+    // The simulation was consumed above, releasing its observer handle;
+    // dropping ours releases the MultiObserver's clones of each sink.
+    drop(observer);
+    fn take<T>(rc: Rc<RefCell<T>>) -> T {
+        match Rc::try_unwrap(rc) {
+            Ok(cell) => cell.into_inner(),
+            Err(_) => panic!("sink uniquely owned after the run"),
+        }
+    }
+    let capture = TraceCapture {
+        counters: take(counters),
+        by_fault: take(by_fault),
+        by_cycle: take(by_cycle),
+        histograms: take(histograms),
+        log: take(log),
+    };
+    let result = RunResult {
+        app: app.abbr(),
+        policy: kind.label(),
+        rate,
+        stats,
+        hpe,
+    };
+    (result, capture)
 }
 
 fn run_sim<P: EvictionPolicy>(

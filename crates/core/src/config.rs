@@ -23,6 +23,15 @@ impl std::fmt::Display for StrategyKind {
     }
 }
 
+impl From<StrategyKind> for uvm_types::StrategyTag {
+    fn from(kind: StrategyKind) -> Self {
+        match kind {
+            StrategyKind::Lru => uvm_types::StrategyTag::Lru,
+            StrategyKind::MruC => uvm_types::StrategyTag::MruC,
+        }
+    }
+}
+
 /// Configuration of the HPE policy.
 ///
 /// Defaults follow Section V-A: page set size 16, interval 64 faults,

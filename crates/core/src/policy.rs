@@ -1,8 +1,10 @@
 //! The HPE eviction policy (Section IV), implementing
 //! [`uvm_policies::EvictionPolicy`].
 
+use std::collections::HashMap;
+
 use uvm_policies::{EvictionPolicy, FaultOutcome};
-use uvm_types::{ConfigError, PageId, PolicyStats};
+use uvm_types::{ConfigError, PageId, PolicyEvent, PolicyStats};
 
 use crate::adjust::Adjuster;
 use crate::chain::PageSetChain;
@@ -57,6 +59,15 @@ pub struct Hpe {
     lru_comparisons: u64,
     hir_flushes: u64,
     hir_entries_transferred: u64,
+    /// Decision-event buffering (`EvictionPolicy::set_tracing`). Purely
+    /// observational: no decision may read these fields.
+    tracing: bool,
+    trace_events: Vec<PolicyEvent>,
+    /// Fault count at which each resident page was inserted (tracing
+    /// only; empty otherwise).
+    resident_since: HashMap<PageId, u64>,
+    /// HIR conflict evictions already attributed to a flush event.
+    conflicts_reported: u64,
 }
 
 impl Hpe {
@@ -88,6 +99,10 @@ impl Hpe {
             lru_comparisons: 0,
             hir_flushes: 0,
             hir_entries_transferred: 0,
+            tracing: false,
+            trace_events: Vec::new(),
+            resident_since: HashMap::new(),
+            conflicts_reported: 0,
         })
     }
 
@@ -163,8 +178,32 @@ impl EvictionPolicy for Hpe {
     }
 
     fn on_fault(&mut self, page: PageId, fault_num: u64) -> FaultOutcome {
+        let switches_before = if self.tracing {
+            self.adjuster.timeline().len()
+        } else {
+            0
+        };
         // Wrong-eviction accounting against the active strategy's FIFO.
         self.adjuster.on_fault(page, fault_num);
+        if self.tracing {
+            let tl = self.adjuster.timeline();
+            if tl.len() > switches_before {
+                let (at, to) = tl[tl.len() - 1];
+                let from = tl[tl.len() - 2].1;
+                let (ratio1, ratio2) = self
+                    .classification
+                    .as_ref()
+                    .map_or((0.0, 0.0), |c| (c.ratio1, c.ratio2));
+                self.trace_events.push(PolicyEvent::StrategySwitch {
+                    from: from.into(),
+                    to: to.into(),
+                    ratio1,
+                    ratio2,
+                    fault_num: at,
+                });
+            }
+            self.resident_since.insert(page, self.fault_count);
+        }
         // Faults update the chain (and the bit vector) immediately.
         self.chain.touch(page, 1, true);
         self.fault_count += 1;
@@ -180,6 +219,14 @@ impl EvictionPolicy for Hpe {
                 if !records.is_empty() {
                     self.hir_flushes += 1;
                     self.hir_entries_transferred += records.len() as u64;
+                    if self.tracing {
+                        let conflicts = hir.conflict_evictions();
+                        self.trace_events.push(PolicyEvent::HirFlush {
+                            entries: records.len() as u64,
+                            dropped: conflicts - self.conflicts_reported,
+                        });
+                        self.conflicts_reported = conflicts;
+                    }
                     outcome.transfer_bytes = hir.transfer_bytes(records.len());
                     outcome.driver_busy_cycles =
                         records.len() as u64 * self.cfg.update_cycles_per_record;
@@ -231,7 +278,33 @@ impl EvictionPolicy for Hpe {
             }
         }
         self.adjuster.on_eviction(sel.page);
+        if self.tracing {
+            let victim_age = self
+                .resident_since
+                .remove(&sel.page)
+                .map_or(0, |at| self.fault_count.saturating_sub(at));
+            self.trace_events.push(PolicyEvent::VictimSelected {
+                page: sel.page,
+                strategy: strategy.into(),
+                search_comparisons: sel.comparisons,
+                victim_age,
+            });
+        }
         Some(sel.page)
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+        if !enabled {
+            self.trace_events.clear();
+            self.resident_since.clear();
+        }
+    }
+
+    fn drain_events(&mut self, sink: &mut dyn FnMut(PolicyEvent)) {
+        for e in self.trace_events.drain(..) {
+            sink(e);
+        }
     }
 
     fn stats(&self) -> PolicyStats {
@@ -474,6 +547,60 @@ mod tests {
         // Eviction still works (falls through to the new partition).
         h.on_memory_full();
         assert!(h.select_victim().is_some());
+    }
+
+    #[test]
+    fn tracing_emits_victim_and_flush_events() {
+        use uvm_types::StrategyTag;
+
+        let mut h = hpe();
+        h.set_tracing(true);
+        fault_range(&mut h, 0, 8, 0);
+        h.on_walk_hit(PageId(0));
+        fault_range(&mut h, 100, 24, 8);
+        h.on_memory_full();
+        let v = h.select_victim().unwrap();
+        let mut events = Vec::new();
+        h.drain_events(&mut |e| events.push(e));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PolicyEvent::HirFlush { entries, .. } if *entries > 0)));
+        let victim = events
+            .iter()
+            .find_map(|e| match *e {
+                PolicyEvent::VictimSelected {
+                    page,
+                    strategy,
+                    victim_age,
+                    ..
+                } => Some((page, strategy, victim_age)),
+                _ => None,
+            })
+            .expect("victim event present");
+        assert_eq!(victim.0, v);
+        assert_ne!(victim.1, StrategyTag::Native);
+        assert!(victim.2 <= 32);
+        // Buffer drained; disabling clears bookkeeping.
+        let mut n = 0;
+        h.drain_events(&mut |_| n += 1);
+        assert_eq!(n, 0);
+        h.set_tracing(false);
+        assert!(h.resident_since.is_empty());
+    }
+
+    #[test]
+    fn tracing_does_not_change_decisions() {
+        let mut traced = hpe_with(|c| c.use_hir = false);
+        traced.set_tracing(true);
+        let mut plain = hpe_with(|c| c.use_hir = false);
+        fault_range(&mut traced, 0, 96, 0);
+        fault_range(&mut plain, 0, 96, 0);
+        traced.on_memory_full();
+        plain.on_memory_full();
+        for _ in 0..32 {
+            assert_eq!(traced.select_victim(), plain.select_victim());
+        }
+        assert_eq!(traced.stats(), plain.stats());
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod lru;
 mod random;
 mod rrip;
 mod setlru;
+mod traced;
 mod wsclock;
 
 pub use arc::ArcPolicy;
@@ -74,9 +75,10 @@ pub use lru::Lru;
 pub use random::RandomPolicy;
 pub use rrip::{Rrip, RripConfig, RripInsertion};
 pub use setlru::SetLru;
+pub use traced::Traced;
 pub use wsclock::{WsClock, WsClockConfig};
 
-use uvm_types::{PageId, PolicyStats};
+use uvm_types::{PageId, PolicyEvent, PolicyStats};
 
 /// Side effects of servicing a page fault, reported by the policy to the
 /// simulator.
@@ -128,6 +130,22 @@ pub trait EvictionPolicy {
     fn stats(&self) -> PolicyStats {
         PolicyStats::default()
     }
+
+    /// Enables or disables decision-event buffering.
+    ///
+    /// The simulator turns tracing on exactly when an observer is
+    /// attached, so policies that implement it pay nothing on untraced
+    /// runs. Tracing must be purely observational: enabling it must not
+    /// change any decision or statistic. The default ignores the request
+    /// (the policy emits no events).
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains buffered decision events, oldest first, into `sink`.
+    ///
+    /// Called by the simulator after each policy interaction; the engine
+    /// stamps each event with the current simulated cycle. The default
+    /// drains nothing.
+    fn drain_events(&mut self, _sink: &mut dyn FnMut(PolicyEvent)) {}
 }
 
 impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
@@ -151,6 +169,12 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
     fn stats(&self) -> PolicyStats {
         (**self).stats()
+    }
+    fn set_tracing(&mut self, enabled: bool) {
+        (**self).set_tracing(enabled);
+    }
+    fn drain_events(&mut self, sink: &mut dyn FnMut(PolicyEvent)) {
+        (**self).drain_events(sink);
     }
 }
 

@@ -213,15 +213,17 @@ impl<P: EvictionPolicy> Simulation<P> {
     }
 
     /// Installs an observer receiving paging events in simulated-time
-    /// order.
+    /// order, and enables the policy's decision-event tracing (disabled
+    /// runs pay nothing; see [`EvictionPolicy::set_tracing`]).
     pub fn set_observer(&mut self, observer: Rc<RefCell<dyn SimObserver>>) {
         self.observer = Some(observer);
+        self.policy.set_tracing(true);
     }
 
     /// Attaches a fresh [`EventLog`] observer and returns a handle to it.
     pub fn attach_event_log(&mut self) -> Rc<RefCell<EventLog>> {
         let log = Rc::new(RefCell::new(EventLog::new()));
-        self.observer = Some(log.clone());
+        self.set_observer(log.clone());
         log
     }
 
@@ -229,6 +231,19 @@ impl<P: EvictionPolicy> Simulation<P> {
         if let Some(obs) = &self.observer {
             obs.borrow_mut().on_event(event);
         }
+    }
+
+    /// Forwards the policy's buffered decision events, stamped with the
+    /// current cycle, to the observer. Called after every policy
+    /// interaction that can produce events.
+    fn drain_policy_events(&mut self) {
+        let Some(obs) = self.observer.clone() else {
+            return;
+        };
+        let now = self.now;
+        self.policy.drain_events(&mut |e| {
+            obs.borrow_mut().on_event(SimEvent::from_policy(e, now));
+        });
     }
 
     fn schedule(&mut self, time: u64, kind: EventKind) {
@@ -270,6 +285,11 @@ impl<P: EvictionPolicy> Simulation<P> {
                 self.stats.tlb.l2_misses += 1;
                 latency += u64::from(self.cfg.page_walk_cycles);
                 self.stats.walks += 1;
+                self.emit(SimEvent::PageWalk {
+                    time: self.now,
+                    page: op.page,
+                    hit: self.memory.is_resident(op.page),
+                });
                 if self.memory.is_resident(op.page) {
                     self.stats.walk_hits += 1;
                     self.policy.on_walk_hit(op.page);
@@ -320,6 +340,21 @@ impl<P: EvictionPolicy> Simulation<P> {
                 });
                 if self.recent_counts.contains_key(&page) {
                     self.stats.driver.wrong_evictions += 1;
+                    if self.observer.is_some() {
+                        // 1 = the most recent eviction. The linear scan
+                        // only runs with an observer attached.
+                        let distance = self
+                            .recent_evictions
+                            .iter()
+                            .rev()
+                            .position(|&p| p == page)
+                            .map_or(0, |d| d as u64 + 1);
+                        self.emit(SimEvent::WrongEviction {
+                            time: self.now,
+                            page,
+                            refault_distance: distance,
+                        });
+                    }
                 }
                 if self.in_service.is_none() {
                     self.start_fault_service(page);
@@ -374,6 +409,10 @@ impl<P: EvictionPolicy> Simulation<P> {
                 && !self.waiters.contains_key(&candidate)
             {
                 self.in_flight.push(candidate);
+                self.emit(SimEvent::PrefetchIssued {
+                    time: self.now,
+                    page: candidate,
+                });
             }
         }
 
@@ -399,6 +438,9 @@ impl<P: EvictionPolicy> Simulation<P> {
             self.l2.invalidate(victim);
             self.stats.driver.evictions += 1;
             self.remember_eviction(victim);
+            // VictimSelected (from the policy's buffer) precedes the
+            // Eviction it caused.
+            self.drain_policy_events();
             self.emit(SimEvent::Eviction {
                 time: self.now,
                 page: victim,
@@ -414,6 +456,8 @@ impl<P: EvictionPolicy> Simulation<P> {
             outcome.transfer_bytes += o.transfer_bytes;
             outcome.driver_busy_cycles += o.driver_busy_cycles;
         }
+        // StrategySwitch / HirFlush events raised inside on_fault.
+        self.drain_policy_events();
         // Prefetched pages each pay their own PCIe transfer.
         let prefetch_bytes = (self.in_flight.len() as u64 - 1) * uvm_types::PAGE_SIZE;
         let transfer = self
@@ -446,6 +490,7 @@ impl<P: EvictionPolicy> Simulation<P> {
         if self.memory.is_full() && !self.memory_full_notified {
             self.memory_full_notified = true;
             self.policy.on_memory_full();
+            self.drain_policy_events();
             self.emit(SimEvent::MemoryFull { time: self.now });
         }
         if !self.fault_queue.is_empty() {
@@ -679,6 +724,73 @@ mod tests {
         // The fault-rate series accounts for every fault.
         let series = log.fault_rate_series(28_000);
         assert_eq!(series.iter().sum::<u64>(), stats.faults());
+    }
+
+    #[test]
+    fn observer_sees_policy_decision_events() {
+        use uvm_policies::Traced;
+
+        let global: Vec<u64> = (0..24u64).cycle().take(96).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 24, 0, 2, 3);
+        let mut sim = Simulation::new(cfg, &trace, Traced::new(Lru::new()), 12).unwrap();
+        let log = sim.attach_event_log();
+        let stats = sim.run().stats;
+        let log = log.borrow();
+        // Every eviction is preceded by the policy's VictimSelected for
+        // the same page.
+        let mut pending_victim = None;
+        let mut victims = 0u64;
+        for e in log.events() {
+            match *e {
+                SimEvent::VictimSelected { page, .. } => {
+                    pending_victim = Some(page);
+                    victims += 1;
+                }
+                SimEvent::Eviction { page, .. } => {
+                    assert_eq!(pending_victim.take(), Some(page));
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(victims, stats.evictions());
+        // Page walks were reported, including the faulting ones.
+        let walks = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::PageWalk { .. }))
+            .count() as u64;
+        assert_eq!(walks, stats.walks);
+        // Wrong evictions carry a distance within the window.
+        let wrong: Vec<u64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::WrongEviction {
+                    refault_distance, ..
+                } => Some(refault_distance),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wrong.len() as u64, stats.driver.wrong_evictions);
+        assert!(wrong
+            .iter()
+            .all(|&d| d >= 1 && d <= WRONG_EVICTION_WINDOW as u64));
+    }
+
+    #[test]
+    fn attaching_observer_does_not_change_stats() {
+        let global: Vec<u64> = (0..30u64).cycle().take(120).collect();
+        let run = |observe: bool| {
+            let cfg = tiny_cfg(2, 1);
+            let trace = Trace::from_global(&global, 30, 0, 2, 3);
+            let mut sim = Simulation::new(cfg, &trace, Lru::new(), 20).unwrap();
+            if observe {
+                let _ = sim.attach_event_log();
+            }
+            sim.run().stats
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

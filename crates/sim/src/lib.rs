@@ -38,11 +38,16 @@ mod engine;
 mod memory;
 mod observer;
 mod tlb;
+mod trace;
 
 pub use engine::{SimOutcome, Simulation};
 pub use memory::GpuMemory;
 pub use observer::{EventLog, SimEvent, SimObserver};
 pub use tlb::Tlb;
+pub use trace::{
+    parse_jsonl, EventCounters, IntervalCollector, IntervalKey, IntervalRow, JsonlWriter,
+    MultiObserver, TraceHistograms,
+};
 
 use uvm_policies::{EvictionPolicy, Ideal, NextUseOracle};
 use uvm_types::{ConfigError, Oversubscription, SimConfig, SimStats};

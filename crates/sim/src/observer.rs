@@ -5,10 +5,11 @@
 //! inter-fault distances) without touching the engine. [`EventLog`] is a
 //! ready-made recording observer.
 
-use uvm_types::PageId;
+use uvm_types::{PageId, PolicyEvent, StrategyTag};
+use uvm_util::{FromJson, Json, JsonError, ToJson};
 
 /// One paging event, stamped with the simulated cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimEvent {
     /// A warp raised a page fault (first fault for this page; coalesced
     /// faults are not re-reported).
@@ -37,6 +38,76 @@ pub enum SimEvent {
         /// Simulated cycle.
         time: u64,
     },
+    /// The page-table walker resolved a translation missing from both
+    /// TLB levels.
+    PageWalk {
+        /// Simulated cycle.
+        time: u64,
+        /// Walked page.
+        page: PageId,
+        /// Whether the page was resident (a walk hit); `false` means the
+        /// walk escalates to a page fault.
+        hit: bool,
+    },
+    /// The driver migrated a page speculatively (sequential prefetch)
+    /// alongside the demand fault being serviced.
+    PrefetchIssued {
+        /// Simulated cycle.
+        time: u64,
+        /// Prefetched page.
+        page: PageId,
+    },
+    /// A fault was raised on a recently evicted page (the driver-level
+    /// wrong-eviction diagnostic).
+    WrongEviction {
+        /// Simulated cycle.
+        time: u64,
+        /// Re-faulting page.
+        page: PageId,
+        /// Evictions between this page's eviction and its re-fault
+        /// (1 = it was the most recent eviction).
+        refault_distance: u64,
+    },
+    /// The policy picked an eviction victim
+    /// ([`PolicyEvent::VictimSelected`], stamped).
+    VictimSelected {
+        /// Simulated cycle.
+        time: u64,
+        /// The page chosen for eviction.
+        page: PageId,
+        /// Strategy that made the choice.
+        strategy: StrategyTag,
+        /// Entry comparisons spent finding this victim.
+        search_comparisons: u64,
+        /// Faults elapsed since the victim became resident.
+        victim_age: u64,
+    },
+    /// Dynamic adjustment switched the active eviction strategy
+    /// ([`PolicyEvent::StrategySwitch`], stamped).
+    StrategySwitch {
+        /// Simulated cycle.
+        time: u64,
+        /// Strategy before the switch.
+        from: StrategyTag,
+        /// Strategy after the switch.
+        to: StrategyTag,
+        /// Classification ratio₁ in force at the switch.
+        ratio1: f64,
+        /// Classification ratio₂ in force at the switch.
+        ratio2: f64,
+        /// Global fault number of the switch.
+        fault_num: u64,
+    },
+    /// The GPU-side HIR cache flushed its records to the driver
+    /// ([`PolicyEvent::HirFlush`], stamped).
+    HirFlush {
+        /// Simulated cycle.
+        time: u64,
+        /// Records transferred in this flush.
+        entries: u64,
+        /// Insertions lost to way conflicts since the previous flush.
+        dropped: u64,
+    },
 }
 
 impl SimEvent {
@@ -46,7 +117,199 @@ impl SimEvent {
             SimEvent::FaultRaised { time, .. }
             | SimEvent::FaultServiced { time, .. }
             | SimEvent::Eviction { time, .. }
-            | SimEvent::MemoryFull { time } => time,
+            | SimEvent::MemoryFull { time }
+            | SimEvent::PageWalk { time, .. }
+            | SimEvent::PrefetchIssued { time, .. }
+            | SimEvent::WrongEviction { time, .. }
+            | SimEvent::VictimSelected { time, .. }
+            | SimEvent::StrategySwitch { time, .. }
+            | SimEvent::HirFlush { time, .. } => time,
+        }
+    }
+
+    /// The event's kind as a stable string (the JSONL discriminator).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::FaultRaised { .. } => "FaultRaised",
+            SimEvent::FaultServiced { .. } => "FaultServiced",
+            SimEvent::Eviction { .. } => "Eviction",
+            SimEvent::MemoryFull { .. } => "MemoryFull",
+            SimEvent::PageWalk { .. } => "PageWalk",
+            SimEvent::PrefetchIssued { .. } => "PrefetchIssued",
+            SimEvent::WrongEviction { .. } => "WrongEviction",
+            SimEvent::VictimSelected { .. } => "VictimSelected",
+            SimEvent::StrategySwitch { .. } => "StrategySwitch",
+            SimEvent::HirFlush { .. } => "HirFlush",
+        }
+    }
+
+    /// Stamps a policy decision event with the simulated cycle.
+    pub fn from_policy(event: PolicyEvent, time: u64) -> SimEvent {
+        match event {
+            PolicyEvent::VictimSelected {
+                page,
+                strategy,
+                search_comparisons,
+                victim_age,
+            } => SimEvent::VictimSelected {
+                time,
+                page,
+                strategy,
+                search_comparisons,
+                victim_age,
+            },
+            PolicyEvent::StrategySwitch {
+                from,
+                to,
+                ratio1,
+                ratio2,
+                fault_num,
+            } => SimEvent::StrategySwitch {
+                time,
+                from,
+                to,
+                ratio1,
+                ratio2,
+                fault_num,
+            },
+            PolicyEvent::HirFlush { entries, dropped } => SimEvent::HirFlush {
+                time,
+                entries,
+                dropped,
+            },
+        }
+    }
+}
+
+impl ToJson for SimEvent {
+    fn to_json(&self) -> Json {
+        let mut obj = uvm_util::json!({ "kind": self.kind(), "time": self.time() });
+        match *self {
+            SimEvent::FaultRaised { page, .. }
+            | SimEvent::FaultServiced { page, .. }
+            | SimEvent::Eviction { page, .. }
+            | SimEvent::PrefetchIssued { page, .. } => {
+                obj.insert("page", Json::UInt(page.0));
+            }
+            SimEvent::MemoryFull { .. } => {}
+            SimEvent::PageWalk { page, hit, .. } => {
+                obj.insert("page", Json::UInt(page.0));
+                obj.insert("hit", Json::Bool(hit));
+            }
+            SimEvent::WrongEviction {
+                page,
+                refault_distance,
+                ..
+            } => {
+                obj.insert("page", Json::UInt(page.0));
+                obj.insert("refault_distance", Json::UInt(refault_distance));
+            }
+            SimEvent::VictimSelected {
+                page,
+                strategy,
+                search_comparisons,
+                victim_age,
+                ..
+            } => {
+                obj.insert("page", Json::UInt(page.0));
+                obj.insert("strategy", strategy.to_json());
+                obj.insert("search_comparisons", Json::UInt(search_comparisons));
+                obj.insert("victim_age", Json::UInt(victim_age));
+            }
+            SimEvent::StrategySwitch {
+                from,
+                to,
+                ratio1,
+                ratio2,
+                fault_num,
+                ..
+            } => {
+                obj.insert("from", from.to_json());
+                obj.insert("to", to.to_json());
+                obj.insert("ratio1", Json::Float(ratio1));
+                obj.insert("ratio2", Json::Float(ratio2));
+                obj.insert("fault_num", Json::UInt(fault_num));
+            }
+            SimEvent::HirFlush {
+                entries, dropped, ..
+            } => {
+                obj.insert("entries", Json::UInt(entries));
+                obj.insert("dropped", Json::UInt(dropped));
+            }
+        }
+        obj
+    }
+}
+
+impl FromJson for SimEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field `{k}`")))
+        };
+        let num = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| JsonError::new(format!("field `{k}` must be an unsigned integer")))
+        };
+        let float = |k: &str| {
+            field(k)?
+                .as_f64()
+                .ok_or_else(|| JsonError::new(format!("field `{k}` must be a number")))
+        };
+        let page = || Ok::<_, JsonError>(PageId(num("page")?));
+        let time = num("time")?;
+        match field("kind")?.as_str() {
+            Some("FaultRaised") => Ok(SimEvent::FaultRaised {
+                time,
+                page: page()?,
+            }),
+            Some("FaultServiced") => Ok(SimEvent::FaultServiced {
+                time,
+                page: page()?,
+            }),
+            Some("Eviction") => Ok(SimEvent::Eviction {
+                time,
+                page: page()?,
+            }),
+            Some("MemoryFull") => Ok(SimEvent::MemoryFull { time }),
+            Some("PageWalk") => Ok(SimEvent::PageWalk {
+                time,
+                page: page()?,
+                hit: field("hit")?
+                    .as_bool()
+                    .ok_or_else(|| JsonError::new("field `hit` must be a bool"))?,
+            }),
+            Some("PrefetchIssued") => Ok(SimEvent::PrefetchIssued {
+                time,
+                page: page()?,
+            }),
+            Some("WrongEviction") => Ok(SimEvent::WrongEviction {
+                time,
+                page: page()?,
+                refault_distance: num("refault_distance")?,
+            }),
+            Some("VictimSelected") => Ok(SimEvent::VictimSelected {
+                time,
+                page: page()?,
+                strategy: StrategyTag::from_json(field("strategy")?)?,
+                search_comparisons: num("search_comparisons")?,
+                victim_age: num("victim_age")?,
+            }),
+            Some("StrategySwitch") => Ok(SimEvent::StrategySwitch {
+                time,
+                from: StrategyTag::from_json(field("from")?)?,
+                to: StrategyTag::from_json(field("to")?)?,
+                ratio1: float("ratio1")?,
+                ratio2: float("ratio2")?,
+                fault_num: num("fault_num")?,
+            }),
+            Some("HirFlush") => Ok(SimEvent::HirFlush {
+                time,
+                entries: num("entries")?,
+                dropped: num("dropped")?,
+            }),
+            _ => Err(JsonError::new("unknown SimEvent kind")),
         }
     }
 }
@@ -111,6 +374,39 @@ impl EventLog {
             .count()
     }
 
+    /// Number of `FaultServiced` events (demand + prefetched pages made
+    /// resident).
+    pub fn serviced_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::FaultServiced { .. }))
+            .count()
+    }
+
+    /// Per-fault service latency: for every `FaultServiced` whose page has
+    /// a pending `FaultRaised`, the cycles between the two, in service
+    /// order. Prefetched pages (serviced without a raise) are skipped; a
+    /// page that faults again after eviction matches its latest raise.
+    pub fn service_latency_series(&self) -> Vec<(PageId, u64)> {
+        let mut raised_at: std::collections::HashMap<PageId, u64> =
+            std::collections::HashMap::new();
+        let mut series = Vec::new();
+        for e in &self.events {
+            match *e {
+                SimEvent::FaultRaised { time, page } => {
+                    raised_at.insert(page, time);
+                }
+                SimEvent::FaultServiced { time, page } => {
+                    if let Some(start) = raised_at.remove(&page) {
+                        series.push((page, time.saturating_sub(start)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        series
+    }
+
     /// Fault counts per time bucket of `bucket_cycles` (fault-rate series).
     pub fn fault_rate_series(&self, bucket_cycles: u64) -> Vec<u64> {
         assert!(bucket_cycles > 0, "bucket_cycles must be nonzero");
@@ -168,5 +464,117 @@ mod tests {
     #[should_panic(expected = "bucket_cycles must be nonzero")]
     fn zero_bucket_rejected() {
         EventLog::new().fault_rate_series(0);
+    }
+
+    #[test]
+    fn service_latency_pairs_raise_with_service() {
+        let mut log = EventLog::new();
+        log.on_event(SimEvent::FaultRaised {
+            time: 5,
+            page: PageId(1),
+        });
+        log.on_event(SimEvent::FaultRaised {
+            time: 7,
+            page: PageId(2),
+        });
+        log.on_event(SimEvent::FaultServiced {
+            time: 30,
+            page: PageId(1),
+        });
+        // Prefetched page: serviced without a raise -> skipped.
+        log.on_event(SimEvent::FaultServiced {
+            time: 30,
+            page: PageId(3),
+        });
+        log.on_event(SimEvent::FaultServiced {
+            time: 55,
+            page: PageId(2),
+        });
+        // Page 1 faults again after eviction: new raise, new latency.
+        log.on_event(SimEvent::FaultRaised {
+            time: 60,
+            page: PageId(1),
+        });
+        log.on_event(SimEvent::FaultServiced {
+            time: 90,
+            page: PageId(1),
+        });
+        assert_eq!(log.serviced_count(), 4);
+        assert_eq!(
+            log.service_latency_series(),
+            vec![(PageId(1), 25), (PageId(2), 48), (PageId(1), 30)]
+        );
+    }
+
+    #[test]
+    fn sim_events_roundtrip_through_json() {
+        let events = [
+            SimEvent::FaultRaised {
+                time: 1,
+                page: PageId(9),
+            },
+            SimEvent::FaultServiced {
+                time: 2,
+                page: PageId(9),
+            },
+            SimEvent::Eviction {
+                time: 3,
+                page: PageId(4),
+            },
+            SimEvent::MemoryFull { time: 4 },
+            SimEvent::PageWalk {
+                time: 5,
+                page: PageId(7),
+                hit: true,
+            },
+            SimEvent::PrefetchIssued {
+                time: 6,
+                page: PageId(10),
+            },
+            SimEvent::WrongEviction {
+                time: 7,
+                page: PageId(4),
+                refault_distance: 12,
+            },
+            SimEvent::VictimSelected {
+                time: 8,
+                page: PageId(4),
+                strategy: StrategyTag::MruC,
+                search_comparisons: 5,
+                victim_age: 90,
+            },
+            SimEvent::StrategySwitch {
+                time: 9,
+                from: StrategyTag::MruC,
+                to: StrategyTag::Lru,
+                ratio1: 0.4,
+                ratio2: 2.5,
+                fault_num: 200,
+            },
+            SimEvent::HirFlush {
+                time: 10,
+                entries: 14,
+                dropped: 2,
+            },
+        ];
+        for e in events {
+            let j = e.to_json();
+            assert_eq!(j["kind"].as_str(), Some(e.kind()));
+            let back = SimEvent::from_json(&j).unwrap();
+            assert_eq!(back, e);
+            // And through the serialized text (the JSONL path).
+            let reparsed = Json::parse(&j.to_string()).unwrap();
+            assert_eq!(SimEvent::from_json(&reparsed).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn malformed_sim_event_rejected() {
+        assert!(SimEvent::from_json(&Json::parse(r#"{"kind":"Nope","time":1}"#).unwrap()).is_err());
+        assert!(SimEvent::from_json(&Json::parse(r#"{"time":1}"#).unwrap()).is_err());
+        assert!(SimEvent::from_json(
+            &Json::parse(r#"{"kind":"PageWalk","time":1,"page":2}"#).unwrap()
+        )
+        .is_err());
     }
 }

@@ -1,0 +1,205 @@
+//! Policy-decision events: the vocabulary policies use to explain *why*
+//! they acted, independent of the simulator that timestamps and sinks
+//! them.
+//!
+//! Policies cannot depend on the simulator crate, so the decision-event
+//! types live here in the shared vocabulary. A policy buffers
+//! [`PolicyEvent`]s while tracing is enabled; the engine drains the buffer
+//! after each policy call, stamps each event with the simulated cycle, and
+//! forwards it to the attached observer (see `uvm-sim`).
+
+use uvm_util::{impl_json_enum, Json, JsonError, ToJson};
+
+use crate::PageId;
+
+/// The eviction strategy a decision event is attributed to.
+///
+/// Mirrors HPE's strategy vocabulary (`LRU` / `MRU-C`); policies outside
+/// the HPE family report [`StrategyTag::Native`], meaning "the policy's
+/// own replacement logic".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyTag {
+    /// The LRU strategy (page set at the LRU position).
+    Lru,
+    /// The MRU-counter strategy (search from the MRU position).
+    MruC,
+    /// A non-HPE policy's native replacement logic.
+    Native,
+}
+
+impl std::fmt::Display for StrategyTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StrategyTag::Lru => "LRU",
+            StrategyTag::MruC => "MRU-C",
+            StrategyTag::Native => "native",
+        })
+    }
+}
+
+impl_json_enum!(StrategyTag { Lru, MruC, Native });
+
+/// One policy-internal decision, without a timestamp (the engine stamps
+/// it on drain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyEvent {
+    /// The policy picked an eviction victim.
+    VictimSelected {
+        /// The page chosen for eviction.
+        page: PageId,
+        /// Strategy that made the choice.
+        strategy: StrategyTag,
+        /// Entry comparisons spent finding this victim.
+        search_comparisons: u64,
+        /// Faults elapsed since the victim became resident (0 when the
+        /// policy cannot tell).
+        victim_age: u64,
+    },
+    /// Dynamic adjustment switched the active eviction strategy.
+    StrategySwitch {
+        /// Strategy before the switch.
+        from: StrategyTag,
+        /// Strategy after the switch.
+        to: StrategyTag,
+        /// Classification ratio₁ in force at the switch (0 if the policy
+        /// never classified).
+        ratio1: f64,
+        /// Classification ratio₂ in force at the switch.
+        ratio2: f64,
+        /// Global fault number of the switch.
+        fault_num: u64,
+    },
+    /// The GPU-side HIR cache flushed its records to the driver.
+    HirFlush {
+        /// Records transferred in this flush.
+        entries: u64,
+        /// Insertions lost to way conflicts since the previous flush.
+        dropped: u64,
+    },
+}
+
+impl ToJson for PolicyEvent {
+    fn to_json(&self) -> Json {
+        match *self {
+            PolicyEvent::VictimSelected {
+                page,
+                strategy,
+                search_comparisons,
+                victim_age,
+            } => uvm_util::json!({
+                "kind": "VictimSelected",
+                "page": page.0,
+                "strategy": strategy,
+                "search_comparisons": search_comparisons,
+                "victim_age": victim_age,
+            }),
+            PolicyEvent::StrategySwitch {
+                from,
+                to,
+                ratio1,
+                ratio2,
+                fault_num,
+            } => uvm_util::json!({
+                "kind": "StrategySwitch",
+                "from": from,
+                "to": to,
+                "ratio1": ratio1,
+                "ratio2": ratio2,
+                "fault_num": fault_num,
+            }),
+            PolicyEvent::HirFlush { entries, dropped } => uvm_util::json!({
+                "kind": "HirFlush",
+                "entries": entries,
+                "dropped": dropped,
+            }),
+        }
+    }
+}
+
+impl uvm_util::FromJson for PolicyEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field `{k}`")))
+        };
+        let num = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| JsonError::new(format!("field `{k}` must be an unsigned integer")))
+        };
+        match field("kind")?.as_str() {
+            Some("VictimSelected") => Ok(PolicyEvent::VictimSelected {
+                page: PageId(num("page")?),
+                strategy: StrategyTag::from_json(field("strategy")?)?,
+                search_comparisons: num("search_comparisons")?,
+                victim_age: num("victim_age")?,
+            }),
+            Some("StrategySwitch") => Ok(PolicyEvent::StrategySwitch {
+                from: StrategyTag::from_json(field("from")?)?,
+                to: StrategyTag::from_json(field("to")?)?,
+                ratio1: field("ratio1")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::new("field `ratio1` must be a number"))?,
+                ratio2: field("ratio2")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::new("field `ratio2` must be a number"))?,
+                fault_num: num("fault_num")?,
+            }),
+            Some("HirFlush") => Ok(PolicyEvent::HirFlush {
+                entries: num("entries")?,
+                dropped: num("dropped")?,
+            }),
+            _ => Err(JsonError::new("unknown PolicyEvent kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_util::FromJson;
+
+    #[test]
+    fn strategy_tag_displays_and_roundtrips() {
+        assert_eq!(StrategyTag::Lru.to_string(), "LRU");
+        assert_eq!(StrategyTag::MruC.to_string(), "MRU-C");
+        assert_eq!(StrategyTag::Native.to_string(), "native");
+        let j = StrategyTag::MruC.to_json();
+        assert_eq!(StrategyTag::from_json(&j).unwrap(), StrategyTag::MruC);
+    }
+
+    #[test]
+    fn policy_events_roundtrip_through_json() {
+        let events = [
+            PolicyEvent::VictimSelected {
+                page: PageId(42),
+                strategy: StrategyTag::MruC,
+                search_comparisons: 7,
+                victim_age: 130,
+            },
+            PolicyEvent::StrategySwitch {
+                from: StrategyTag::Lru,
+                to: StrategyTag::MruC,
+                ratio1: 0.25,
+                ratio2: 3.5,
+                fault_num: 900,
+            },
+            PolicyEvent::HirFlush {
+                entries: 12,
+                dropped: 1,
+            },
+        ];
+        for e in events {
+            let back = PolicyEvent::from_json(&e.to_json()).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn malformed_policy_event_rejected() {
+        let v = Json::parse(r#"{"kind":"Nope"}"#).unwrap();
+        assert!(PolicyEvent::from_json(&v).is_err());
+        let v = Json::parse(r#"{"kind":"HirFlush","entries":1}"#).unwrap();
+        assert!(PolicyEvent::from_json(&v).is_err());
+    }
+}

@@ -26,9 +26,11 @@
 mod addr;
 mod config;
 mod error;
+mod event;
 mod metrics;
 
 pub use addr::{PageId, PageSetId, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use config::{HirGeometry, Oversubscription, SimConfig, SimConfigBuilder, TlbConfig};
 pub use error::ConfigError;
+pub use event::{PolicyEvent, StrategyTag};
 pub use metrics::{DriverStats, PolicyStats, SimStats, TlbStats};

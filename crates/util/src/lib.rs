@@ -12,6 +12,9 @@
 //!   (replaces `proptest`).
 //! - [`bench`] — a micro-benchmark timer with a criterion-shaped API
 //!   (replaces `criterion`).
+//! - [`hist`] — a fixed-bucket [`Histogram`] for the tracing layer's
+//!   distribution series (no external dependency ever existed for this;
+//!   it lives here so every crate can record and serialize one).
 //!
 //! Determinism contract: the PRNG algorithm and the property-harness seed
 //! derivation are frozen. Changing either invalidates every golden-trace
@@ -20,9 +23,11 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod hist;
 pub mod json;
 pub mod prop;
 pub mod rng;
 
+pub use hist::Histogram;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;

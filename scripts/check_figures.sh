@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Regenerates the fig13/fig14/fig15 JSON series and diffs their *shape*
+# (entry count + per-entry app/rate/key set, via `hpe-trace shape`)
+# against the pinned files in tests/shapes/. Shapes deliberately carry
+# no measured values, so algorithmic tuning passes but a dropped app,
+# missing field, or schema change fails.
+#
+# Run directly, or via `CHECK_FIGURES=1 scripts/verify.sh`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> regenerating fig13/fig14/fig15 series"
+for fig in fig13 fig14 fig15; do
+    cargo bench -q --offline -p hpe-bench --bench "$fig" >/dev/null
+done
+
+echo "==> building hpe-trace"
+cargo build -q --release --offline -p hpe-bench --bin hpe-trace
+
+trace=target/release/hpe-trace
+status=0
+for fig in fig13 fig14 fig15; do
+    got=$("$trace" shape "target/paper-results/$fig.json")
+    if printf '%s\n' "$got" | diff -u "tests/shapes/$fig.shape" -; then
+        echo "==> $fig shape: OK"
+    else
+        echo "==> $fig shape: MISMATCH (regenerate with:" \
+             "$trace shape target/paper-results/$fig.json > tests/shapes/$fig.shape)"
+        status=1
+    fi
+done
+
+exit "$status"

@@ -5,7 +5,7 @@
 #
 # The workspace has zero external dependencies — `--offline` must
 # succeed with an empty registry cache. If it ever starts failing with
-# a missing-crate error, a dependency leaked in; see DESIGN.md §6.
+# a missing-crate error, a dependency leaked in; see DESIGN.md §7.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,5 +21,13 @@ cargo test -q --offline
 
 echo "==> cargo test -q --offline --workspace (all crates)"
 cargo test -q --offline --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+if [ "${CHECK_FIGURES:-0}" = "1" ]; then
+    echo "==> figure shape check (CHECK_FIGURES=1)"
+    sh scripts/check_figures.sh
+fi
 
 echo "verify: OK"

@@ -1,0 +1,105 @@
+//! Golden event-stream tests.
+//!
+//! Companion to `golden_trace.rs`: where that file pins the final
+//! `SimStats` of each policy, this one pins a digest of the *event
+//! stream* the tracing layer emits for the same fixture (STN at 75%
+//! oversubscription, `scaled_default`). The digest covers the event
+//! count per kind plus the first and last timestamps, so any change to
+//! event emission sites, ordering of the head/tail, or policy-decision
+//! instrumentation shows up here even when the aggregate stats stay
+//! unchanged.
+//!
+//! Each policy runs twice: the two digests must match each other
+//! (stream determinism) and the pinned snapshot. Re-pin intentional
+//! changes from the "actual" string in the failure message.
+
+use std::collections::BTreeMap;
+
+use hpe::core::{Hpe, HpeConfig};
+use hpe::policies::{ClockPro, ClockProConfig, EvictionPolicy, Lru, Rrip, RripConfig};
+use hpe::sim::{trace_for, SimEvent, Simulation};
+use hpe::types::{Oversubscription, SimConfig};
+use hpe::workloads::registry;
+
+const APP: &str = "STN";
+
+fn digest(events: &[SimEvent]) -> String {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.kind()).or_insert(0) += 1;
+    }
+    let first = events.first().map_or(0, |e| e.time());
+    let last = events.last().map_or(0, |e| e.time());
+    let kinds: Vec<String> = counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    format!(
+        "n={} first={} last={} {}",
+        events.len(),
+        first,
+        last,
+        kinds.join(" ")
+    )
+}
+
+fn run_digest(make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>) -> String {
+    let cfg = SimConfig::scaled_default();
+    let app = registry::by_abbr(APP).expect("registered app");
+    let trace = trace_for(&cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    let mut sim = Simulation::new(cfg.clone(), &trace, make(&cfg), capacity).expect("valid sim");
+    let log = sim.attach_event_log();
+    sim.run();
+    let log = std::rc::Rc::try_unwrap(log).expect("sole owner after run");
+    digest(log.into_inner().events())
+}
+
+fn golden(name: &str, make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>, pinned: &str) {
+    let first = run_digest(make);
+    let second = run_digest(make);
+    assert_eq!(first, second, "{name}: event streams of two runs diverged");
+    assert_eq!(
+        first, pinned,
+        "{name}: event digest drifted from the pinned snapshot.\nactual: {first}"
+    );
+}
+
+#[test]
+fn golden_events_lru() {
+    golden(
+        "LRU",
+        &|_| Box::new(Lru::new()),
+        "n=22465 first=0 last=129024000 Eviction=4032 FaultRaised=4608 FaultServiced=4608 MemoryFull=1 PageWalk=9216",
+    );
+}
+
+#[test]
+fn golden_events_rrip() {
+    golden(
+        "RRIP",
+        &|_| Box::new(Rrip::new(RripConfig::default())),
+        // Identical to LRU's digest: on this fixture RRIP also faults on
+        // every access and never evicts wrongly; only its (policy-internal)
+        // comparison counts differ, which the stream does not carry for
+        // baselines.
+        "n=22465 first=0 last=129024000 Eviction=4032 FaultRaised=4608 FaultServiced=4608 MemoryFull=1 PageWalk=9216",
+    );
+}
+
+#[test]
+fn golden_events_clockpro() {
+    golden(
+        "CLOCK-Pro",
+        &|_| Box::new(ClockPro::new(ClockProConfig::default())),
+        "n=22913 first=0 last=129024000 Eviction=4032 FaultRaised=4608 FaultServiced=4608 MemoryFull=1 PageWalk=9216 WrongEviction=448",
+    );
+}
+
+#[test]
+fn golden_events_hpe() {
+    golden(
+        "HPE",
+        &|cfg| Box::new(Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE")),
+        // HPE is the only policy here with decision events: VictimSelected
+        // per eviction plus HirFlush batches.
+        "n=16664 first=0 last=70784892 Eviction=1952 FaultRaised=2528 FaultServiced=2528 HirFlush=158 MemoryFull=1 PageWalk=7136 VictimSelected=1952 WrongEviction=409",
+    );
+}
