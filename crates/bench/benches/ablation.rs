@@ -44,19 +44,19 @@ fn main() {
     let mut json = Vec::new();
     for abbr in apps {
         let app = registry::by_abbr(abbr).expect("registered app");
-        let full = run_hpe_with(&cfg, app, rate, HpeConfig::from_sim(&cfg));
+        let full = run_hpe_with(&cfg, app, rate, HpeConfig::from_sim(&cfg)).expect("bench run");
         let base_ipc = full.stats.ipc();
         let mut row = vec![abbr.to_string(), format!("{base_ipc:.5}")];
         let mut entry = json!({ "app": abbr, "full_ipc": base_ipc });
         for (name, tweak) in variants {
             let mut hpe_cfg = HpeConfig::from_sim(&cfg);
             tweak(&mut hpe_cfg);
-            let r = run_hpe_with(&cfg, app, rate, hpe_cfg);
+            let r = run_hpe_with(&cfg, app, rate, hpe_cfg).expect("bench run");
             let norm = r.stats.ipc() / base_ipc;
             row.push(f3(norm));
             entry[name] = json!(norm);
         }
-        let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
+        let lru = run_policy(&cfg, app, rate, PolicyKind::Lru).expect("bench run");
         row.push(f3(lru.stats.ipc() / base_ipc));
         entry["lru"] = json!(lru.stats.ipc() / base_ipc);
         t.row(row);

@@ -27,7 +27,7 @@ fn main() {
             for &b in &batches {
                 let mut cfg = bench_config();
                 cfg.fault_batch = b;
-                let r = run_policy(&cfg, app, rate, kind);
+                let r = run_policy(&cfg, app, rate, kind).expect("bench run");
                 row.push(format!(
                     "{} ({:.2})",
                     r.stats.cycles,

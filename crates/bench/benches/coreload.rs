@@ -34,10 +34,10 @@ fn main() {
         let mut abs_lru = Vec::new();
         let mut abs_hpe = Vec::new();
         for app in registry::all() {
-            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
             abs_hpe.push(hpe.stats.driver.core_load(hpe.stats.cycles));
             for (i, kind) in baselines.iter().enumerate() {
-                let base = run_policy(&cfg, app, rate, *kind);
+                let base = run_policy(&cfg, app, rate, *kind).expect("bench run");
                 if *kind == PolicyKind::Lru {
                     abs_lru.push(base.stats.driver.core_load(base.stats.cycles));
                 }

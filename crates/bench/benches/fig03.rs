@@ -19,9 +19,9 @@ fn main() {
     );
     let mut json = Vec::new();
     for app in registry::all() {
-        let ideal = run_policy(&cfg, app, rate, PolicyKind::Ideal);
-        let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
-        let rrip = run_policy(&cfg, app, rate, PolicyKind::Rrip);
+        let ideal = run_policy(&cfg, app, rate, PolicyKind::Ideal).expect("bench run");
+        let lru = run_policy(&cfg, app, rate, PolicyKind::Lru).expect("bench run");
+        let rrip = run_policy(&cfg, app, rate, PolicyKind::Rrip).expect("bench run");
         let base = ideal.stats.evictions().max(1) as f64;
         let nl = lru.stats.evictions() as f64 / base;
         let nr = rrip.stats.evictions() as f64 / base;

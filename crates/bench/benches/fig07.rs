@@ -37,7 +37,8 @@ fn main() {
             let ipcs: Vec<f64> = registry::by_pattern(pattern)
                 .into_iter()
                 .map(|app| {
-                    let r = run_hpe_with(&cfg, app, rate, sensitivity_cfg(size, 64, app));
+                    let r = run_hpe_with(&cfg, app, rate, sensitivity_cfg(size, 64, app))
+                        .expect("bench run");
                     r.stats.ipc()
                 })
                 .collect();

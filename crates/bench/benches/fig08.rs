@@ -35,7 +35,8 @@ fn main() {
             let ipcs: Vec<f64> = registry::by_pattern(pattern)
                 .into_iter()
                 .map(|app| {
-                    let r = run_hpe_with(&cfg, app, rate, sensitivity_cfg(interval, app));
+                    let r = run_hpe_with(&cfg, app, rate, sensitivity_cfg(interval, app))
+                        .expect("bench run");
                     r.stats.ipc()
                 })
                 .collect();
@@ -81,6 +82,7 @@ fn main() {
             .iter()
             .map(|&i| {
                 run_hpe_with(&cfg, app, rate, sensitivity_cfg(i, app))
+                    .expect("bench run")
                     .stats
                     .ipc()
             })

@@ -26,7 +26,7 @@ fn main() {
     );
     let mut json = Vec::new();
     for app in registry::all() {
-        let r = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+        let r = run_policy(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
         let report = r.hpe.expect("HPE run carries a report");
         let (r1, r2, cat) = match report.classification {
             Some(c) => (c.ratio1, c.ratio2, c.category.to_string()),

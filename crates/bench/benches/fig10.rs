@@ -21,8 +21,8 @@ fn main() {
         );
         let mut speedups = Vec::new();
         for app in registry::all() {
-            let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
-            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let lru = run_policy(&cfg, app, rate, PolicyKind::Lru).expect("bench run");
+            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
             let speedup = hpe.stats.ipc() / lru.stats.ipc();
             speedups.push(speedup);
             t.row(vec![

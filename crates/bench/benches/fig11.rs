@@ -23,8 +23,8 @@ fn main() {
         );
         let mut ratios = Vec::new();
         for app in registry::all() {
-            let lru = run_policy(&cfg, app, rate, PolicyKind::Lru);
-            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe);
+            let lru = run_policy(&cfg, app, rate, PolicyKind::Lru).expect("bench run");
+            let hpe = run_policy(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
             let ratio = if lru.stats.evictions() == 0 {
                 1.0
             } else {

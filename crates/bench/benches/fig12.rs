@@ -35,13 +35,13 @@ fn main() {
         let mut norm_perf: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
         let mut norm_ev: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
         for app in registry::all() {
-            let ideal = run_policy(&cfg, app, rate, PolicyKind::Ideal);
+            let ideal = run_policy(&cfg, app, rate, PolicyKind::Ideal).expect("bench run");
             let ipc0 = ideal.stats.ipc();
             let ev0 = ideal.stats.evictions().max(1) as f64;
             let mut prow = vec![app.abbr().to_string()];
             let mut erow = vec![app.abbr().to_string()];
             for (i, kind) in kinds.iter().enumerate() {
-                let r = run_policy(&cfg, app, rate, *kind);
+                let r = run_policy(&cfg, app, rate, *kind).expect("bench run");
                 let p = r.stats.ipc() / ipc0;
                 let e = r.stats.evictions() as f64 / ev0;
                 norm_perf[i].push(p);

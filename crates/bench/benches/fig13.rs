@@ -25,7 +25,8 @@ fn main() {
             &["app", "%LRU", "%MRU-C", "switches", "jumps", "timeline"],
         );
         for app in registry::all() {
-            let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe);
+            let (r, capture) =
+                run_policy_traced(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
             let total_faults = r.stats.faults().max(1);
             let report = r.hpe.expect("HPE report");
             // Integrate the timeline over fault numbers, starting at the

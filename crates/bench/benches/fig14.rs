@@ -19,7 +19,8 @@ fn main() {
     let mut json = Vec::new();
     for rate in [Oversubscription::Rate75, Oversubscription::Rate50] {
         for app in registry::all() {
-            let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe);
+            let (r, capture) =
+                run_policy_traced(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
             let report = r.hpe.expect("HPE report");
             if report.mruc_searches == 0 {
                 continue; // LRU for the entire execution: omitted.

@@ -19,7 +19,7 @@ fn main() {
     );
     let mut json = Vec::new();
     for app in registry::all() {
-        let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe);
+        let (r, capture) = run_policy_traced(&cfg, app, rate, PolicyKind::Hpe).expect("bench run");
         let p = &r.stats.policy;
         t.row(vec![
             app.abbr().to_string(),

@@ -35,7 +35,7 @@ fn main() {
                 ways,
                 counter_bits: 2,
             };
-            let r = run_hpe_with(&cfg, app, rate, hpe_cfg);
+            let r = run_hpe_with(&cfg, app, rate, hpe_cfg).expect("bench run");
             let p = &r.stats.policy;
             row.push(format!(
                 "{} ({:.2})",

@@ -27,7 +27,7 @@ fn main() {
             for &n in &depths {
                 let mut cfg = bench_config();
                 cfg.prefetch_pages = n;
-                let r = run_policy(&cfg, app, rate, kind);
+                let r = run_policy(&cfg, app, rate, kind).expect("bench run");
                 row.push(format!(
                     "{} ({:.2})",
                     r.stats.faults(),

@@ -26,6 +26,7 @@ fn run<P: EvictionPolicy>(cfg: &SimConfig, abbr: &str, policy: P) -> SimStats {
     Simulation::new(cfg.clone(), &trace, policy, capacity)
         .expect("valid sim")
         .run()
+        .expect("run completes")
         .stats
 }
 

@@ -73,7 +73,8 @@ fn main() {
     let mut json = Vec::new();
     let mut counts = [0usize; 3];
     for app in registry::all() {
-        let r = run_policy(&cfg, app, Oversubscription::Rate75, PolicyKind::Hpe);
+        let r =
+            run_policy(&cfg, app, Oversubscription::Rate75, PolicyKind::Hpe).expect("bench run");
         let cat = r.hpe.and_then(|h| h.classification).map(|c| c.category);
         let label = cat.map_or("(memory never filled)".to_string(), |c| c.to_string());
         if let Some(c) = cat {

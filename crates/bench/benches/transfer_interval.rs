@@ -29,7 +29,10 @@ fn main() {
             .map(|&ti| {
                 let mut hpe_cfg = HpeConfig::from_sim(&cfg);
                 hpe_cfg.transfer_interval = ti;
-                run_hpe_with(&cfg, app, rate, hpe_cfg).stats.ipc()
+                run_hpe_with(&cfg, app, rate, hpe_cfg)
+                    .expect("bench run")
+                    .stats
+                    .ipc()
             })
             .collect();
         let base = ipcs[2]; // interval 16

@@ -30,10 +30,10 @@ fn main() {
         let mut cfg20 = bench_config();
         cfg20.page_walk_cycles = 20;
 
-        let lru8 = run_policy(&cfg8, app, rate, PolicyKind::Lru);
-        let lru20 = run_policy(&cfg20, app, rate, PolicyKind::Lru);
-        let hpe8 = run_policy(&cfg8, app, rate, PolicyKind::Hpe);
-        let hpe20 = run_policy(&cfg20, app, rate, PolicyKind::Hpe);
+        let lru8 = run_policy(&cfg8, app, rate, PolicyKind::Lru).expect("bench run");
+        let lru20 = run_policy(&cfg20, app, rate, PolicyKind::Lru).expect("bench run");
+        let hpe8 = run_policy(&cfg8, app, rate, PolicyKind::Hpe).expect("bench run");
+        let hpe20 = run_policy(&cfg20, app, rate, PolicyKind::Hpe).expect("bench run");
 
         t.row(vec![
             abbr.to_string(),

@@ -30,7 +30,8 @@ fn main() {
         let hpe = Hpe::new(HpeConfig::from_sim(&cfg)).unwrap();
         let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)
             .unwrap()
-            .run();
+            .run()
+            .expect("run completes");
         println!("\n=== {abbr} (capacity {capacity}) ===");
         match outcome.policy.counters_at_full() {
             Some(counters) => {

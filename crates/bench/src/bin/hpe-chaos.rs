@@ -1,0 +1,376 @@
+//! `hpe-chaos`: seeded fault-injection campaigns over the simulator.
+//!
+//! Runs every eviction policy under a set of replayable fault plans and
+//! reports resilience metrics against the clean (no-injection) run of the
+//! same configuration: slowdown, extra cycles to completion, injected
+//! perturbation counters, and HPE's degraded-mode residency.
+//!
+//! ```sh
+//! hpe-chaos campaign                       # all policies x all fault kinds (STN, 75%)
+//! hpe-chaos campaign BFS --seed 7          # another app / another seed
+//! hpe-chaos livelock                       # watchdog demo: injected livelock -> Stalled
+//! hpe-chaos smoke                          # fast panic-free subset for CI
+//! ```
+//!
+//! Campaign results are saved as JSON under `target/paper-results/`
+//! (`chaos-campaign.json`) for machine consumption; identical seeds
+//! reproduce identical campaigns.
+
+use std::process::ExitCode;
+
+use hpe_bench::{bench_config, f2, run_policy, run_policy_with_plan, save_json, PolicyKind, Table};
+use uvm_sim::FaultPlan;
+use uvm_types::{Oversubscription, SimError};
+use uvm_util::{json, Json, ToJson};
+use uvm_workloads::{registry, App};
+
+/// Default campaign seed (the paper's publication year, for no deeper
+/// reason than reproducibility needs *some* pinned value).
+const DEFAULT_SEED: u64 = 2019;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hpe-chaos <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 campaign [APP ...] [--seed N] [--rate 75|50]\n\
+         \x20          run every policy under every fault plan and report\n\
+         \x20          resilience metrics vs the clean run (default app STN)\n\
+         \x20 livelock [--seed N] [--rate 75|50]\n\
+         \x20          inject an unbounded completion-loss livelock and show\n\
+         \x20          the watchdog converting it into SimError::Stalled\n\
+         \x20 smoke    [--seed N]\n\
+         \x20          fast panic-free campaign subset (CI gate)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_rate(text: &str) -> Option<Oversubscription> {
+    match text.trim_end_matches('%') {
+        "75" => Some(Oversubscription::Rate75),
+        "50" => Some(Oversubscription::Rate50),
+        _ => None,
+    }
+}
+
+struct Flags {
+    seed: u64,
+    rate: Oversubscription,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        seed: DEFAULT_SEED,
+        rate: Oversubscription::Rate75,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                flags.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                flags.rate = parse_rate(&v).ok_or_else(|| format!("unknown rate '{v}'"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+/// The named fault plans a campaign sweeps. Each derives its RNG stream
+/// from the campaign seed so the whole sweep replays from one number.
+fn campaign_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("latency-storm", FaultPlan::latency_storm(seed)),
+        ("congestion", FaultPlan::congestion(seed.wrapping_add(1))),
+        (
+            "completion-loss",
+            FaultPlan::completion_loss(seed.wrapping_add(2)),
+        ),
+        (
+            "signal-chaos",
+            FaultPlan::signal_chaos(seed.wrapping_add(3)),
+        ),
+    ]
+}
+
+/// One (policy, plan) cell of a campaign: the chaos run compared against
+/// the policy's clean run.
+struct CampaignRow {
+    app: &'static str,
+    policy: &'static str,
+    plan: &'static str,
+    faults: u64,
+    clean_cycles: u64,
+    chaos_cycles: u64,
+    injected_delay_cycles: u64,
+    tail_latency_events: u64,
+    congested_services: u64,
+    completions_lost: u64,
+    fallback_victims: u64,
+    spurious_wrong_evictions: u64,
+    faults_during_hir_outage: u64,
+    degraded_entries: u64,
+    degraded_faults: u64,
+}
+
+impl CampaignRow {
+    /// Wall-clock inflation of the chaos run relative to the clean run.
+    fn slowdown(&self) -> f64 {
+        self.chaos_cycles as f64 / self.clean_cycles as f64
+    }
+
+    /// Cycles the chaos run needed beyond the clean run (recovery cost).
+    fn recovery_cycles(&self) -> u64 {
+        self.chaos_cycles.saturating_sub(self.clean_cycles)
+    }
+
+    /// Fraction of all faults handled in HPE's degraded fallback mode.
+    fn degraded_residency(&self) -> f64 {
+        if self.faults == 0 {
+            0.0
+        } else {
+            self.degraded_faults as f64 / self.faults as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        json!({
+            "app": self.app,
+            "policy": self.policy,
+            "plan": self.plan,
+            "faults": self.faults,
+            "clean_cycles": self.clean_cycles,
+            "chaos_cycles": self.chaos_cycles,
+            "slowdown": self.slowdown(),
+            "recovery_cycles": self.recovery_cycles(),
+            "injected_delay_cycles": self.injected_delay_cycles,
+            "tail_latency_events": self.tail_latency_events,
+            "congested_services": self.congested_services,
+            "completions_lost": self.completions_lost,
+            "fallback_victims": self.fallback_victims,
+            "spurious_wrong_evictions": self.spurious_wrong_evictions,
+            "faults_during_hir_outage": self.faults_during_hir_outage,
+            "degraded_entries": self.degraded_entries,
+            "degraded_faults": self.degraded_faults,
+            "degraded_residency": self.degraded_residency(),
+        })
+    }
+}
+
+/// Runs `policies` x `plans` on `app` and collects one row per chaos run.
+fn run_campaign(
+    app: &App,
+    rate: Oversubscription,
+    policies: &[PolicyKind],
+    plans: &[(&'static str, FaultPlan)],
+) -> Result<Vec<CampaignRow>, SimError> {
+    let cfg = bench_config();
+    let mut rows = Vec::new();
+    for &kind in policies {
+        let clean = run_policy(&cfg, app, rate, kind)?;
+        debug_assert!(
+            !clean.stats.resilience.any(),
+            "clean run must not record injection"
+        );
+        for (plan_name, plan) in plans {
+            let chaos = run_policy_with_plan(&cfg, app, rate, kind, Some(plan))?;
+            let res = &chaos.stats.resilience;
+            rows.push(CampaignRow {
+                app: clean.app,
+                policy: clean.policy,
+                plan: plan_name,
+                faults: chaos.stats.faults(),
+                clean_cycles: clean.stats.cycles,
+                chaos_cycles: chaos.stats.cycles,
+                injected_delay_cycles: res.injected_delay_cycles,
+                tail_latency_events: res.tail_latency_events,
+                congested_services: res.congested_services,
+                completions_lost: res.completions_lost,
+                fallback_victims: res.fallback_victims,
+                spurious_wrong_evictions: res.spurious_wrong_evictions,
+                faults_during_hir_outage: res.faults_during_hir_outage,
+                degraded_entries: chaos.stats.policy.degraded_entries,
+                degraded_faults: chaos.stats.policy.degraded_faults,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+fn print_campaign(title: &str, rows: &[CampaignRow]) {
+    let mut t = Table::new(
+        title,
+        &[
+            "app",
+            "policy",
+            "plan",
+            "faults",
+            "slowdown",
+            "recovery",
+            "inj.delay",
+            "tails",
+            "congested",
+            "lost",
+            "fallback",
+            "spurious",
+            "degraded",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.app.to_string(),
+            r.policy.to_string(),
+            r.plan.to_string(),
+            r.faults.to_string(),
+            f2(r.slowdown()),
+            r.recovery_cycles().to_string(),
+            r.injected_delay_cycles.to_string(),
+            r.tail_latency_events.to_string(),
+            r.congested_services.to_string(),
+            r.completions_lost.to_string(),
+            r.fallback_victims.to_string(),
+            r.spurious_wrong_evictions.to_string(),
+            format!("{:.1}%", 100.0 * r.degraded_residency()),
+        ]);
+    }
+    t.print();
+}
+
+fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+    let apps: Vec<&App> = if flags.positional.is_empty() {
+        vec![registry::by_abbr("STN").expect("STN is registered")]
+    } else {
+        flags
+            .positional
+            .iter()
+            .map(|abbr| registry::by_abbr(abbr).ok_or_else(|| format!("unknown app '{abbr}'")))
+            .collect::<Result<_, _>>()?
+    };
+    let plans = campaign_plans(flags.seed);
+    let mut rows = Vec::new();
+    for app in &apps {
+        eprintln!(
+            "[campaign: {} at {}, seed {}, {} policies x {} plans]",
+            app.abbr(),
+            flags.rate.label(),
+            flags.seed,
+            PolicyKind::ALL.len(),
+            plans.len()
+        );
+        rows.extend(
+            run_campaign(app, flags.rate, &PolicyKind::ALL, &plans).map_err(|e| e.to_string())?,
+        );
+    }
+    let total_faults: u64 = rows.iter().map(|r| r.faults).sum();
+    print_campaign(
+        format!(
+            "chaos campaign (seed {}, {}, {} chaos runs, {} faults total)",
+            flags.seed,
+            flags.rate.label(),
+            rows.len(),
+            total_faults
+        )
+        .as_str(),
+        &rows,
+    );
+    let json_rows: Vec<Json> = rows.iter().map(CampaignRow::to_json).collect();
+    save_json("chaos-campaign", &json_rows.to_json());
+    Ok(())
+}
+
+fn cmd_livelock(flags: &Flags) -> Result<(), String> {
+    let app = registry::by_abbr("STN").expect("STN is registered");
+    let cfg = bench_config();
+    let plan = FaultPlan::livelock(flags.seed);
+    eprintln!(
+        "[injecting unbounded completion loss into {} under LRU at {}]",
+        app.abbr(),
+        flags.rate.label()
+    );
+    match run_policy_with_plan(&cfg, app, flags.rate, PolicyKind::Lru, Some(&plan)) {
+        Err(SimError::Stalled { cycle, in_flight }) => {
+            println!(
+                "watchdog fired: SimError::Stalled at cycle {cycle} with {in_flight} \
+                 in-flight faults (no forward progress)"
+            );
+            Ok(())
+        }
+        Err(other) => Err(format!("expected Stalled, got: {other}")),
+        Ok(_) => Err("expected the injected livelock to stall the run".into()),
+    }
+}
+
+fn cmd_smoke(flags: &Flags) -> Result<(), String> {
+    let app = registry::by_abbr("STN").expect("STN is registered");
+    let policies = [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Hpe];
+    let plans = campaign_plans(flags.seed);
+    let rows = run_campaign(app, Oversubscription::Rate75, &policies, &plans)
+        .map_err(|e| e.to_string())?;
+    let mut injected = 0usize;
+    for r in &rows {
+        if r.injected_delay_cycles > 0
+            || r.completions_lost > 0
+            || r.faults_during_hir_outage > 0
+            || r.spurious_wrong_evictions > 0
+        {
+            injected += 1;
+        }
+    }
+    if injected == 0 {
+        return Err("no chaos run recorded any injection; plans are inert".into());
+    }
+    let hpe_degraded = rows
+        .iter()
+        .any(|r| r.policy == "HPE" && r.plan == "signal-chaos" && r.degraded_faults > 0);
+    if !hpe_degraded {
+        return Err("HPE did not enter degraded mode under signal-chaos".into());
+    }
+    println!(
+        "chaos smoke: {} runs, {} with injection, HPE degraded-mode exercised; no panics",
+        rows.len(),
+        injected
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "campaign" => cmd_campaign(&flags),
+        "livelock" => cmd_livelock(&flags),
+        "smoke" => cmd_smoke(&flags),
+        _ => {
+            eprintln!("error: unknown command '{cmd}'");
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -96,7 +96,7 @@ fn cmd_list() {
 fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
     let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
     let cfg = bench_config();
-    let r = run_policy(&cfg, app, opts.rate, opts.policy);
+    let r = run_policy(&cfg, app, opts.rate, opts.policy).expect("run completes");
     if opts.json {
         let mut v = json!({
             "app": r.app,
@@ -149,7 +149,7 @@ fn cmd_compare(abbr: &str, opts: &Opts) -> Result<(), String> {
         &["policy", "faults", "evictions", "cycles", "IPC"],
     );
     for kind in PolicyKind::ALL {
-        let r = run_policy(&cfg, app, opts.rate, kind);
+        let r = run_policy(&cfg, app, opts.rate, kind).expect("run completes");
         t.row(vec![
             r.policy.to_string(),
             r.stats.faults().to_string(),
@@ -171,7 +171,7 @@ fn cmd_sweep(abbr: &str, opts: &Opts) -> Result<(), String> {
     );
     for pct in [95, 90, 85, 75, 60, 50, 40] {
         let rate = Oversubscription::Custom(pct as f64 / 100.0);
-        let r = run_policy(&cfg, app, rate, opts.policy);
+        let r = run_policy(&cfg, app, rate, opts.policy).expect("run completes");
         t.row(vec![
             format!("{pct}%"),
             rate.capacity_pages(app.footprint_pages()).to_string(),

@@ -129,7 +129,8 @@ fn load_events(spec: &str, flags: &Flags) -> Result<Vec<SimEvent>, String> {
         flags.policy.label(),
         flags.rate.label()
     );
-    let (_, capture) = run_policy_traced(&bench_config(), app, flags.rate, flags.policy);
+    let (_, capture) =
+        run_policy_traced(&bench_config(), app, flags.rate, flags.policy).expect("run completes");
     Ok(capture.log.events().to_vec())
 }
 
@@ -140,7 +141,8 @@ fn cmd_record(flags: &Flags) -> Result<(), String> {
     let Some(app) = registry::by_abbr(spec) else {
         return Err(format!("unknown app '{spec}'"));
     };
-    let (result, capture) = run_policy_traced(&bench_config(), app, flags.rate, flags.policy);
+    let (result, capture) =
+        run_policy_traced(&bench_config(), app, flags.rate, flags.policy).expect("run completes");
     let path = flags.out.clone().unwrap_or_else(|| {
         traces_dir().join(format!(
             "{}-{}-{}.jsonl",

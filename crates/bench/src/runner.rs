@@ -9,10 +9,10 @@ use uvm_policies::{
     ClockPro, ClockProConfig, EvictionPolicy, Lfu, Lru, RandomPolicy, Rrip, RripConfig, Traced,
 };
 use uvm_sim::{
-    ideal_for, trace_for, EventCounters, EventLog, IntervalCollector, IntervalKey, MultiObserver,
-    SimObserver, Simulation, TraceHistograms,
+    ideal_for, trace_for, EventCounters, EventLog, FaultPlan, IntervalCollector, IntervalKey,
+    MultiObserver, SimObserver, Simulation, TraceHistograms,
 };
-use uvm_types::{Oversubscription, SimConfig, SimStats};
+use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
 use uvm_util::{json, Json, ToJson};
 use uvm_workloads::{App, PatternType};
 
@@ -124,27 +124,51 @@ pub fn rrip_config_for(app: &App) -> RripConfig {
 
 /// Runs `app` under `kind` at `rate` using simulator configuration `cfg`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cfg` is invalid (the reproduction harness treats that as a
-/// programming error).
+/// Returns [`SimError`] if `cfg` is invalid or the run cannot complete
+/// soundly.
 pub fn run_policy(
     cfg: &SimConfig,
     app: &App,
     rate: Oversubscription,
     kind: PolicyKind,
-) -> RunResult {
+) -> Result<RunResult, SimError> {
+    run_policy_with_plan(cfg, app, rate, kind, None)
+}
+
+/// Like [`run_policy`], with an optional fault-injection plan applied to
+/// the run (chaos campaigns).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if `cfg` or the plan is invalid, or the run cannot
+/// complete soundly — an injected unbounded livelock surfaces here as
+/// [`SimError::Stalled`].
+pub fn run_policy_with_plan(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    kind: PolicyKind,
+    plan: Option<&FaultPlan>,
+) -> Result<RunResult, SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
     let (stats, hpe) = match kind {
-        PolicyKind::Lru => (run_sim(cfg, &trace, Lru::new(), capacity), None),
+        PolicyKind::Lru => (run_sim(cfg, &trace, Lru::new(), capacity, plan)?, None),
         PolicyKind::Random => (
-            run_sim(cfg, &trace, RandomPolicy::seeded(app.seed()), capacity),
+            run_sim(
+                cfg,
+                &trace,
+                RandomPolicy::seeded(app.seed()),
+                capacity,
+                plan,
+            )?,
             None,
         ),
-        PolicyKind::Lfu => (run_sim(cfg, &trace, Lfu::new(), capacity), None),
+        PolicyKind::Lfu => (run_sim(cfg, &trace, Lfu::new(), capacity, plan)?, None),
         PolicyKind::Rrip => (
-            run_sim(cfg, &trace, Rrip::new(rrip_config_for(app)), capacity),
+            run_sim(cfg, &trace, Rrip::new(rrip_config_for(app)), capacity, plan)?,
             None,
         ),
         PolicyKind::ClockPro => (
@@ -153,49 +177,58 @@ pub fn run_policy(
                 &trace,
                 ClockPro::new(ClockProConfig::default()),
                 capacity,
-            ),
+                plan,
+            )?,
             None,
         ),
-        PolicyKind::Ideal => (run_sim(cfg, &trace, ideal_for(&trace), capacity), None),
+        PolicyKind::Ideal => (
+            run_sim(cfg, &trace, ideal_for(&trace), capacity, plan)?,
+            None,
+        ),
         PolicyKind::Hpe => {
-            let hpe = Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE config");
-            let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)
-                .expect("valid simulation")
-                .run();
+            let hpe = Hpe::new(HpeConfig::from_sim(cfg))?;
+            let mut sim = Simulation::new(cfg.clone(), &trace, hpe, capacity)?;
+            if let Some(p) = plan {
+                sim.set_fault_plan(p.clone())?;
+            }
+            let outcome = sim.run()?;
             let report = HpeReport::from_policy(&outcome.policy);
             (outcome.stats, Some(report))
         }
     };
-    RunResult {
+    Ok(RunResult {
         app: app.abbr(),
         policy: kind.label(),
         rate,
         stats,
         hpe,
-    }
+    })
 }
 
 /// Runs `app` under a *custom* HPE configuration (sensitivity studies).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if either configuration is invalid or the run
+/// cannot complete soundly.
 pub fn run_hpe_with(
     cfg: &SimConfig,
     app: &App,
     rate: Oversubscription,
     hpe_cfg: HpeConfig,
-) -> RunResult {
+) -> Result<RunResult, SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
-    let hpe = Hpe::new(hpe_cfg).expect("valid HPE config");
-    let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)
-        .expect("valid simulation")
-        .run();
+    let hpe = Hpe::new(hpe_cfg)?;
+    let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)?.run()?;
     let report = HpeReport::from_policy(&outcome.policy);
-    RunResult {
+    Ok(RunResult {
         app: app.abbr(),
         policy: "HPE",
         rate,
         stats: outcome.stats,
         hpe: Some(report),
-    }
+    })
 }
 
 /// Cycle-window width used by [`run_policy_traced`]'s cycle-keyed series
@@ -239,12 +272,17 @@ impl TraceCapture {
 /// Baselines are wrapped in [`Traced`] so their victim selections are
 /// observable; HPE emits its native decision events. Tracing is purely
 /// observational — `RunResult.stats` is identical to [`run_policy`]'s.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if `cfg` is invalid or the run cannot complete
+/// soundly.
 pub fn run_policy_traced(
     cfg: &SimConfig,
     app: &App,
     rate: Oversubscription,
     kind: PolicyKind,
-) -> (RunResult, TraceCapture) {
+) -> Result<(RunResult, TraceCapture), SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
 
@@ -265,28 +303,29 @@ pub fn run_policy_traced(
     multi.push(log.clone());
     let observer: Rc<RefCell<dyn SimObserver>> = Rc::new(RefCell::new(multi));
 
-    let run_traced = |policy: Box<dyn EvictionPolicy>| -> SimStats {
-        let mut sim = Simulation::new(cfg.clone(), &trace, Traced::new(policy), capacity)
-            .expect("valid simulation");
+    let run_traced = |policy: Box<dyn EvictionPolicy>| -> Result<SimStats, SimError> {
+        let mut sim = Simulation::new(cfg.clone(), &trace, Traced::new(policy), capacity)?;
         sim.set_observer(observer.clone());
-        sim.run().stats
+        Ok(sim.run()?.stats)
     };
     let (stats, hpe) = match kind {
-        PolicyKind::Lru => (run_traced(Box::new(Lru::new())), None),
-        PolicyKind::Random => (run_traced(Box::new(RandomPolicy::seeded(app.seed()))), None),
-        PolicyKind::Lfu => (run_traced(Box::new(Lfu::new())), None),
-        PolicyKind::Rrip => (run_traced(Box::new(Rrip::new(rrip_config_for(app)))), None),
-        PolicyKind::ClockPro => (
-            run_traced(Box::new(ClockPro::new(ClockProConfig::default()))),
+        PolicyKind::Lru => (run_traced(Box::new(Lru::new()))?, None),
+        PolicyKind::Random => (
+            run_traced(Box::new(RandomPolicy::seeded(app.seed())))?,
             None,
         ),
-        PolicyKind::Ideal => (run_traced(Box::new(ideal_for(&trace))), None),
+        PolicyKind::Lfu => (run_traced(Box::new(Lfu::new()))?, None),
+        PolicyKind::Rrip => (run_traced(Box::new(Rrip::new(rrip_config_for(app))))?, None),
+        PolicyKind::ClockPro => (
+            run_traced(Box::new(ClockPro::new(ClockProConfig::default())))?,
+            None,
+        ),
+        PolicyKind::Ideal => (run_traced(Box::new(ideal_for(&trace)))?, None),
         PolicyKind::Hpe => {
-            let hpe = Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE config");
-            let mut sim =
-                Simulation::new(cfg.clone(), &trace, hpe, capacity).expect("valid simulation");
+            let hpe = Hpe::new(HpeConfig::from_sim(cfg))?;
+            let mut sim = Simulation::new(cfg.clone(), &trace, hpe, capacity)?;
             sim.set_observer(observer.clone());
-            let outcome = sim.run();
+            let outcome = sim.run()?;
             let report = HpeReport::from_policy(&outcome.policy);
             (outcome.stats, Some(report))
         }
@@ -315,7 +354,7 @@ pub fn run_policy_traced(
         stats,
         hpe,
     };
-    (result, capture)
+    Ok((result, capture))
 }
 
 fn run_sim<P: EvictionPolicy>(
@@ -323,11 +362,13 @@ fn run_sim<P: EvictionPolicy>(
     trace: &uvm_workloads::Trace,
     policy: P,
     capacity: u64,
-) -> SimStats {
-    Simulation::new(cfg.clone(), trace, policy, capacity)
-        .expect("valid simulation")
-        .run()
-        .stats
+    plan: Option<&FaultPlan>,
+) -> Result<SimStats, SimError> {
+    let mut sim = Simulation::new(cfg.clone(), trace, policy, capacity)?;
+    if let Some(p) = plan {
+        sim.set_fault_plan(p.clone())?;
+    }
+    Ok(sim.run()?.stats)
 }
 
 /// The strategy the paper manually assigns per application for the

@@ -44,11 +44,12 @@ impl EvictionFifo {
         self.order.push_back(page);
         *self.counts.entry(page).or_insert(0) += 1;
         if self.order.len() > self.depth {
-            let old = self.order.pop_front().expect("nonempty");
-            if let Some(c) = self.counts.get_mut(&old) {
-                *c -= 1;
-                if *c == 0 {
-                    self.counts.remove(&old);
+            if let Some(old) = self.order.pop_front() {
+                if let Some(c) = self.counts.get_mut(&old) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.counts.remove(&old);
+                    }
                 }
             }
         }
@@ -180,6 +181,21 @@ impl Adjuster {
         if !wrong {
             return;
         }
+        self.count_wrong(fault_num);
+    }
+
+    /// Counts a wrong eviction directly, bypassing the FIFO membership
+    /// test. Used for injected (spurious) wrong-eviction signals, which
+    /// model a corrupted fault report reaching the driver: the adjustment
+    /// machinery must react exactly as it would to a genuine one.
+    pub fn force_wrong(&mut self, fault_num: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.count_wrong(fault_num);
+    }
+
+    fn count_wrong(&mut self, fault_num: u64) {
         self.wrong_count += 1;
         if self.wrong_count >= self.trigger {
             self.wrong_count = 0;
@@ -375,6 +391,27 @@ mod tests {
         assert_eq!(a.strategy(), StrategyKind::MruC);
         wrong_evictions(&mut a, 64, 0);
         assert_eq!(a.strategy(), StrategyKind::MruC);
+    }
+
+    #[test]
+    fn spurious_signals_drive_adjustment_like_real_ones() {
+        let mut a = adjuster_with(Category::Regular, 100);
+        for i in 0..16 {
+            a.force_wrong(i);
+        }
+        assert_eq!(a.jump(), 16, "16 spurious signals trigger one jump");
+    }
+
+    #[test]
+    fn spurious_signals_ignored_when_adjustment_disabled() {
+        let mut c = cfg();
+        c.dynamic_adjustment = false;
+        let mut a = Adjuster::new(&c);
+        a.set_category(Category::Regular, 100, 0);
+        for i in 0..64 {
+            a.force_wrong(i);
+        }
+        assert_eq!(a.jump(), 0);
     }
 
     #[test]

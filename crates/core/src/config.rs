@@ -180,8 +180,16 @@ impl HpeConfig {
                 "must be at least page_set_size",
             ));
         }
-        if !self.ratio1_threshold.is_finite() || self.ratio1_threshold <= 0.0 {
-            return Err(ConfigError::invalid("ratio1_threshold", "must be positive"));
+        if !self.ratio1_threshold.is_finite()
+            || self.ratio1_threshold <= 0.0
+            || self.ratio1_threshold >= 1.0
+        {
+            // ratio₁ compares irregular vs. regular set counts; a threshold
+            // at or beyond 1 can never separate Table III's categories.
+            return Err(ConfigError::invalid(
+                "ratio1_threshold",
+                "must lie strictly inside (0, 1)",
+            ));
         }
         if !self.ratio2_threshold.is_finite() || self.ratio2_threshold <= 0.0 {
             return Err(ConfigError::invalid("ratio2_threshold", "must be positive"));
@@ -246,6 +254,14 @@ mod tests {
         let mut cfg = HpeConfig::paper_default();
         cfg.fifo_depth = 0;
         assert!(cfg.validate().is_err());
+
+        // Degenerate classification thresholds: ratio₁ must separate the
+        // categories, so anything outside (0, 1) is rejected.
+        for bad in [0.0, 1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let mut cfg = HpeConfig::paper_default();
+            cfg.ratio1_threshold = bad;
+            assert!(cfg.validate().is_err(), "ratio1_threshold {bad} accepted");
+        }
     }
 
     #[test]

@@ -4,13 +4,17 @@
 use std::collections::HashMap;
 
 use uvm_policies::{EvictionPolicy, FaultOutcome};
-use uvm_types::{ConfigError, PageId, PolicyEvent, PolicyStats};
+use uvm_types::{ConfigError, PageId, PolicyEvent, PolicyStats, SignalDisruption, StrategyTag};
 
 use crate::adjust::Adjuster;
 use crate::chain::PageSetChain;
 use crate::classify::{classify, Classification};
 use crate::config::{HpeConfig, StrategyKind};
 use crate::hir::HirCache;
+
+/// Consecutive HIR flush opportunities that may be lost before HPE stops
+/// trusting its driver-side state and falls back to plain LRU.
+const DEGRADE_AFTER_MISSED_FLUSHES: u32 = 2;
 
 /// Hierarchical page eviction.
 ///
@@ -68,6 +72,17 @@ pub struct Hpe {
     resident_since: HashMap<PageId, u64>,
     /// HIR conflict evictions already attributed to a flush event.
     conflicts_reported: u64,
+    /// The GPU→driver HIR channel is currently down (injected outage).
+    hir_channel_down: bool,
+    /// Consecutive flush opportunities lost to the outage.
+    missed_flushes: u32,
+    /// Degraded LRU-fallback mode is active (signals lost or undefined).
+    degraded: bool,
+    /// Entry was caused by an undefined classification (all-zero counter
+    /// samples at memory-full), so recovery must re-classify.
+    classification_pending: bool,
+    degraded_entries: u64,
+    degraded_faults: u64,
 }
 
 impl Hpe {
@@ -103,6 +118,12 @@ impl Hpe {
             trace_events: Vec::new(),
             resident_since: HashMap::new(),
             conflicts_reported: 0,
+            hir_channel_down: false,
+            missed_flushes: 0,
+            degraded: false,
+            classification_pending: false,
+            degraded_entries: 0,
+            degraded_faults: 0,
         })
     }
 
@@ -134,6 +155,18 @@ impl Hpe {
         self.adjuster.strategy()
     }
 
+    /// Whether the degraded LRU fallback is active (driver signals lost
+    /// or classification undefined; Section IV's LRU default made an
+    /// explicit resilience mechanism).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// `(entries, faults)` spent in degraded fallback mode so far.
+    pub fn degraded_residency(&self) -> (u64, u64) {
+        (self.degraded_entries, self.degraded_faults)
+    }
+
     /// `(fault_number, strategy)` timeline (Fig. 13).
     pub fn strategy_timeline(&self) -> &[(u64, StrategyKind)] {
         self.adjuster.timeline()
@@ -163,6 +196,81 @@ impl Hpe {
     fn apply_hit(&mut self, page: PageId, count: u32) {
         self.chain.touch(page, count, false);
     }
+
+    fn push_switch_event(&mut self, from: StrategyTag, to: StrategyTag, fault_num: u64) {
+        if !self.tracing {
+            return;
+        }
+        let (ratio1, ratio2) = self
+            .classification
+            .as_ref()
+            .map_or((0.0, 0.0), |c| (c.ratio1, c.ratio2));
+        self.trace_events.push(PolicyEvent::StrategySwitch {
+            from,
+            to,
+            ratio1,
+            ratio2,
+            fault_num,
+        });
+    }
+
+    /// Emits a `StrategySwitch` event if the adjuster's timeline grew past
+    /// `switches_before` (tracing only).
+    fn note_adjuster_switch(&mut self, switches_before: usize) {
+        if !self.tracing {
+            return;
+        }
+        let tl = self.adjuster.timeline();
+        if tl.len() > switches_before {
+            let (at, to) = tl[tl.len() - 1];
+            let from = tl[tl.len() - 2].1;
+            self.push_switch_event(from.into(), to.into(), at);
+        }
+    }
+
+    /// Enters the degraded LRU fallback: driver-side signals are no longer
+    /// trustworthy, so classification-driven strategy selection and dynamic
+    /// adjustment are suspended until the signals resume.
+    fn enter_degraded(&mut self, fault_num: u64) {
+        if self.degraded {
+            return;
+        }
+        let from = self.adjuster.strategy().into();
+        self.degraded = true;
+        self.degraded_entries += 1;
+        self.push_switch_event(from, StrategyTag::Degraded, fault_num);
+    }
+
+    /// Leaves degraded mode if the signals that forced it are healthy
+    /// again: the HIR channel is up and (for an entry caused by an
+    /// undefined classification) the counter samples are now defined.
+    fn try_recover(&mut self, fault_num: u64) {
+        if !self.degraded || self.hir_channel_down {
+            return;
+        }
+        if self.classification_pending {
+            let stats = self.chain.counter_stats();
+            if stats.regular + stats.irregular == 0 {
+                return; // still no samples to classify from
+            }
+            let classification =
+                classify(&stats, self.cfg.ratio1_threshold, self.cfg.ratio2_threshold);
+            let old_sets = self.chain.old_len();
+            self.adjuster
+                .set_category(classification.category, old_sets, fault_num);
+            self.classification = Some(classification);
+            self.old_sets_at_full = Some(old_sets);
+            self.counters_at_full = Some(self.chain.iter_entries().map(|e| e.counter).collect());
+            self.classification_pending = false;
+        }
+        self.degraded = false;
+        self.missed_flushes = 0;
+        self.push_switch_event(
+            StrategyTag::Degraded,
+            self.adjuster.strategy().into(),
+            fault_num,
+        );
+    }
 }
 
 impl EvictionPolicy for Hpe {
@@ -173,35 +281,25 @@ impl EvictionPolicy for Hpe {
     fn on_walk_hit(&mut self, page: PageId) {
         match &mut self.hir {
             Some(hir) => hir.record(page),
+            // Ideal-transfer mode ships each hit over the same GPU→driver
+            // channel, just without batching: an outage drops it.
+            None if self.hir_channel_down => {}
             None => self.apply_hit(page, 1),
         }
     }
 
     fn on_fault(&mut self, page: PageId, fault_num: u64) -> FaultOutcome {
-        let switches_before = if self.tracing {
-            self.adjuster.timeline().len()
+        if self.degraded {
+            // Driver-side signals are untrusted: no wrong-eviction
+            // accounting while the fallback is active.
+            self.degraded_faults += 1;
         } else {
-            0
-        };
-        // Wrong-eviction accounting against the active strategy's FIFO.
-        self.adjuster.on_fault(page, fault_num);
+            let switches_before = self.adjuster.timeline().len();
+            // Wrong-eviction accounting against the active strategy's FIFO.
+            self.adjuster.on_fault(page, fault_num);
+            self.note_adjuster_switch(switches_before);
+        }
         if self.tracing {
-            let tl = self.adjuster.timeline();
-            if tl.len() > switches_before {
-                let (at, to) = tl[tl.len() - 1];
-                let from = tl[tl.len() - 2].1;
-                let (ratio1, ratio2) = self
-                    .classification
-                    .as_ref()
-                    .map_or((0.0, 0.0), |c| (c.ratio1, c.ratio2));
-                self.trace_events.push(PolicyEvent::StrategySwitch {
-                    from: from.into(),
-                    to: to.into(),
-                    ratio1,
-                    ratio2,
-                    fault_num: at,
-                });
-            }
             self.resident_since.insert(page, self.fault_count);
         }
         // Faults update the chain (and the bit vector) immediately.
@@ -210,36 +308,51 @@ impl EvictionPolicy for Hpe {
         self.faults_in_interval += 1;
 
         let mut outcome = FaultOutcome::default();
-        if let Some(hir) = &mut self.hir {
-            if self
-                .fault_count
-                .is_multiple_of(u64::from(self.cfg.transfer_interval))
-            {
-                let records = hir.flush();
-                if !records.is_empty() {
-                    self.hir_flushes += 1;
-                    self.hir_entries_transferred += records.len() as u64;
-                    if self.tracing {
-                        let conflicts = hir.conflict_evictions();
-                        self.trace_events.push(PolicyEvent::HirFlush {
-                            entries: records.len() as u64,
-                            dropped: conflicts - self.conflicts_reported,
-                        });
-                        self.conflicts_reported = conflicts;
-                    }
-                    outcome.transfer_bytes = hir.transfer_bytes(records.len());
-                    outcome.driver_busy_cycles =
-                        records.len() as u64 * self.cfg.update_cycles_per_record;
-                    let shift = self.cfg.page_set_shift();
-                    for rec in records {
-                        for (off, &c) in rec.counts.iter().enumerate() {
-                            if c > 0 {
-                                let p = rec.set.page_at(shift, off as u32);
-                                self.apply_hit(p, u32::from(c));
+        if self
+            .fault_count
+            .is_multiple_of(u64::from(self.cfg.transfer_interval))
+        {
+            if self.hir_channel_down {
+                // The flush leaves the GPU but never reaches the driver:
+                // the recorded hits are lost in transit.
+                if let Some(hir) = &mut self.hir {
+                    let _ = hir.flush();
+                }
+                self.missed_flushes += 1;
+                if self.missed_flushes >= DEGRADE_AFTER_MISSED_FLUSHES {
+                    self.enter_degraded(fault_num);
+                }
+            } else {
+                self.missed_flushes = 0;
+                if let Some(hir) = &mut self.hir {
+                    let records = hir.flush();
+                    if !records.is_empty() {
+                        self.hir_flushes += 1;
+                        self.hir_entries_transferred += records.len() as u64;
+                        if self.tracing {
+                            let conflicts = hir.conflict_evictions();
+                            self.trace_events.push(PolicyEvent::HirFlush {
+                                entries: records.len() as u64,
+                                dropped: conflicts - self.conflicts_reported,
+                            });
+                            self.conflicts_reported = conflicts;
+                        }
+                        outcome.transfer_bytes = hir.transfer_bytes(records.len());
+                        outcome.driver_busy_cycles =
+                            records.len() as u64 * self.cfg.update_cycles_per_record;
+                        let shift = self.cfg.page_set_shift();
+                        for rec in records {
+                            for (off, &c) in rec.counts.iter().enumerate() {
+                                if c > 0 {
+                                    let p = rec.set.page_at(shift, off as u32);
+                                    self.apply_hit(p, u32::from(c));
+                                }
                             }
                         }
                     }
                 }
+                // A flush opportunity arrived intact: signals are healthy.
+                self.try_recover(fault_num);
             }
         }
 
@@ -248,24 +361,60 @@ impl EvictionPolicy for Hpe {
             if self.cfg.enable_partitions {
                 self.chain.rotate_interval();
             }
-            self.adjuster.end_interval();
+            if self.degraded {
+                // Intervals spent in the fallback are credited to neither
+                // strategy, but a pending classification may retry now that
+                // another interval of counter samples accumulated.
+                if self.classification_pending {
+                    self.try_recover(fault_num);
+                }
+            } else {
+                self.adjuster.end_interval();
+            }
         }
         outcome
     }
 
     fn on_memory_full(&mut self) {
         let stats = self.chain.counter_stats();
-        let classification = classify(&stats, self.cfg.ratio1_threshold, self.cfg.ratio2_threshold);
         let old_sets = self.chain.old_len();
+        self.old_sets_at_full = Some(old_sets);
+        self.counters_at_full = Some(self.chain.iter_entries().map(|e| e.counter).collect());
+        if stats.regular + stats.irregular == 0 {
+            // No counter samples: ratio₁ is 0/0 and Table III's categories
+            // are undefined. Fall back to LRU until samples accumulate.
+            self.classification_pending = true;
+            self.enter_degraded(self.fault_count);
+            return;
+        }
+        let classification = classify(&stats, self.cfg.ratio1_threshold, self.cfg.ratio2_threshold);
         self.adjuster
             .set_category(classification.category, old_sets, self.fault_count);
         self.classification = Some(classification);
-        self.old_sets_at_full = Some(old_sets);
-        self.counters_at_full = Some(self.chain.iter_entries().map(|e| e.counter).collect());
     }
 
     fn select_victim(&mut self) -> Option<PageId> {
         self.selections += 1;
+        if self.degraded {
+            // Plain LRU over the chain; the adjuster neither chooses the
+            // strategy nor records the eviction (its FIFOs would pollute
+            // wrong-eviction accounting with fallback decisions).
+            let sel = self.chain.select_victim(StrategyKind::Lru, 0)?;
+            self.lru_comparisons += sel.comparisons;
+            if self.tracing {
+                let victim_age = self
+                    .resident_since
+                    .remove(&sel.page)
+                    .map_or(0, |at| self.fault_count.saturating_sub(at));
+                self.trace_events.push(PolicyEvent::VictimSelected {
+                    page: sel.page,
+                    strategy: StrategyTag::Degraded,
+                    search_comparisons: sel.comparisons,
+                    victim_age,
+                });
+            }
+            return Some(sel.page);
+        }
         let strategy = self.adjuster.strategy();
         let sel = self.chain.select_victim(strategy, self.adjuster.jump())?;
         match strategy {
@@ -291,6 +440,31 @@ impl EvictionPolicy for Hpe {
             });
         }
         Some(sel.page)
+    }
+
+    fn on_disruption(&mut self, disruption: SignalDisruption) {
+        match disruption {
+            SignalDisruption::HirChannelDown => self.hir_channel_down = true,
+            SignalDisruption::HirChannelUp => self.hir_channel_down = false,
+            SignalDisruption::SpuriousWrongEviction { fault_num } => {
+                // A corrupted fault report reached the driver: it drives
+                // the adjustment machinery exactly like a genuine wrong
+                // eviction — unless the fallback already distrusts signals.
+                if !self.degraded {
+                    let switches_before = self.adjuster.timeline().len();
+                    self.adjuster.force_wrong(fault_num);
+                    self.note_adjuster_switch(switches_before);
+                }
+            }
+            SignalDisruption::ForcedEviction { page } => {
+                // The engine evicted behind our back; only the tracing
+                // bookkeeping knows the page (the chain is consulted on the
+                // next selection and tolerates stale entries).
+                if self.tracing {
+                    self.resident_since.remove(&page);
+                }
+            }
+        }
     }
 
     fn set_tracing(&mut self, enabled: bool) {
@@ -319,6 +493,8 @@ impl EvictionPolicy for Hpe {
             intervals_lru,
             intervals_mruc,
             page_sets_divided: self.chain.divided_count(),
+            degraded_entries: self.degraded_entries,
+            degraded_faults: self.degraded_faults,
         }
     }
 }
@@ -601,6 +777,130 @@ mod tests {
             assert_eq!(traced.select_victim(), plain.select_victim());
         }
         assert_eq!(traced.stats(), plain.stats());
+    }
+
+    #[test]
+    fn hir_outage_degrades_to_lru_and_recovers() {
+        let mut h = hpe();
+        h.set_tracing(true);
+        fault_range(&mut h, 0, 256, 0);
+        h.on_memory_full();
+        assert_eq!(
+            h.strategy(),
+            StrategyKind::MruC,
+            "streaming classifies MRU-C"
+        );
+        assert!(!h.is_degraded());
+
+        // Channel goes down: two missed flush opportunities trip the
+        // fallback (2 * transfer_interval = 32 faults).
+        h.on_disruption(SignalDisruption::HirChannelDown);
+        fault_range(&mut h, 10_000, 32, 256);
+        assert!(h.is_degraded());
+        let (entries, faults) = h.degraded_residency();
+        assert_eq!(entries, 1);
+        assert_eq!(faults, 0, "faults spent degraded count from the next one");
+
+        // Victims while degraded come from the LRU path and are tagged.
+        let v = h.select_victim().expect("resident pages exist");
+        assert!(v.0 < 11_000);
+
+        // Faults during the outage are counted but do not feed adjustment.
+        fault_range(&mut h, 20_000, 16, 288);
+        assert_eq!(h.degraded_residency().1, 16);
+
+        // Channel restored: the next intact flush opportunity recovers.
+        // The 16 faults up to that boundary still run degraded.
+        h.on_disruption(SignalDisruption::HirChannelUp);
+        fault_range(&mut h, 30_000, 16, 304);
+        assert!(!h.is_degraded());
+        assert_eq!(
+            h.strategy(),
+            StrategyKind::MruC,
+            "nominal strategy restored"
+        );
+
+        // The round trip is visible as Degraded strategy-switch events.
+        let mut events = Vec::new();
+        h.drain_events(&mut |e| events.push(e));
+        let switches: Vec<(StrategyTag, StrategyTag)> = events
+            .iter()
+            .filter_map(|e| match *e {
+                PolicyEvent::StrategySwitch { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert!(switches.contains(&(StrategyTag::MruC, StrategyTag::Degraded)));
+        assert!(switches.contains(&(StrategyTag::Degraded, StrategyTag::MruC)));
+        let degraded_victims = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    PolicyEvent::VictimSelected {
+                        strategy: StrategyTag::Degraded,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(degraded_victims, 1);
+        assert_eq!(h.stats().degraded_entries, 1);
+        assert_eq!(h.stats().degraded_faults, 32);
+    }
+
+    #[test]
+    fn zero_sample_memory_full_degrades_then_classifies() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        // Memory full before any fault: no counter samples, ratios 0/0.
+        h.on_memory_full();
+        assert!(h.is_degraded());
+        assert!(h.classification().is_none());
+        assert_eq!(h.stats().degraded_entries, 1);
+
+        // Samples accumulate; the flush-boundary health check (channel was
+        // never down) re-classifies and recovers.
+        fault_range(&mut h, 0, 256, 0);
+        assert!(!h.is_degraded());
+        let c = h.classification().expect("recovery re-classified");
+        assert_eq!(c.category, Category::Regular);
+        assert_eq!(h.strategy(), StrategyKind::MruC);
+    }
+
+    #[test]
+    fn spurious_wrong_evictions_drive_adjustment() {
+        let mut h = hpe_with(|c| c.use_hir = false);
+        // Enough distinct sets that the old partition exceeds the
+        // small-footprint threshold (64 sets), so regular apps jump.
+        fault_range(&mut h, 0, 1536, 0);
+        h.on_memory_full();
+        assert_eq!(h.strategy(), StrategyKind::MruC);
+        assert!(
+            h.old_sets_at_full().unwrap() >= 64,
+            "need a large footprint"
+        );
+        // Injected wrong-eviction signals drive the adjustment machinery
+        // exactly like genuine ones: one trigger's worth jumps the point.
+        for i in 0..16 {
+            h.on_disruption(SignalDisruption::SpuriousWrongEviction {
+                fault_num: 2000 + i,
+            });
+        }
+        assert_eq!(h.jump_events(), &[(2015, 16)]);
+    }
+
+    #[test]
+    fn degraded_mode_ignores_spurious_signals() {
+        let mut h = hpe();
+        fault_range(&mut h, 0, 256, 0);
+        h.on_memory_full();
+        h.on_disruption(SignalDisruption::HirChannelDown);
+        fault_range(&mut h, 10_000, 32, 256);
+        assert!(h.is_degraded());
+        for i in 0..64 {
+            h.on_disruption(SignalDisruption::SpuriousWrongEviction { fault_num: 400 + i });
+        }
+        assert!(h.jump_events().is_empty(), "fallback distrusts signals");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use setlru::SetLru;
 pub use traced::Traced;
 pub use wsclock::{WsClock, WsClockConfig};
 
-use uvm_types::{PageId, PolicyEvent, PolicyStats};
+use uvm_types::{PageId, PolicyEvent, PolicyStats, SignalDisruption};
 
 /// Side effects of servicing a page fault, reported by the policy to the
 /// simulator.
@@ -126,6 +126,11 @@ pub trait EvictionPolicy {
     /// if the policy believes nothing is resident.
     fn select_victim(&mut self) -> Option<PageId>;
 
+    /// Notifies the policy of a disrupted or injected driver signal (see
+    /// [`SignalDisruption`]). Robust policies use this to degrade
+    /// gracefully; the default ignores every disruption.
+    fn on_disruption(&mut self, _disruption: SignalDisruption) {}
+
     /// Snapshot of policy-side statistics.
     fn stats(&self) -> PolicyStats {
         PolicyStats::default()
@@ -166,6 +171,9 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
     fn select_victim(&mut self) -> Option<PageId> {
         (**self).select_victim()
+    }
+    fn on_disruption(&mut self, disruption: SignalDisruption) {
+        (**self).on_disruption(disruption);
     }
     fn stats(&self) -> PolicyStats {
         (**self).stats()

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use uvm_types::{PageId, PolicyEvent, PolicyStats, StrategyTag};
+use uvm_types::{PageId, PolicyEvent, PolicyStats, SignalDisruption, StrategyTag};
 
 use crate::{EvictionPolicy, FaultOutcome};
 
@@ -114,6 +114,13 @@ impl<P: EvictionPolicy> EvictionPolicy for Traced<P> {
             });
         }
         Some(victim)
+    }
+
+    fn on_disruption(&mut self, disruption: SignalDisruption) {
+        if let SignalDisruption::ForcedEviction { page } = disruption {
+            self.resident_since.remove(&page);
+        }
+        self.inner.on_disruption(disruption);
     }
 
     fn stats(&self) -> PolicyStats {

@@ -7,9 +7,10 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use uvm_policies::EvictionPolicy;
-use uvm_types::{ConfigError, PageId, SimConfig, SimStats};
+use uvm_types::{ConfigError, PageId, SignalDisruption, SimConfig, SimError, SimStats};
 use uvm_workloads::{Op, Trace};
 
+use crate::faults::{FaultPlan, FaultState};
 use crate::memory::GpuMemory;
 use crate::observer::{EventLog, SimEvent, SimObserver};
 use crate::tlb::Tlb;
@@ -19,6 +20,12 @@ use crate::tlb::Tlb;
 /// adjustment uses two intervals (128 faults); the driver-level diagnostic
 /// uses the same horizon.
 const WRONG_EVICTION_WINDOW: usize = 128;
+
+/// Base number of events the forward-progress watchdog tolerates without a
+/// single op retiring or page landing (plus 100 per warp). Generously
+/// above anything a healthy run produces between progress points, yet
+/// small enough that an injected livelock is caught within a second.
+const WATCHDOG_BASE_EVENTS: u64 = 100_000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -103,6 +110,12 @@ pub struct Simulation<P> {
     recent_counts: HashMap<PageId, u32>,
     observer: Option<Rc<RefCell<dyn SimObserver>>>,
     stats: SimStats,
+    /// Active fault-injection state, if a plan was installed.
+    faults: Option<FaultState>,
+    /// Events handled since an op last retired or a page last landed.
+    events_since_progress: u64,
+    /// Watchdog threshold derived from the warp count.
+    watchdog_limit: u64,
 }
 
 impl<P: EvictionPolicy> Simulation<P> {
@@ -149,6 +162,7 @@ impl<P: EvictionPolicy> Simulation<P> {
             .map(|_| Tlb::new(cfg.l1_tlb))
             .collect::<Vec<_>>();
         let l2 = Tlb::new(cfg.l2_tlb);
+        let watchdog_limit = WATCHDOG_BASE_EVENTS + 100 * warps.len() as u64;
         let mut sim = Simulation {
             cfg,
             policy,
@@ -170,6 +184,9 @@ impl<P: EvictionPolicy> Simulation<P> {
             recent_counts: HashMap::new(),
             observer: None,
             stats: SimStats::default(),
+            faults: None,
+            events_since_progress: 0,
+            watchdog_limit,
         };
         for w in 0..sim.warps.len() {
             if !sim.warps[w].ops.is_empty() {
@@ -180,36 +197,73 @@ impl<P: EvictionPolicy> Simulation<P> {
         Ok(sim)
     }
 
+    /// Installs a fault-injection plan. Must be called before
+    /// [`Self::run`]; a [`FaultPlan::none`] plan leaves every statistic
+    /// and event of the run byte-identical to not calling this at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the plan is invalid.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), ConfigError> {
+        plan.validate()?;
+        self.faults = Some(FaultState::new(plan));
+        Ok(())
+    }
+
     /// Runs the simulation to completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the policy returns a non-resident victim or no victim
-    /// while memory is full — both indicate a broken policy — or if warps
-    /// deadlock (an engine invariant violation).
-    pub fn run(mut self) -> SimOutcome<P> {
+    /// Returns [`SimError`] when the run cannot complete soundly: the
+    /// policy offered a non-resident victim, residency accounting would
+    /// overflow, the forward-progress watchdog detected a livelock
+    /// ([`SimError::Stalled`]), or warps deadlocked with an empty event
+    /// queue. A policy offering *no* victim while memory is full is
+    /// tolerated: the engine evicts the lowest-numbered resident page
+    /// itself and counts it in `stats.resilience.fallback_victims`.
+    pub fn run(mut self) -> Result<SimOutcome<P>, SimError> {
         while let Some(Reverse(ev)) = self.events.pop() {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             if self.now > self.stats.cycles {
                 self.stats.cycles = self.now;
             }
+            self.events_since_progress += 1;
+            if self.events_since_progress > self.watchdog_limit {
+                return Err(SimError::Stalled {
+                    cycle: self.now,
+                    in_flight: self.in_flight.len() as u64,
+                });
+            }
             match ev.kind {
-                EventKind::WarpReady(w) => self.step_warp(w),
-                EventKind::DriverDone(page) => self.finish_fault(page),
-                EventKind::DriverPickup => self.pickup_next_fault(),
+                EventKind::WarpReady(w) => self.step_warp(w)?,
+                EventKind::DriverDone(page) => {
+                    // An injected lossy completion channel may swallow the
+                    // signal; the driver retries until it gets through (or
+                    // never does, and the watchdog reports the livelock).
+                    let lost = match &mut self.faults {
+                        Some(fs) => fs.completion_lost(&mut self.stats.resilience),
+                        None => None,
+                    };
+                    match lost {
+                        Some(delay) => self.schedule(self.now + delay, EventKind::DriverDone(page)),
+                        None => self.finish_fault(page)?,
+                    }
+                }
+                EventKind::DriverPickup => self.pickup_next_fault()?,
             }
         }
-        assert_eq!(
-            self.live_warps, 0,
-            "deadlock: {} warps blocked with an empty event queue",
-            self.live_warps
-        );
+        if self.live_warps > 0 {
+            return Err(SimError::Deadlock {
+                cycle: self.now,
+                blocked_warps: self.live_warps as u64,
+            });
+        }
         self.stats.policy = self.policy.stats();
-        SimOutcome {
+        Ok(SimOutcome {
             stats: self.stats,
             policy: self.policy,
-        }
+        })
     }
 
     /// Installs an observer receiving paging events in simulated-time
@@ -252,7 +306,7 @@ impl<P: EvictionPolicy> Simulation<P> {
         self.events.push(Reverse(Event { time, seq, kind }));
     }
 
-    fn step_warp(&mut self, w: usize) {
+    fn step_warp(&mut self, w: usize) -> Result<(), SimError> {
         let (sm, op, first_issue) = {
             let warp = &self.warps[w];
             let op = warp.ops[warp.cursor];
@@ -305,11 +359,11 @@ impl<P: EvictionPolicy> Simulation<P> {
         if !translated {
             // Page fault: suspend this warp until the driver migrates the
             // page (replayable far-fault); other warps keep running.
-            self.raise_fault(op.page, w);
-            return;
+            return self.raise_fault(op.page, w);
         }
 
         // The access completes.
+        self.events_since_progress = 0;
         self.warps[w].issued = false;
         self.warps[w].cursor += 1;
         self.stats.mem_accesses += 1;
@@ -324,9 +378,10 @@ impl<P: EvictionPolicy> Simulation<P> {
                 self.stats.cycles = done_at;
             }
         }
+        Ok(())
     }
 
-    fn raise_fault(&mut self, page: PageId, warp: usize) {
+    fn raise_fault(&mut self, page: PageId, warp: usize) -> Result<(), SimError> {
         match self.waiters.entry(page) {
             Entry::Occupied(mut e) => {
                 // Fault already pending: coalesce.
@@ -357,15 +412,16 @@ impl<P: EvictionPolicy> Simulation<P> {
                     }
                 }
                 if self.in_service.is_none() {
-                    self.start_fault_service(page);
+                    self.start_fault_service(page)?;
                 } else {
                     self.fault_queue.push_back(page);
                 }
             }
         }
+        Ok(())
     }
 
-    fn start_fault_service(&mut self, page: PageId) {
+    fn start_fault_service(&mut self, page: PageId) -> Result<(), SimError> {
         debug_assert!(self.in_service.is_none());
         debug_assert!(!self.memory.is_resident(page));
         self.in_service = Some(page);
@@ -420,18 +476,49 @@ impl<P: EvictionPolicy> Simulation<P> {
         self.stats.driver.faults_serviced += demand_count;
         self.stats.driver.prefetched_pages += self.in_flight.len() as u64 - demand_count;
 
+        // Injected GPU→driver channel outage: tell the policy when the
+        // square wave flips, and count faults serviced while it is down.
+        if let Some(fs) = &mut self.faults {
+            if let Some(down) = fs.hir_transition(fault_num) {
+                self.policy.on_disruption(if down {
+                    SignalDisruption::HirChannelDown
+                } else {
+                    SignalDisruption::HirChannelUp
+                });
+            }
+            if fs.hir_down {
+                self.stats.resilience.faults_during_hir_outage += demand_count;
+            }
+        }
+
         // Free enough frames for every migrating page.
         let needed = (self.memory.len() + self.in_flight.len() as u64)
             .saturating_sub(self.memory.capacity());
         for _ in 0..needed {
-            let victim = self
-                .policy
-                .select_victim()
-                .expect("memory full but policy offered no victim");
-            assert!(
-                self.memory.remove(victim),
-                "policy selected non-resident victim {victim}"
-            );
+            let victim = match self.policy.select_victim() {
+                Some(v) => {
+                    if !self.memory.remove(v) {
+                        return Err(SimError::NonResidentVictim {
+                            page: v,
+                            cycle: self.now,
+                        });
+                    }
+                    v
+                }
+                None => {
+                    // The policy believes nothing is resident but memory
+                    // disagrees: evict the lowest-numbered resident page
+                    // (deterministic) rather than aborting the run.
+                    let Some(v) = self.memory.min_resident() else {
+                        return Err(SimError::NoVictimAvailable { cycle: self.now });
+                    };
+                    self.memory.remove(v);
+                    self.stats.resilience.fallback_victims += 1;
+                    self.policy
+                        .on_disruption(SignalDisruption::ForcedEviction { page: v });
+                    v
+                }
+            };
             for l1 in &mut self.l1 {
                 l1.invalidate(victim);
             }
@@ -458,25 +545,44 @@ impl<P: EvictionPolicy> Simulation<P> {
         }
         // StrategySwitch / HirFlush events raised inside on_fault.
         self.drain_policy_events();
+        // Injected corrupted fault report: a spurious wrong-eviction signal
+        // reaches the policy's adjustment machinery.
+        if let Some(fs) = &mut self.faults {
+            if fs.spurious_wrong_eviction(&mut self.stats.resilience) {
+                self.policy
+                    .on_disruption(SignalDisruption::SpuriousWrongEviction { fault_num });
+                self.drain_policy_events();
+            }
+        }
         // Prefetched pages each pay their own PCIe transfer.
         let prefetch_bytes = (self.in_flight.len() as u64 - 1) * uvm_types::PAGE_SIZE;
-        let transfer = self
+        let mut transfer = self
             .cfg
             .pcie_transfer_cycles(outcome.transfer_bytes + prefetch_bytes);
-        let duration = self.cfg.fault_service_cycles() + transfer;
+        let mut service = self.cfg.fault_service_cycles();
+        if let Some(fs) = &mut self.faults {
+            (service, transfer) =
+                fs.perturb_service(service, transfer, self.now, &mut self.stats.resilience);
+        }
+        let duration = service + transfer;
         self.stats.driver.busy_cycles += duration + outcome.driver_busy_cycles;
         self.stats.driver.hit_transfer_cycles +=
             self.cfg.pcie_transfer_cycles(outcome.transfer_bytes);
         self.schedule(self.now + duration, EventKind::DriverDone(page));
+        Ok(())
     }
 
-    fn finish_fault(&mut self, page: PageId) {
+    fn finish_fault(&mut self, page: PageId) -> Result<(), SimError> {
         debug_assert_eq!(self.in_service, Some(page));
         self.in_service = None;
+        self.events_since_progress = 0;
         for p in std::mem::take(&mut self.in_flight) {
-            self.memory
-                .insert(p)
-                .expect("slots were freed when service started");
+            if self.memory.insert(p).is_err() {
+                return Err(SimError::ResidencyOverflow {
+                    page: p,
+                    cycle: self.now,
+                });
+            }
             self.emit(SimEvent::FaultServiced {
                 time: self.now,
                 page: p,
@@ -496,11 +602,12 @@ impl<P: EvictionPolicy> Simulation<P> {
         if !self.fault_queue.is_empty() {
             self.schedule(self.now, EventKind::DriverPickup);
         }
+        Ok(())
     }
 
-    fn pickup_next_fault(&mut self) {
+    fn pickup_next_fault(&mut self) -> Result<(), SimError> {
         if self.in_service.is_some() {
-            return;
+            return Ok(());
         }
         while let Some(next) = self.fault_queue.pop_front() {
             if self.memory.is_resident(next) {
@@ -512,20 +619,22 @@ impl<P: EvictionPolicy> Simulation<P> {
                 }
                 continue;
             }
-            self.start_fault_service(next);
+            self.start_fault_service(next)?;
             break;
         }
+        Ok(())
     }
 
     fn remember_eviction(&mut self, page: PageId) {
         self.recent_evictions.push_back(page);
         *self.recent_counts.entry(page).or_insert(0) += 1;
         if self.recent_evictions.len() > WRONG_EVICTION_WINDOW {
-            let old = self.recent_evictions.pop_front().expect("nonempty");
-            if let Some(c) = self.recent_counts.get_mut(&old) {
-                *c -= 1;
-                if *c == 0 {
-                    self.recent_counts.remove(&old);
+            if let Some(old) = self.recent_evictions.pop_front() {
+                if let Some(c) = self.recent_counts.get_mut(&old) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.recent_counts.remove(&old);
+                    }
                 }
             }
         }
@@ -564,6 +673,7 @@ mod tests {
         Simulation::new(cfg, &trace, Lru::new(), capacity)
             .unwrap()
             .run()
+            .unwrap()
             .stats
     }
 
@@ -625,6 +735,7 @@ mod tests {
         let stats = Simulation::new(cfg, &trace, Lru::new(), 16)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         assert_eq!(stats.faults(), 4);
     }
@@ -647,10 +758,12 @@ mod tests {
             let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)
                 .unwrap()
                 .run()
+                .unwrap()
                 .stats;
             let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)
                 .unwrap()
                 .run()
+                .unwrap()
                 .stats;
             assert!(
                 ideal.faults() <= lru.faults(),
@@ -670,6 +783,7 @@ mod tests {
             Simulation::new(cfg.clone(), &trace, RandomPolicy::seeded(5), 576)
                 .unwrap()
                 .run()
+                .unwrap()
                 .stats
         };
         assert_eq!(run(), run());
@@ -707,7 +821,7 @@ mod tests {
         let trace = Trace::from_global(&global, 12, 0, 2, 3);
         let mut sim = Simulation::new(cfg, &trace, Lru::new(), 8).unwrap();
         let log = sim.attach_event_log();
-        let stats = sim.run().stats;
+        let stats = sim.run().unwrap().stats;
         let log = log.borrow();
         assert_eq!(log.fault_count() as u64, stats.faults());
         assert_eq!(log.eviction_count() as u64, stats.evictions());
@@ -735,7 +849,7 @@ mod tests {
         let trace = Trace::from_global(&global, 24, 0, 2, 3);
         let mut sim = Simulation::new(cfg, &trace, Traced::new(Lru::new()), 12).unwrap();
         let log = sim.attach_event_log();
-        let stats = sim.run().stats;
+        let stats = sim.run().unwrap().stats;
         let log = log.borrow();
         // Every eviction is preceded by the policy's VictimSelected for
         // the same page.
@@ -788,7 +902,7 @@ mod tests {
             if observe {
                 let _ = sim.attach_event_log();
             }
-            sim.run().stats
+            sim.run().unwrap().stats
         };
         assert_eq!(run(false), run(true));
     }
@@ -801,12 +915,14 @@ mod tests {
         let base = Simulation::new(cfg.clone(), &trace, Lru::new(), 250)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         assert_eq!(base.faults(), 200);
         cfg.prefetch_pages = 4;
         let pf = Simulation::new(cfg, &trace, Lru::new(), 250)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         assert!(
             pf.faults() < 80,
@@ -830,6 +946,7 @@ mod tests {
         let stats = Simulation::new(cfg, &trace, Lru::new(), 8)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         let inserted = stats.faults() + stats.driver.prefetched_pages;
         let resident_end = inserted - stats.evictions();
@@ -847,11 +964,13 @@ mod tests {
         let base = Simulation::new(cfg.clone(), &trace, Lru::new(), 400)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         cfg.fault_batch = 8;
         let batched = Simulation::new(cfg, &trace, Lru::new(), 400)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         // Same demand faults either way; far fewer service windows.
         assert_eq!(base.faults(), 320);
@@ -874,9 +993,108 @@ mod tests {
         let stats = Simulation::new(cfg, &trace, Lru::new(), 8)
             .unwrap()
             .run()
+            .unwrap()
             .stats;
         let resident_end = stats.faults() - stats.evictions();
         assert!(resident_end <= 8);
+    }
+
+    /// A broken policy that never offers a victim: exercises the engine's
+    /// deterministic fallback eviction.
+    struct NoVictim;
+
+    impl EvictionPolicy for NoVictim {
+        fn name(&self) -> String {
+            "NoVictim".to_string()
+        }
+        fn on_fault(&mut self, _page: PageId, _n: u64) -> uvm_policies::FaultOutcome {
+            uvm_policies::FaultOutcome::default()
+        }
+        fn select_victim(&mut self) -> Option<PageId> {
+            None
+        }
+    }
+
+    #[test]
+    fn fallback_victim_keeps_broken_policy_running() {
+        let global: Vec<u64> = (0..20u64).cycle().take(80).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 20, 0, 2, 2);
+        let stats = Simulation::new(cfg, &trace, NoVictim, 8)
+            .unwrap()
+            .run()
+            .expect("fallback keeps the run alive")
+            .stats;
+        assert!(stats.evictions() > 0);
+        assert_eq!(stats.resilience.fallback_victims, stats.evictions());
+        let resident_end = stats.faults() - stats.evictions();
+        assert!(resident_end <= 8);
+    }
+
+    #[test]
+    fn noop_fault_plan_changes_nothing() {
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let run = |plan: Option<crate::FaultPlan>| {
+            let cfg = tiny_cfg(2, 1);
+            let trace = Trace::from_global(&global, 40, 0, 2, 3);
+            let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+            if let Some(p) = plan {
+                sim.set_fault_plan(p).unwrap();
+            }
+            sim.run().unwrap().stats
+        };
+        let clean = run(None);
+        let noop = run(Some(crate::FaultPlan::none()));
+        assert_eq!(clean, noop);
+        assert!(!noop.resilience.any());
+    }
+
+    #[test]
+    fn latency_chaos_completes_and_reports_injection() {
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 0, 2, 3);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_fault_plan(crate::FaultPlan::latency_storm(11))
+            .unwrap();
+        let stats = sim.run().expect("chaos run completes").stats;
+        assert!(stats.resilience.any());
+        assert!(stats.resilience.injected_delay_cycles > 0);
+        // Latency chaos does not change what migrates or what is evicted.
+        let resident_end = stats.faults() - stats.evictions();
+        assert!(resident_end <= 30);
+    }
+
+    #[test]
+    fn injected_livelock_is_reported_as_stalled() {
+        let global: Vec<u64> = (0..10u64).collect();
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&global, 10, 0, 1, 1);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 16).unwrap();
+        sim.set_fault_plan(crate::FaultPlan::livelock(1)).unwrap();
+        match sim.run() {
+            Err(SimError::Stalled { in_flight, .. }) => assert!(in_flight >= 1),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_completion_loss_still_completes() {
+        let global: Vec<u64> = (0..40u64).cycle().take(120).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 0, 2, 3);
+        let clean = Simulation::new(cfg.clone(), &trace, Lru::new(), 30)
+            .unwrap()
+            .run()
+            .unwrap()
+            .stats;
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_fault_plan(crate::FaultPlan::completion_loss(7))
+            .unwrap();
+        let lossy = sim.run().expect("bounded retries always deliver").stats;
+        assert!(lossy.resilience.completions_lost > 0);
+        assert_eq!(lossy.faults(), clean.faults(), "losses delay, not drop");
+        assert!(lossy.cycles > clean.cycles, "each loss costs retry cycles");
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Seeded fault injection for chaos campaigns.
+//!
+//! A [`FaultPlan`] describes a replayable set of perturbations applied to
+//! the engine while it runs: jittered and tail fault-service latency,
+//! interconnect congestion windows that inflate transfer time, lost
+//! fault-completion signals (retried by the driver, or never delivered —
+//! a livelock the watchdog converts into [`uvm_types::SimError::Stalled`]),
+//! GPU→driver HIR-channel outages, and spurious wrong-eviction reports.
+//!
+//! All randomness comes from one xoshiro256** stream seeded by
+//! [`FaultPlan::seed`], and every draw is gated on its knob being enabled,
+//! so two runs with the same plan perturb identically and
+//! [`FaultPlan::none`] leaves the simulation byte-identical to an
+//! uninstrumented run.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_sim::FaultPlan;
+//!
+//! let plan = FaultPlan::latency_storm(7);
+//! plan.validate().unwrap();
+//! assert!(!plan.is_noop());
+//! assert!(FaultPlan::none().is_noop());
+//! ```
+
+use uvm_types::{ConfigError, ResilienceStats};
+use uvm_util::{impl_json_struct, Rng};
+
+/// A replayable fault-injection plan (all perturbations off by default).
+///
+/// Fields with probability semantics are fractions in `[0, 1]`; periods
+/// of `0` disable their perturbation entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injection RNG stream.
+    pub seed: u64,
+    /// Uniform ±fraction applied to the base fault-service latency
+    /// (e.g. `0.25` draws from `[0.75x, 1.25x]`). Must be in `[0, 1)`.
+    pub latency_jitter: f64,
+    /// Probability that one fault service lands in the latency tail.
+    pub tail_probability: f64,
+    /// Multiplier applied to the whole service time on a tail event.
+    pub tail_multiplier: u64,
+    /// Cycle length of the interconnect congestion square wave (0 = off).
+    pub congestion_period: u64,
+    /// Fraction of each congestion period that is congested.
+    pub congestion_duty: f64,
+    /// Multiplier on HIR-flush transfer cycles inside a congested window.
+    pub congestion_factor: u64,
+    /// Probability that a fault-completion signal is lost in transit and
+    /// must be retried by the driver.
+    pub completion_loss_probability: f64,
+    /// Cycles between completion retries.
+    pub retry_cycles: u64,
+    /// Consecutive losses after which the completion finally gets
+    /// through. `None` retries forever: an injected livelock that the
+    /// forward-progress watchdog must convert into a typed error.
+    pub max_completion_retries: Option<u32>,
+    /// Fault-count length of the HIR-channel outage square wave (0 = off).
+    pub hir_outage_period: u64,
+    /// Fraction of each outage period during which the channel is down.
+    pub hir_outage_duty: f64,
+    /// Probability that a serviced fault additionally delivers a spurious
+    /// (corrupted) wrong-eviction report to the policy.
+    pub spurious_wrong_eviction_probability: f64,
+}
+
+impl_json_struct!(FaultPlan {
+    seed = 0,
+    latency_jitter = 0.0,
+    tail_probability = 0.0,
+    tail_multiplier = 1,
+    congestion_period = 0,
+    congestion_duty = 0.0,
+    congestion_factor = 1,
+    completion_loss_probability = 0.0,
+    retry_cycles = 0,
+    max_completion_retries = None,
+    hir_outage_period = 0,
+    hir_outage_duty = 0.0,
+    spurious_wrong_eviction_probability = 0.0,
+});
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no perturbation, no RNG draws.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            latency_jitter: 0.0,
+            tail_probability: 0.0,
+            tail_multiplier: 1,
+            congestion_period: 0,
+            congestion_duty: 0.0,
+            congestion_factor: 1,
+            completion_loss_probability: 0.0,
+            retry_cycles: 0,
+            max_completion_retries: None,
+            hir_outage_period: 0,
+            hir_outage_duty: 0.0,
+            spurious_wrong_eviction_probability: 0.0,
+        }
+    }
+
+    /// Latency chaos: ±25% service jitter with a 1-in-50 8x tail.
+    pub fn latency_storm(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            latency_jitter: 0.25,
+            tail_probability: 0.02,
+            tail_multiplier: 8,
+            ..Self::none()
+        }
+    }
+
+    /// Interconnect congestion: half of every 2M-cycle window multiplies
+    /// transfer time by 8.
+    pub fn congestion(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            congestion_period: 2_000_000,
+            congestion_duty: 0.5,
+            congestion_factor: 8,
+            ..Self::none()
+        }
+    }
+
+    /// Lossy completion channel: 5% of completions need a 10k-cycle retry,
+    /// at most 3 in a row, so the driver always makes progress eventually.
+    pub fn completion_loss(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            completion_loss_probability: 0.05,
+            retry_cycles: 10_000,
+            max_completion_retries: Some(3),
+            ..Self::none()
+        }
+    }
+
+    /// Driver-signal chaos: the HIR channel is down for 40% of every
+    /// 512-fault window and 2% of serviced faults deliver a spurious
+    /// wrong-eviction report. Exercises HPE's degraded fallback.
+    pub fn signal_chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            hir_outage_period: 512,
+            hir_outage_duty: 0.4,
+            spurious_wrong_eviction_probability: 0.02,
+            ..Self::none()
+        }
+    }
+
+    /// An injected livelock: every completion is lost and never retried
+    /// successfully. The watchdog must report `SimError::Stalled`.
+    pub fn livelock(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            completion_loss_probability: 1.0,
+            retry_cycles: 10_000,
+            max_completion_retries: None,
+            ..Self::none()
+        }
+    }
+
+    /// Whether this plan perturbs nothing (equivalent to [`Self::none`]
+    /// modulo the seed).
+    pub fn is_noop(&self) -> bool {
+        self.latency_jitter == 0.0
+            && self.tail_probability == 0.0
+            && self.congestion_period == 0
+            && self.completion_loss_probability == 0.0
+            && self.hir_outage_period == 0
+            && self.spurious_wrong_eviction_probability == 0.0
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn probability(name: &'static str, p: f64) -> Result<(), ConfigError> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::invalid(name, "must be a fraction in [0, 1]"));
+            }
+            Ok(())
+        }
+        if !self.latency_jitter.is_finite() || !(0.0..1.0).contains(&self.latency_jitter) {
+            return Err(ConfigError::invalid(
+                "latency_jitter",
+                "must be a fraction in [0, 1)",
+            ));
+        }
+        probability("tail_probability", self.tail_probability)?;
+        probability("congestion_duty", self.congestion_duty)?;
+        probability(
+            "completion_loss_probability",
+            self.completion_loss_probability,
+        )?;
+        probability("hir_outage_duty", self.hir_outage_duty)?;
+        probability(
+            "spurious_wrong_eviction_probability",
+            self.spurious_wrong_eviction_probability,
+        )?;
+        if self.tail_probability > 0.0 && self.tail_multiplier < 2 {
+            return Err(ConfigError::invalid(
+                "tail_multiplier",
+                "must be at least 2 when tail_probability is nonzero",
+            ));
+        }
+        if self.congestion_period > 0 && self.congestion_factor < 2 {
+            return Err(ConfigError::invalid(
+                "congestion_factor",
+                "must be at least 2 when congestion is enabled",
+            ));
+        }
+        if self.completion_loss_probability > 0.0 && self.retry_cycles == 0 {
+            return Err(ConfigError::invalid(
+                "retry_cycles",
+                "must be nonzero when completions can be lost",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Whether position `at` of a square wave with `period` and `duty` is in
+/// the active (perturbed) part of the wave.
+fn in_window(at: u64, period: u64, duty: f64) -> bool {
+    if period == 0 {
+        return false;
+    }
+    let active = (period as f64 * duty) as u64;
+    (at % period) < active
+}
+
+/// Runtime state of an active fault plan (one per simulation).
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: Rng,
+    /// Consecutive completion losses for the in-service fault.
+    lost_in_row: u32,
+    /// Mirror of the injected HIR-channel state the policy was last told.
+    pub(crate) hir_down: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = Rng::seed_from_u64(plan.seed);
+        FaultState {
+            plan,
+            rng,
+            lost_in_row: 0,
+            hir_down: false,
+        }
+    }
+
+    /// Perturbs one fault service: returns the adjusted `(service,
+    /// transfer)` cycle counts and records what was injected.
+    pub(crate) fn perturb_service(
+        &mut self,
+        base_service: u64,
+        transfer: u64,
+        now: u64,
+        res: &mut ResilienceStats,
+    ) -> (u64, u64) {
+        let mut service = base_service;
+        let mut out_transfer = transfer;
+        if self.plan.latency_jitter > 0.0 {
+            // Uniform in [1 - j, 1 + j); drawn even when the fault carries
+            // no transfer so the stream depends only on the fault sequence.
+            let f = 2.0 * self.rng.gen_f64() - 1.0;
+            let scaled = base_service as f64 * (1.0 + f * self.plan.latency_jitter);
+            service = scaled.max(1.0) as u64;
+        }
+        if self.plan.tail_probability > 0.0 && self.rng.gen_bool(self.plan.tail_probability) {
+            service = service.saturating_mul(self.plan.tail_multiplier);
+            res.tail_latency_events += 1;
+        }
+        if in_window(now, self.plan.congestion_period, self.plan.congestion_duty) {
+            out_transfer = out_transfer.saturating_mul(self.plan.congestion_factor);
+            res.congested_services += 1;
+        }
+        let clean = base_service + transfer;
+        let injected = (service + out_transfer).saturating_sub(clean);
+        res.injected_delay_cycles += injected;
+        (service, out_transfer)
+    }
+
+    /// Steps the HIR-outage square wave at fault number `fault_count`;
+    /// returns `Some(down)` when the channel state just changed.
+    pub(crate) fn hir_transition(&mut self, fault_count: u64) -> Option<bool> {
+        let down = in_window(
+            fault_count,
+            self.plan.hir_outage_period,
+            self.plan.hir_outage_duty,
+        );
+        if down == self.hir_down {
+            return None;
+        }
+        self.hir_down = down;
+        Some(down)
+    }
+
+    /// Whether this serviced fault also delivers a spurious wrong-eviction
+    /// report.
+    pub(crate) fn spurious_wrong_eviction(&mut self, res: &mut ResilienceStats) -> bool {
+        let p = self.plan.spurious_wrong_eviction_probability;
+        if p > 0.0 && self.rng.gen_bool(p) {
+            res.spurious_wrong_evictions += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Decides the fate of a fault-completion signal. Returns
+    /// `Some(retry_delay)` when the signal was lost and the driver must
+    /// retry after that many cycles; `None` delivers it.
+    pub(crate) fn completion_lost(&mut self, res: &mut ResilienceStats) -> Option<u64> {
+        let p = self.plan.completion_loss_probability;
+        if p == 0.0 {
+            return None;
+        }
+        if let Some(max) = self.plan.max_completion_retries {
+            if self.lost_in_row >= max {
+                self.lost_in_row = 0;
+                return None;
+            }
+        }
+        if self.rng.gen_bool(p) {
+            self.lost_in_row += 1;
+            res.completions_lost += 1;
+            return Some(self.plan.retry_cycles);
+        }
+        self.lost_in_row = 0;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_util::{FromJson, ToJson};
+
+    #[test]
+    fn noop_plan_draws_nothing_and_changes_nothing() {
+        let mut st = FaultState::new(FaultPlan::none());
+        let mut res = ResilienceStats::default();
+        for now in [0u64, 1_000, 2_000_000] {
+            assert_eq!(
+                st.perturb_service(28_000, 512, now, &mut res),
+                (28_000, 512)
+            );
+            assert_eq!(st.hir_transition(now), None);
+            assert!(!st.spurious_wrong_eviction(&mut res));
+            assert_eq!(st.completion_lost(&mut res), None);
+        }
+        assert!(!res.any());
+    }
+
+    #[test]
+    fn identical_seeds_perturb_identically() {
+        let mut a = FaultState::new(FaultPlan::latency_storm(99));
+        let mut b = FaultState::new(FaultPlan::latency_storm(99));
+        let (mut ra, mut rb) = (ResilienceStats::default(), ResilienceStats::default());
+        for i in 0..500u64 {
+            assert_eq!(
+                a.perturb_service(28_000, 64, i * 31, &mut ra),
+                b.perturb_service(28_000, 64, i * 31, &mut rb),
+            );
+        }
+        assert_eq!(ra, rb);
+        assert!(ra.injected_delay_cycles > 0 || ra.tail_latency_events > 0);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut st = FaultState::new(FaultPlan {
+            seed: 5,
+            latency_jitter: 0.25,
+            ..FaultPlan::none()
+        });
+        let mut res = ResilienceStats::default();
+        for i in 0..1_000u64 {
+            let (service, transfer) = st.perturb_service(28_000, 0, i, &mut res);
+            assert!((21_000..28_000 + 7_000).contains(&service), "{service}");
+            assert_eq!(transfer, 0);
+        }
+    }
+
+    #[test]
+    fn congestion_multiplies_transfer_inside_window_only() {
+        let mut st = FaultState::new(FaultPlan::congestion(1));
+        let mut res = ResilienceStats::default();
+        // Duty 0.5 over 2M cycles: the first 1M are congested.
+        let (s, t) = st.perturb_service(28_000, 100, 0, &mut res);
+        assert_eq!((s, t), (28_000, 800));
+        let (s, t) = st.perturb_service(28_000, 100, 1_500_000, &mut res);
+        assert_eq!((s, t), (28_000, 100));
+        assert_eq!(res.congested_services, 1);
+        assert_eq!(res.injected_delay_cycles, 700);
+    }
+
+    #[test]
+    fn outage_wave_reports_transitions_once() {
+        let mut st = FaultState::new(FaultPlan::signal_chaos(2));
+        // Period 512, duty 0.4: faults 0..204 down, 205..511 up.
+        assert_eq!(st.hir_transition(0), Some(true));
+        assert_eq!(st.hir_transition(100), None);
+        assert_eq!(st.hir_transition(204), Some(false));
+        assert_eq!(st.hir_transition(400), None);
+        assert_eq!(st.hir_transition(512), Some(true));
+    }
+
+    #[test]
+    fn bounded_completion_loss_always_delivers_eventually() {
+        let mut st = FaultState::new(FaultPlan {
+            seed: 3,
+            completion_loss_probability: 1.0,
+            retry_cycles: 10,
+            max_completion_retries: Some(3),
+            ..FaultPlan::none()
+        });
+        let mut res = ResilienceStats::default();
+        let mut delivered = 0;
+        let mut attempts = 0;
+        while delivered < 5 {
+            attempts += 1;
+            if st.completion_lost(&mut res).is_none() {
+                delivered += 1;
+            }
+            assert!(attempts <= 5 * 4, "must deliver every 4th attempt");
+        }
+        assert_eq!(res.completions_lost, 15);
+    }
+
+    #[test]
+    fn unbounded_loss_never_delivers() {
+        let mut st = FaultState::new(FaultPlan::livelock(4));
+        let mut res = ResilienceStats::default();
+        for _ in 0..100 {
+            assert_eq!(st.completion_lost(&mut res), Some(10_000));
+        }
+        assert_eq!(res.completions_lost, 100);
+    }
+
+    #[test]
+    fn presets_validate_and_none_is_noop() {
+        for plan in [
+            FaultPlan::none(),
+            FaultPlan::latency_storm(1),
+            FaultPlan::congestion(1),
+            FaultPlan::completion_loss(1),
+            FaultPlan::signal_chaos(1),
+            FaultPlan::livelock(1),
+        ] {
+            plan.validate().unwrap();
+        }
+        assert!(FaultPlan::none().is_noop());
+        assert!(!FaultPlan::signal_chaos(1).is_noop());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut p = FaultPlan::none();
+        p.latency_jitter = 1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.tail_probability = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.tail_probability = 0.1;
+        p.tail_multiplier = 1;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.congestion_period = 100;
+        p.congestion_factor = 1;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.completion_loss_probability = 0.5;
+        p.retry_cycles = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.hir_outage_duty = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_and_sparse_defaults() {
+        let plan = FaultPlan::completion_loss(42);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+
+        let sparse = uvm_util::Json::parse(r#"{"seed": 9, "latency_jitter": 0.1}"#).unwrap();
+        let p = FaultPlan::from_json(&sparse).unwrap();
+        assert_eq!(p.seed, 9);
+        assert!((p.latency_jitter - 0.1).abs() < 1e-12);
+        assert_eq!(p.congestion_period, 0);
+        assert_eq!(p.max_completion_retries, None);
+    }
+}

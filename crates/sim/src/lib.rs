@@ -27,7 +27,8 @@
 //! let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
 //! let outcome = Simulation::new(cfg, &trace, Lru::new(), capacity)
 //!     .expect("valid configuration")
-//!     .run();
+//!     .run()
+//!     .expect("run completes");
 //! assert!(outcome.stats.faults() >= app.footprint_pages());
 //! ```
 
@@ -35,12 +36,14 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod faults;
 mod memory;
 mod observer;
 mod tlb;
 mod trace;
 
 pub use engine::{SimOutcome, Simulation};
+pub use faults::FaultPlan;
 pub use memory::GpuMemory;
 pub use observer::{EventLog, SimEvent, SimObserver};
 pub use tlb::Tlb;
@@ -50,7 +53,7 @@ pub use trace::{
 };
 
 use uvm_policies::{EvictionPolicy, Ideal, NextUseOracle};
-use uvm_types::{ConfigError, Oversubscription, SimConfig, SimStats};
+use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
 use uvm_workloads::{App, Trace};
 
 /// Default tile size used when distributing a global reference sequence
@@ -74,16 +77,17 @@ pub fn ideal_for(trace: &Trace) -> Ideal {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if `cfg` is invalid.
+/// Returns [`SimError`] if `cfg` is invalid or the run cannot complete
+/// soundly (see [`Simulation::run`]).
 pub fn run_app<P: EvictionPolicy>(
     cfg: &SimConfig,
     app: &App,
     rate: Oversubscription,
     policy: P,
-) -> Result<SimStats, ConfigError> {
+) -> Result<SimStats, SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
     Ok(Simulation::new(cfg.clone(), &trace, policy, capacity)?
-        .run()
+        .run()?
         .stats)
 }

@@ -97,6 +97,16 @@ impl GpuMemory {
     pub fn remove(&mut self, page: PageId) -> bool {
         self.resident.remove(&page)
     }
+
+    /// The lowest-numbered resident page, if any.
+    ///
+    /// Used as the deterministic last-resort victim when a policy offers
+    /// none while memory is full: taking the minimum (rather than an
+    /// arbitrary set element) keeps runs reproducible across processes
+    /// despite the hash set's randomized iteration order.
+    pub fn min_resident(&self) -> Option<PageId> {
+        self.resident.iter().copied().min()
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +147,17 @@ mod tests {
     #[test]
     fn error_displays() {
         assert!(MemoryFull.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn min_resident_is_deterministic() {
+        let mut mem = GpuMemory::new(8);
+        assert_eq!(mem.min_resident(), None);
+        for p in [7u64, 3, 5, 9] {
+            mem.insert(PageId(p)).unwrap();
+        }
+        assert_eq!(mem.min_resident(), Some(PageId(3)));
+        mem.remove(PageId(3));
+        assert_eq!(mem.min_resident(), Some(PageId(5)));
     }
 }

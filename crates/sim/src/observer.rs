@@ -337,10 +337,10 @@ pub trait SimObserver: std::fmt::Debug {
 /// let trace = Trace::from_global(&[0, 1, 0], 2, 0, 1, 1);
 /// let mut sim = Simulation::new(cfg, &trace, Lru::new(), 4)?;
 /// let log = sim.attach_event_log();
-/// sim.run();
+/// sim.run()?;
 /// let events = log.borrow();
 /// assert_eq!(events.fault_count(), 2);
-/// # Ok::<(), uvm_types::ConfigError>(())
+/// # Ok::<(), uvm_types::SimError>(())
 /// ```
 #[derive(Debug, Default)]
 pub struct EventLog {

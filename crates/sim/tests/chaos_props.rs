@@ -1,0 +1,154 @@
+//! Property-based tests of the engine under random fault-injection plans.
+//!
+//! The clean-run invariant suite lives in `sim_props.rs`; these cases
+//! re-check the core accounting invariants while a randomized
+//! [`FaultPlan`] perturbs latencies, drops completions, and corrupts
+//! policy signals. Timing-sensitive clean-run bounds (e.g. driver busy
+//! cycles per fault) are intentionally NOT asserted here: jitter may
+//! legally shrink a service below its base latency.
+
+use std::collections::HashSet;
+use uvm_policies::Lru;
+use uvm_sim::{FaultPlan, Simulation};
+use uvm_types::{SimConfig, SimStats, TlbConfig};
+use uvm_util::prop::Checker;
+use uvm_util::{Rng, ToJson};
+use uvm_workloads::Trace;
+
+fn small_cfg(n_sms: u32) -> SimConfig {
+    SimConfig::builder()
+        .n_sms(n_sms)
+        .warps_per_sm(1)
+        .l1_tlb(TlbConfig {
+            entries: 4,
+            ways: 4,
+            latency_cycles: 1,
+        })
+        .l2_tlb(TlbConfig {
+            entries: 8,
+            ways: 4,
+            latency_cycles: 10,
+        })
+        .build()
+        .expect("valid config")
+}
+
+/// Draws a random *completing* plan: every perturbation may be active,
+/// but completion loss is always bounded so the run can finish.
+fn random_plan(rng: &mut Rng) -> FaultPlan {
+    let lossy = rng.gen_bool(0.5);
+    FaultPlan {
+        seed: rng.next_u64(),
+        latency_jitter: rng.gen_f64() * 0.5,
+        tail_probability: rng.gen_f64() * 0.1,
+        tail_multiplier: rng.gen_range(2u64..10),
+        congestion_period: rng.gen_range(1_000u64..2_000_000),
+        congestion_duty: rng.gen_f64(),
+        congestion_factor: rng.gen_range(2u64..10),
+        completion_loss_probability: if lossy { rng.gen_f64() * 0.2 } else { 0.0 },
+        retry_cycles: rng.gen_range(1_000u64..20_000),
+        max_completion_retries: Some(rng.gen_range(1u64..4) as u32),
+        hir_outage_period: rng.gen_range(16u64..512),
+        hir_outage_duty: rng.gen_f64(),
+        spurious_wrong_eviction_probability: rng.gen_f64() * 0.1,
+    }
+}
+
+fn run_chaos(global: &[u64], capacity: u64, plan: &FaultPlan) -> SimStats {
+    let trace = Trace::from_global(global, 40, 2, 3, 3);
+    let mut sim = Simulation::new(small_cfg(3), &trace, Lru::new(), capacity).expect("valid sim");
+    sim.set_fault_plan(plan.clone()).expect("valid plan");
+    sim.run().expect("chaos run completes").stats
+}
+
+#[test]
+fn accounting_invariants_survive_random_fault_plans() {
+    Checker::new().cases(48).run(
+        |rng| {
+            (
+                rng.gen_vec(1..300, |r| r.gen_range(0u64..40)),
+                rng.gen_range(2u64..48),
+                random_plan(rng),
+            )
+        },
+        |(global, capacity, plan)| {
+            let capacity = *capacity;
+            plan.validate().expect("generated plan is valid");
+            let distinct = global.iter().collect::<HashSet<_>>().len() as u64;
+            let stats = run_chaos(global, capacity, plan);
+
+            // Execution accounting is injection-independent: every op ran
+            // exactly once no matter how services were perturbed.
+            assert_eq!(stats.mem_accesses, global.len() as u64);
+            assert!(stats.faults() >= distinct);
+            assert!(stats.faults() <= global.len() as u64);
+            // Residency conservation still bounds live pages by capacity.
+            let resident_end = stats.faults() - stats.evictions();
+            assert!(resident_end <= capacity.min(distinct));
+            assert!(resident_end >= 1);
+            // Injection counters are bounded by what the run serviced.
+            let res = &stats.resilience;
+            assert!(res.tail_latency_events <= stats.faults());
+            assert!(res.congested_services <= stats.faults());
+            assert!(res.faults_during_hir_outage <= stats.faults());
+            assert!(res.spurious_wrong_evictions <= stats.faults());
+            assert!(res.fallback_victims <= stats.evictions());
+            // Bounded retries: each fault loses at most max_retries signals.
+            let max_retries = u64::from(plan.max_completion_retries.expect("bounded plan"));
+            assert!(res.completions_lost <= stats.faults() * max_retries);
+            // Lost completions stall the driver for their retry latency.
+            assert!(
+                stats.driver.busy_cycles >= res.completions_lost * plan.retry_cycles,
+                "busy {} < lost {} x retry {}",
+                stats.driver.busy_cycles,
+                res.completions_lost,
+                plan.retry_cycles
+            );
+        },
+    );
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_chaos_runs() {
+    Checker::new().cases(32).run(
+        |rng| {
+            (
+                rng.gen_vec(1..200, |r| r.gen_range(0u64..30)),
+                rng.gen_range(2u64..32),
+                random_plan(rng),
+            )
+        },
+        |(global, capacity, plan)| {
+            let a = run_chaos(global, *capacity, plan);
+            let b = run_chaos(global, *capacity, plan);
+            assert_eq!(a, b, "same plan + seed must replay identically");
+        },
+    );
+}
+
+#[test]
+fn noop_plan_is_byte_identical_to_no_plan() {
+    Checker::new().cases(32).run(
+        |rng| {
+            (
+                rng.gen_vec(1..200, |r| r.gen_range(0u64..30)),
+                rng.gen_range(2u64..32),
+            )
+        },
+        |(global, capacity)| {
+            let trace = Trace::from_global(global, 30, 2, 3, 3);
+            let clean = Simulation::new(small_cfg(3), &trace, Lru::new(), *capacity)
+                .expect("valid sim")
+                .run()
+                .expect("run completes")
+                .stats;
+            let noop = run_chaos(global, *capacity, &FaultPlan::none());
+            assert_eq!(
+                clean.to_json().to_string(),
+                noop.to_json().to_string(),
+                "a no-op plan must not perturb anything"
+            );
+            assert!(!noop.resilience.any());
+        },
+    );
+}

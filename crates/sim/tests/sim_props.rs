@@ -45,6 +45,7 @@ fn accounting_invariants_hold() {
             let stats = Simulation::new(cfg, &trace, Lru::new(), capacity)
                 .expect("valid sim")
                 .run()
+                .expect("run completes")
                 .stats;
 
             // Every op executed exactly once.
@@ -91,6 +92,7 @@ fn simulation_is_deterministic() {
                 Simulation::new(cfg.clone(), &trace, Lru::new(), *capacity)
                     .expect("valid sim")
                     .run()
+                    .expect("run completes")
                     .stats
             };
             assert_eq!(run(), run());
@@ -111,6 +113,7 @@ fn ample_capacity_faults_compulsory_only() {
             let stats = Simulation::new(cfg, &trace, Lru::new(), 24)
                 .expect("valid sim")
                 .run()
+                .expect("run completes")
                 .stats;
             assert_eq!(stats.faults(), distinct);
             assert_eq!(stats.evictions(), 0);

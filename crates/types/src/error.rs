@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::PageId;
+
 /// An invalid configuration parameter.
 ///
 /// # Examples
@@ -44,6 +46,122 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// A structured simulation failure.
+///
+/// The engine never panics on bad policies, degenerate configurations,
+/// or injected faults; every failure mode is reported as one of these
+/// variants so chaos campaigns can complete and classify outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_types::{ConfigError, SimError};
+///
+/// let err = SimError::from(ConfigError::invalid("n_sms", "must be nonzero"));
+/// assert!(err.to_string().contains("n_sms"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration was rejected by validation.
+    Config(ConfigError),
+    /// The policy selected a victim that is not resident — a broken
+    /// policy residency model.
+    NonResidentVictim {
+        /// The page the policy offered.
+        page: PageId,
+        /// Simulated cycle of the selection.
+        cycle: u64,
+    },
+    /// Frames were needed but neither the policy nor the engine-side
+    /// fallback could find a resident victim (memory empty).
+    NoVictimAvailable {
+        /// Simulated cycle of the failed eviction.
+        cycle: u64,
+    },
+    /// A migrated page could not be made resident even after the eviction
+    /// loop freed frames — an engine residency-accounting violation.
+    ResidencyOverflow {
+        /// The page that failed to insert.
+        page: PageId,
+        /// Simulated cycle of the failure.
+        cycle: u64,
+    },
+    /// The forward-progress watchdog fired: the event loop kept spinning
+    /// without retiring an op or completing a fault service (livelock).
+    Stalled {
+        /// Simulated cycle at which the watchdog fired.
+        cycle: u64,
+        /// Pages mid-migration when progress stopped.
+        in_flight: u64,
+    },
+    /// The event queue drained while warps were still blocked (deadlock).
+    Deadlock {
+        /// Simulated cycle at which the queue drained.
+        cycle: u64,
+        /// Warps left blocked.
+        blocked_warps: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => e.fmt(f),
+            SimError::NonResidentVictim { page, cycle } => write!(
+                f,
+                "policy selected non-resident victim {page} at cycle {cycle}"
+            ),
+            SimError::NoVictimAvailable { cycle } => write!(
+                f,
+                "frames needed but no resident victim available at cycle {cycle}"
+            ),
+            SimError::ResidencyOverflow { page, cycle } => {
+                write!(f, "no free frame for migrated page {page} at cycle {cycle}")
+            }
+            SimError::Stalled { cycle, in_flight } => write!(
+                f,
+                "simulation stalled at cycle {cycle} with {in_flight} pages in flight"
+            ),
+            SimError::Deadlock {
+                cycle,
+                blocked_warps,
+            } => write!(
+                f,
+                "deadlock at cycle {cycle}: {blocked_warps} warps blocked with an empty event queue"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl SimError {
+    /// Short machine-readable kind label (for JSON campaign reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Config(_) => "Config",
+            SimError::NonResidentVictim { .. } => "NonResidentVictim",
+            SimError::NoVictimAvailable { .. } => "NoVictimAvailable",
+            SimError::ResidencyOverflow { .. } => "ResidencyOverflow",
+            SimError::Stalled { .. } => "Stalled",
+            SimError::Deadlock { .. } => "Deadlock",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +179,67 @@ mod tests {
     fn is_std_error() {
         fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
         takes_err(ConfigError::invalid("x", "y"));
+        takes_err(SimError::Stalled {
+            cycle: 1,
+            in_flight: 2,
+        });
+    }
+
+    #[test]
+    fn sim_error_displays_and_kinds() {
+        let cases: Vec<(SimError, &str, &str)> = vec![
+            (
+                ConfigError::invalid("x", "y").into(),
+                "Config",
+                "parameter `x`",
+            ),
+            (
+                SimError::NonResidentVictim {
+                    page: PageId(7),
+                    cycle: 10,
+                },
+                "NonResidentVictim",
+                "non-resident victim",
+            ),
+            (
+                SimError::NoVictimAvailable { cycle: 3 },
+                "NoVictimAvailable",
+                "no resident victim",
+            ),
+            (
+                SimError::ResidencyOverflow {
+                    page: PageId(9),
+                    cycle: 4,
+                },
+                "ResidencyOverflow",
+                "no free frame",
+            ),
+            (
+                SimError::Stalled {
+                    cycle: 99,
+                    in_flight: 2,
+                },
+                "Stalled",
+                "stalled at cycle 99",
+            ),
+            (
+                SimError::Deadlock {
+                    cycle: 5,
+                    blocked_warps: 3,
+                },
+                "Deadlock",
+                "3 warps blocked",
+            ),
+        ];
+        for (err, kind, needle) in cases {
+            assert_eq!(err.kind(), kind);
+            assert!(err.to_string().contains(needle), "{err} missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn config_error_source_is_preserved() {
+        let err: SimError = ConfigError::invalid("a", "b").into();
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

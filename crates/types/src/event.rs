@@ -25,6 +25,9 @@ pub enum StrategyTag {
     MruC,
     /// A non-HPE policy's native replacement logic.
     Native,
+    /// HPE's graceful-degradation fallback: driver signals are lost or
+    /// undefined, so victims come from plain LRU until signals resume.
+    Degraded,
 }
 
 impl std::fmt::Display for StrategyTag {
@@ -33,11 +36,42 @@ impl std::fmt::Display for StrategyTag {
             StrategyTag::Lru => "LRU",
             StrategyTag::MruC => "MRU-C",
             StrategyTag::Native => "native",
+            StrategyTag::Degraded => "degraded",
         })
     }
 }
 
-impl_json_enum!(StrategyTag { Lru, MruC, Native });
+impl_json_enum!(StrategyTag {
+    Lru,
+    MruC,
+    Native,
+    Degraded
+});
+
+/// An out-of-band disruption of the policy's signal path, injected by the
+/// simulator's fault plan (or raised by the engine itself for forced
+/// evictions). Policies may ignore these entirely; HPE uses them to enter
+/// and leave its degraded LRU fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalDisruption {
+    /// The GPU-to-driver HIR channel went down: flushes are being lost
+    /// until [`SignalDisruption::HirChannelUp`] arrives.
+    HirChannelDown,
+    /// The HIR channel recovered.
+    HirChannelUp,
+    /// The engine evicted `page` without consulting the policy (fallback
+    /// eviction); the policy should drop it from its residency view.
+    ForcedEviction {
+        /// The force-evicted page.
+        page: PageId,
+    },
+    /// A spurious wrong-eviction signal reached the driver (chaos
+    /// injection modelling a corrupted fault report).
+    SpuriousWrongEviction {
+        /// Global fault number the spurious signal was attributed to.
+        fault_num: u64,
+    },
+}
 
 /// One policy-internal decision, without a timestamp (the engine stamps
 /// it on drain).
@@ -164,8 +198,15 @@ mod tests {
         assert_eq!(StrategyTag::Lru.to_string(), "LRU");
         assert_eq!(StrategyTag::MruC.to_string(), "MRU-C");
         assert_eq!(StrategyTag::Native.to_string(), "native");
-        let j = StrategyTag::MruC.to_json();
-        assert_eq!(StrategyTag::from_json(&j).unwrap(), StrategyTag::MruC);
+        assert_eq!(StrategyTag::Degraded.to_string(), "degraded");
+        for tag in [
+            StrategyTag::Lru,
+            StrategyTag::MruC,
+            StrategyTag::Native,
+            StrategyTag::Degraded,
+        ] {
+            assert_eq!(StrategyTag::from_json(&tag.to_json()).unwrap(), tag);
+        }
     }
 
     #[test]

@@ -31,6 +31,6 @@ mod metrics;
 
 pub use addr::{PageId, PageSetId, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use config::{HirGeometry, Oversubscription, SimConfig, SimConfigBuilder, TlbConfig};
-pub use error::ConfigError;
-pub use event::{PolicyEvent, StrategyTag};
-pub use metrics::{DriverStats, PolicyStats, SimStats, TlbStats};
+pub use error::{ConfigError, SimError};
+pub use event::{PolicyEvent, SignalDisruption, StrategyTag};
+pub use metrics::{DriverStats, PolicyStats, ResilienceStats, SimStats, TlbStats};

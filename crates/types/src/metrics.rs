@@ -69,6 +69,49 @@ impl_json_struct!(DriverStats {
     prefetched_pages = 0,
 });
 
+/// Resilience and fault-injection counters.
+///
+/// All fields stay zero on clean runs with no fault plan attached, so
+/// attaching a no-op plan leaves [`SimStats`] bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Evictions where the policy offered no victim and the engine fell
+    /// back to evicting the lowest resident page itself.
+    pub fallback_victims: u64,
+    /// Extra fault-service cycles added by injected latency jitter, tail
+    /// events, and congestion windows.
+    pub injected_delay_cycles: u64,
+    /// Fault services that drew an injected tail latency.
+    pub tail_latency_events: u64,
+    /// Fault services whose PCIe transfer fell inside an injected
+    /// congestion window.
+    pub congested_services: u64,
+    /// Driver completion signals lost and re-serviced (each loss delays
+    /// the waiting warps by the plan's retry latency).
+    pub completions_lost: u64,
+    /// Faults serviced while the injected HIR channel outage was active.
+    pub faults_during_hir_outage: u64,
+    /// Spurious wrong-eviction signals injected into the policy.
+    pub spurious_wrong_evictions: u64,
+}
+
+impl ResilienceStats {
+    /// Whether any fault injection or fallback was recorded.
+    pub fn any(&self) -> bool {
+        *self != ResilienceStats::default()
+    }
+}
+
+impl_json_struct!(ResilienceStats {
+    fallback_victims,
+    injected_delay_cycles,
+    tail_latency_events,
+    congested_services,
+    completions_lost,
+    faults_during_hir_outage,
+    spurious_wrong_evictions,
+});
+
 /// Counters a policy reports about its own operation.
 ///
 /// Policies fill only the fields that apply to them; the rest stay zero.
@@ -93,6 +136,10 @@ pub struct PolicyStats {
     pub intervals_mruc: u64,
     /// Page sets divided into primary/secondary (Section IV-C).
     pub page_sets_divided: u64,
+    /// Times the policy entered its degraded fallback mode (HPE only).
+    pub degraded_entries: u64,
+    /// Faults handled while in degraded fallback mode (HPE only).
+    pub degraded_faults: u64,
 }
 
 impl PolicyStats {
@@ -119,6 +166,8 @@ impl_json_struct!(PolicyStats {
     intervals_lru,
     intervals_mruc,
     page_sets_divided,
+    degraded_entries = 0,
+    degraded_faults = 0,
 });
 
 /// End-to-end simulation results.
@@ -140,6 +189,8 @@ pub struct SimStats {
     pub driver: DriverStats,
     /// Policy-side counters.
     pub policy: PolicyStats,
+    /// Resilience / fault-injection counters (all zero on clean runs).
+    pub resilience: ResilienceStats,
 }
 
 impl_json_struct!(SimStats {
@@ -151,6 +202,7 @@ impl_json_struct!(SimStats {
     tlb,
     driver,
     policy,
+    resilience = ResilienceStats::default(),
 });
 
 impl SimStats {
@@ -256,12 +308,37 @@ mod tests {
             policy: PolicyStats {
                 selections: 4,
                 search_comparisons: 100,
+                degraded_entries: 1,
+                degraded_faults: 12,
                 ..Default::default()
+            },
+            resilience: ResilienceStats {
+                fallback_victims: 1,
+                injected_delay_cycles: 500,
+                tail_latency_events: 2,
+                congested_services: 3,
+                completions_lost: 4,
+                faults_during_hir_outage: 5,
+                spurious_wrong_evictions: 6,
             },
         };
         let text = s.to_json().to_string();
         let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, s);
+        assert!(s.resilience.any());
+        assert!(!ResilienceStats::default().any());
+    }
+
+    #[test]
+    fn stats_parse_without_resilience_defaults_to_zero() {
+        use uvm_util::{FromJson, Json, ToJson};
+        // Pre-resilience serialized form (older pinned data) still parses;
+        // `resilience` serializes last, so cutting it yields the old form.
+        let text = SimStats::default().to_json().to_string();
+        let cut = text.find(",\"resilience\"").expect("resilience is last");
+        let old = format!("{}}}", &text[..cut]);
+        let back = SimStats::from_json(&Json::parse(&old).unwrap()).unwrap();
+        assert_eq!(back.resilience, ResilienceStats::default());
     }
 
     #[test]

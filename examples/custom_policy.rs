@@ -47,15 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{app} ({}) at 75% oversubscription\n", app.pattern());
 
-    let fifo = Simulation::new(cfg.clone(), &trace, Fifo::default(), capacity)?.run();
-    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+    let fifo = Simulation::new(cfg.clone(), &trace, Fifo::default(), capacity)?.run()?;
+    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run()?;
     let hpe = Simulation::new(
         cfg.clone(),
         &trace,
         Hpe::new(HpeConfig::from_sim(&cfg))?,
         capacity,
     )?
-    .run();
+    .run()?;
 
     println!(
         "{:>6}  {:>9}  {:>9}  {:>12}",

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let capacity = rate.capacity_pages(app.footprint_pages());
         let faults = |stats: hpe::types::SimStats| stats.faults();
 
-        let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+        let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run()?;
         let rrip = Simulation::new(
             cfg.clone(),
             &trace,
@@ -47,22 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }),
             capacity,
         )?
-        .run();
+        .run()?;
         let cp = Simulation::new(
             cfg.clone(),
             &trace,
             ClockPro::new(ClockProConfig::default()),
             capacity,
         )?
-        .run();
+        .run()?;
         let hpe_run = Simulation::new(
             cfg.clone(),
             &trace,
             Hpe::new(HpeConfig::from_sim(&cfg))?,
             capacity,
         )?
-        .run();
-        let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run();
+        .run()?;
+        let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run()?;
 
         println!(
             "{:>7}%  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",

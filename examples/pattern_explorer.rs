@@ -46,16 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         capacity
     );
 
-    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
-    let rnd = Simulation::new(cfg.clone(), &trace, RandomPolicy::seeded(1), capacity)?.run();
+    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run()?;
+    let rnd = Simulation::new(cfg.clone(), &trace, RandomPolicy::seeded(1), capacity)?.run()?;
     let hpe = Simulation::new(
         cfg.clone(),
         &trace,
         Hpe::new(HpeConfig::from_sim(&cfg))?,
         capacity,
     )?
-    .run();
-    let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run();
+    .run()?;
+    let ideal = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)?.run()?;
 
     println!(
         "{:>7}  {:>9}  {:>9}  {:>8}",

@@ -30,14 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let trace = trace_for(&cfg, app);
         let capacity = rate.capacity_pages(app.footprint_pages());
 
-        let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+        let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run()?;
         let hpe = Simulation::new(
             cfg.clone(),
             &trace,
             Hpe::new(HpeConfig::from_sim(&cfg))?,
             capacity,
         )?
-        .run();
+        .run()?;
         for (name, s) in [("LRU", &lru.stats), ("HPE", &hpe.stats)] {
             println!(
                 "{:>6} {:>8} {:>12} {:>11} {:>11} {:>12}",

@@ -31,11 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Baseline: page-level LRU.
-    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run();
+    let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)?.run()?;
 
     // HPE with the paper-default parameters.
     let hpe_policy = Hpe::new(HpeConfig::from_sim(&cfg))?;
-    let hpe = Simulation::new(cfg.clone(), &trace, hpe_policy, capacity)?.run();
+    let hpe = Simulation::new(cfg.clone(), &trace, hpe_policy, capacity)?.run()?;
 
     for (name, stats) in [("LRU", &lru.stats), ("HPE", &hpe.stats)] {
         println!(

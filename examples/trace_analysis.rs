@@ -36,7 +36,7 @@ fn main() {
     let policy = Hpe::new(HpeConfig::from_sim(&cfg)).expect("valid HPE");
     let mut sim = Simulation::new(cfg, &trace, Box::new(policy), capacity).expect("valid sim");
     let log = sim.attach_event_log();
-    let outcome = sim.run();
+    let outcome = sim.run().expect("run completes");
     let log = std::rc::Rc::try_unwrap(log)
         .expect("sole owner after run")
         .into_inner();

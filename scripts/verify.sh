@@ -22,6 +22,28 @@ cargo test -q --offline
 echo "==> cargo test -q --offline --workspace (all crates)"
 cargo test -q --offline --workspace
 
+echo "==> chaos smoke campaign (seeded fault injection, must be panic-free)"
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- smoke
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- livelock > /dev/null
+
+echo "==> unwrap/expect gate (non-test sim/core code)"
+# The only allowed .unwrap()/.expect() calls in non-test uvm-sim and
+# hpe-core code are the pinned internal-invariant sites below (geometry
+# re-validation in constructors and just-inserted map lookups). Anything
+# new must propagate SimError instead of panicking; see DESIGN.md §9.
+unwrap_baseline=7
+unwrap_count=$(for f in crates/sim/src/*.rs crates/core/src/*.rs; do
+    awk '/^#\[cfg\(test\)\]/{exit}
+         {line=$0; sub(/^[ \t]+/,"",line);
+          if (line ~ /^\/\//) next;
+          if (line ~ /\.unwrap\(|\.expect\(/) print FILENAME": "line}' "$f"
+done | tee /dev/stderr | wc -l)
+if [ "$unwrap_count" -gt "$unwrap_baseline" ]; then
+    echo "error: $unwrap_count unwrap()/expect() calls in non-test sim/core code" \
+         "(baseline $unwrap_baseline); convert new ones to SimError/Result."
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 

@@ -25,6 +25,7 @@ fn custom_workload_runs_end_to_end() {
     let lru = Simulation::new(cfg.clone(), &trace, Lru::new(), capacity)
         .unwrap()
         .run()
+        .expect("run completes")
         .stats;
     let hpe = Simulation::new(
         cfg.clone(),
@@ -34,6 +35,7 @@ fn custom_workload_runs_end_to_end() {
     )
     .unwrap()
     .run()
+    .expect("run completes")
     .stats;
     // A cyclic-sweep composite behaves like type II: HPE clearly ahead.
     assert!(
@@ -58,7 +60,7 @@ fn observer_timeline_matches_statistics_for_hpe() {
     )
     .unwrap();
     let log = sim.attach_event_log();
-    let outcome = sim.run();
+    let outcome = sim.run().expect("run completes");
     let log = log.borrow();
     assert_eq!(log.fault_count() as u64, outcome.stats.faults());
     assert_eq!(log.eviction_count() as u64, outcome.stats.evictions());
@@ -97,6 +99,7 @@ fn prefetch_and_batching_compose() {
     let stats = Simulation::new(cfg, &trace, Lru::new(), capacity)
         .unwrap()
         .run()
+        .expect("run completes")
         .stats;
     // Everything still adds up with both features on.
     let inserted = stats.faults() + stats.driver.prefetched_pages;
@@ -130,7 +133,8 @@ fn builder_workload_classifies_sensibly() {
         capacity,
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("run completes");
     let c = outcome.policy.classification().expect("memory fills");
     assert!(
         c.ratio1 > 0.5,

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use hpe::core::{Hpe, HpeConfig};
 use hpe::policies::{ClockPro, ClockProConfig, EvictionPolicy, Lru, Rrip, RripConfig};
-use hpe::sim::{trace_for, SimEvent, Simulation};
+use hpe::sim::{trace_for, FaultPlan, SimEvent, Simulation};
 use hpe::types::{Oversubscription, SimConfig};
 use hpe::workloads::registry;
 
@@ -40,26 +40,41 @@ fn digest(events: &[SimEvent]) -> String {
     )
 }
 
-fn run_digest(make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>) -> String {
+fn run_digest(
+    make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>,
+    plan: Option<&FaultPlan>,
+) -> String {
     let cfg = SimConfig::scaled_default();
     let app = registry::by_abbr(APP).expect("registered app");
     let trace = trace_for(&cfg, app);
     let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
     let mut sim = Simulation::new(cfg.clone(), &trace, make(&cfg), capacity).expect("valid sim");
+    if let Some(p) = plan {
+        sim.set_fault_plan(p.clone()).expect("valid plan");
+    }
     let log = sim.attach_event_log();
-    sim.run();
+    sim.run().expect("run completes");
     let log = std::rc::Rc::try_unwrap(log).expect("sole owner after run");
     digest(log.into_inner().events())
 }
 
-fn golden(name: &str, make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>, pinned: &str) {
-    let first = run_digest(make);
-    let second = run_digest(make);
+fn golden_with_plan(
+    name: &str,
+    make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>,
+    plan: Option<&FaultPlan>,
+    pinned: &str,
+) {
+    let first = run_digest(make, plan);
+    let second = run_digest(make, plan);
     assert_eq!(first, second, "{name}: event streams of two runs diverged");
     assert_eq!(
         first, pinned,
         "{name}: event digest drifted from the pinned snapshot.\nactual: {first}"
     );
+}
+
+fn golden(name: &str, make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>, pinned: &str) {
+    golden_with_plan(name, make, None, pinned);
 }
 
 #[test]
@@ -101,5 +116,60 @@ fn golden_events_hpe() {
         // HPE is the only policy here with decision events: VictimSelected
         // per eviction plus HirFlush batches.
         "n=16664 first=0 last=70784892 Eviction=1952 FaultRaised=2528 FaultServiced=2528 HirFlush=158 MemoryFull=1 PageWalk=7136 VictimSelected=1952 WrongEviction=409",
+    );
+}
+
+#[test]
+fn golden_events_hpe_degraded() {
+    // The same fixture under the seeded `signal_chaos` plan: periodic HIR
+    // outages force HPE into its degraded LRU fallback and back, which
+    // must show up as StrategySwitch events (Degraded transitions) in a
+    // reproducible stream. Re-pin from "actual" on intentional changes to
+    // injection or degradation logic.
+    golden_with_plan(
+        "HPE/signal-chaos",
+        &|cfg| Box::new(Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE")),
+        Some(&FaultPlan::signal_chaos(2019)),
+        "n=11362 first=0 last=47600383 Eviction=1124 FaultRaised=1700 FaultServiced=1700 HirFlush=60 MemoryFull=1 PageWalk=5345 StrategySwitch=7 VictimSelected=1124 WrongEviction=301",
+    );
+}
+
+#[test]
+fn degraded_run_emits_degraded_strategy_switches() {
+    use hpe::types::StrategyTag;
+
+    let cfg = SimConfig::scaled_default();
+    let app = registry::by_abbr(APP).expect("registered app");
+    let trace = trace_for(&cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    let hpe = Hpe::new(HpeConfig::from_sim(&cfg)).expect("valid HPE");
+    let mut sim = Simulation::new(
+        cfg,
+        &trace,
+        Box::new(hpe) as Box<dyn EvictionPolicy>,
+        capacity,
+    )
+    .expect("valid sim");
+    sim.set_fault_plan(FaultPlan::signal_chaos(2019))
+        .expect("valid plan");
+    let log = sim.attach_event_log();
+    sim.run().expect("run completes");
+    let log = std::rc::Rc::try_unwrap(log).expect("sole owner after run");
+    let events = log.into_inner();
+    let mut into_degraded = 0u32;
+    let mut out_of_degraded = 0u32;
+    for e in events.events() {
+        if let SimEvent::StrategySwitch { from, to, .. } = *e {
+            into_degraded += u32::from(to == StrategyTag::Degraded);
+            out_of_degraded += u32::from(from == StrategyTag::Degraded);
+        }
+    }
+    assert!(
+        into_degraded > 0,
+        "signal-chaos must push HPE into degraded mode at least once"
+    );
+    assert!(
+        out_of_degraded > 0,
+        "HPE must recover from degraded mode once the HIR channel returns"
     );
 }

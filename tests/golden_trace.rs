@@ -34,6 +34,7 @@ fn run_once(make: &dyn Fn(&SimConfig) -> Box<dyn EvictionPolicy>) -> SimStats {
     Simulation::new(cfg.clone(), &trace, policy, capacity)
         .expect("valid sim")
         .run()
+        .expect("run completes")
         .stats
 }
 
@@ -71,7 +72,7 @@ fn golden_lru() {
     golden(
         "LRU",
         &|_| Box::new(Lru::new()),
-        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":0,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":0,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0,"degraded_entries":0,"degraded_faults":0},"resilience":{"fallback_victims":0,"injected_delay_cycles":0,"tail_latency_events":0,"congested_services":0,"completions_lost":0,"faults_during_hir_outage":0,"spurious_wrong_evictions":0}}"#,
     );
 }
 
@@ -80,7 +81,7 @@ fn golden_random() {
     golden(
         "Random",
         &|_| Box::new(RandomPolicy::seeded(7)),
-        r#"{"cycles":45220672,"instructions":27648,"mem_accesses":4608,"walks":5470,"walk_hits":3344,"tlb":{"l1_hits":0,"l1_misses":6734,"l2_hits":1264,"l2_misses":5470},"driver":{"busy_cycles":45220000,"faults_serviced":1615,"evictions":1039,"wrong_evictions":364,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":1039,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+        r#"{"cycles":45220672,"instructions":27648,"mem_accesses":4608,"walks":5470,"walk_hits":3344,"tlb":{"l1_hits":0,"l1_misses":6734,"l2_hits":1264,"l2_misses":5470},"driver":{"busy_cycles":45220000,"faults_serviced":1615,"evictions":1039,"wrong_evictions":364,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":1039,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0,"degraded_entries":0,"degraded_faults":0},"resilience":{"fallback_victims":0,"injected_delay_cycles":0,"tail_latency_events":0,"congested_services":0,"completions_lost":0,"faults_during_hir_outage":0,"spurious_wrong_evictions":0}}"#,
     );
 }
 
@@ -89,7 +90,7 @@ fn golden_rrip() {
     golden(
         "RRIP",
         &|_| Box::new(Rrip::new(RripConfig::default())),
-        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":0,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":2322432,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":0,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":2322432,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0,"degraded_entries":0,"degraded_faults":0},"resilience":{"fallback_victims":0,"injected_delay_cycles":0,"tail_latency_events":0,"congested_services":0,"completions_lost":0,"faults_during_hir_outage":0,"spurious_wrong_evictions":0}}"#,
     );
 }
 
@@ -98,7 +99,7 @@ fn golden_clockpro() {
     golden(
         "CLOCK-Pro",
         &|_| Box::new(ClockPro::new(ClockProConfig::default())),
-        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":448,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+        r#"{"cycles":129024028,"instructions":27648,"mem_accesses":4608,"walks":9216,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":9216,"l2_hits":0,"l2_misses":9216},"driver":{"busy_cycles":129024000,"faults_serviced":4608,"evictions":4032,"wrong_evictions":448,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":4032,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0,"degraded_entries":0,"degraded_faults":0},"resilience":{"fallback_victims":0,"injected_delay_cycles":0,"tail_latency_events":0,"congested_services":0,"completions_lost":0,"faults_during_hir_outage":0,"spurious_wrong_evictions":0}}"#,
     );
 }
 
@@ -111,7 +112,7 @@ fn golden_ideal() {
             let trace = trace_for(cfg, app);
             Box::new(ideal_for(&trace))
         },
-        r#"{"cycles":33628280,"instructions":27648,"mem_accesses":4608,"walks":4978,"walk_hits":3487,"tlb":{"l1_hits":0,"l1_misses":6099,"l2_hits":1121,"l2_misses":4978},"driver":{"busy_cycles":33628000,"faults_serviced":1201,"evictions":625,"wrong_evictions":76,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":625,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0}}"#,
+        r#"{"cycles":33628280,"instructions":27648,"mem_accesses":4608,"walks":4978,"walk_hits":3487,"tlb":{"l1_hits":0,"l1_misses":6099,"l2_hits":1121,"l2_misses":4978},"driver":{"busy_cycles":33628000,"faults_serviced":1201,"evictions":625,"wrong_evictions":76,"hit_transfer_cycles":0,"prefetched_pages":0},"policy":{"selections":625,"search_comparisons":0,"hir_flushes":0,"hir_entries_transferred":0,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":0,"intervals_mruc":0,"page_sets_divided":0,"degraded_entries":0,"degraded_faults":0},"resilience":{"fallback_victims":0,"injected_delay_cycles":0,"tail_latency_events":0,"congested_services":0,"completions_lost":0,"faults_during_hir_outage":0,"spurious_wrong_evictions":0}}"#,
     );
 }
 
@@ -120,6 +121,6 @@ fn golden_hpe() {
     golden(
         "HPE",
         &|cfg| Box::new(Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE")),
-        r#"{"cycles":70784920,"instructions":27648,"mem_accesses":4608,"walks":7136,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":7136,"l2_hits":0,"l2_misses":7136},"driver":{"busy_cycles":70924542,"faults_serviced":2528,"evictions":1952,"wrong_evictions":409,"hit_transfer_cycles":892,"prefetched_pages":0},"policy":{"selections":1952,"search_comparisons":38608,"hir_flushes":158,"hir_entries_transferred":931,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":9,"intervals_mruc":30,"page_sets_divided":0}}"#,
+        r#"{"cycles":70784920,"instructions":27648,"mem_accesses":4608,"walks":7136,"walk_hits":4608,"tlb":{"l1_hits":0,"l1_misses":7136,"l2_hits":0,"l2_misses":7136},"driver":{"busy_cycles":70924542,"faults_serviced":2528,"evictions":1952,"wrong_evictions":409,"hit_transfer_cycles":892,"prefetched_pages":0},"policy":{"selections":1952,"search_comparisons":38608,"hir_flushes":158,"hir_entries_transferred":931,"hir_conflict_evictions":0,"strategy_switches":0,"intervals_lru":9,"intervals_mruc":30,"page_sets_divided":0,"degraded_entries":0,"degraded_faults":0},"resilience":{"fallback_victims":0,"injected_delay_cycles":0,"tail_latency_events":0,"congested_services":0,"completions_lost":0,"faults_during_hir_outage":0,"spurious_wrong_evictions":0}}"#,
     );
 }

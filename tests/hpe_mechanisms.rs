@@ -14,7 +14,8 @@ fn run_hpe(abbr: &str, rate: Oversubscription) -> (hpe::types::SimStats, Hpe) {
     let policy = Hpe::new(HpeConfig::from_sim(&cfg)).unwrap();
     let outcome = Simulation::new(cfg, &trace, policy, capacity)
         .expect("valid sim")
-        .run();
+        .run()
+        .expect("run completes");
     (outcome.stats, outcome.policy)
 }
 

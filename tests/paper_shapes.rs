@@ -19,6 +19,7 @@ fn run<P: EvictionPolicy>(abbr: &str, rate: Oversubscription, policy: P) -> SimS
     Simulation::new(c, &trace, policy, capacity)
         .expect("valid sim")
         .run()
+        .expect("run completes")
         .stats
 }
 
@@ -39,6 +40,7 @@ fn run_ideal(abbr: &str, rate: Oversubscription) -> SimStats {
     Simulation::new(c, &trace, ideal, capacity)
         .expect("valid sim")
         .run()
+        .expect("run completes")
         .stats
 }
 

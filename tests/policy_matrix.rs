@@ -40,6 +40,7 @@ fn check(abbr: &str, rate: Oversubscription) {
     let ideal: SimStats = Simulation::new(cfg.clone(), &trace, ideal_for(&trace), capacity)
         .expect("valid sim")
         .run()
+        .expect("run completes")
         .stats;
 
     for policy in policies() {
@@ -47,6 +48,7 @@ fn check(abbr: &str, rate: Oversubscription) {
         let stats = Simulation::new(cfg.clone(), &trace, policy, capacity)
             .expect("valid sim")
             .run()
+            .expect("run completes")
             .stats;
         // Contract invariants, for every policy on every workload:
         assert_eq!(
