@@ -8,18 +8,28 @@
 //! ```sh
 //! hpe-chaos campaign                       # all policies x all fault kinds (STN, 75%)
 //! hpe-chaos campaign BFS --seed 7          # another app / another seed
+//! hpe-chaos campaign --retry --fallback lru-shadow   # recovery machinery on
 //! hpe-chaos livelock                       # watchdog demo: injected livelock -> Stalled
+//! hpe-chaos livelock --retry               # same, with backoff -> RetriesExhausted
+//! hpe-chaos resume                         # checkpoint mid-run, resume, verify equality
 //! hpe-chaos smoke                          # fast panic-free subset for CI
 //! ```
 //!
 //! Campaign results are saved as JSON under `target/paper-results/`
-//! (`chaos-campaign.json`) for machine consumption; identical seeds
-//! reproduce identical campaigns.
+//! (`chaos-campaign.json`, `chaos-checkpoint.json`) for machine
+//! consumption; identical seeds reproduce identical campaigns.
+//!
+//! Exit codes: 0 success, 1 a simulation failed (CI can gate on this),
+//! 2 usage error.
 
 use std::process::ExitCode;
 
-use hpe_bench::{bench_config, f2, run_policy, run_policy_with_plan, save_json, PolicyKind, Table};
-use uvm_sim::FaultPlan;
+use hpe_bench::{
+    bench_config, f2, run_policy, run_policy_recovering, save_json, PolicyKind, RecoveryOptions,
+    Table,
+};
+use hpe_core::{Hpe, HpeConfig};
+use uvm_sim::{trace_for, FallbackVictim, FaultPlan, RetryPolicy, Simulation};
 use uvm_types::{Oversubscription, SimError};
 use uvm_util::{json, Json, ToJson};
 use uvm_workloads::{registry, App};
@@ -28,19 +38,45 @@ use uvm_workloads::{registry, App};
 /// reason than reproducibility needs *some* pinned value).
 const DEFAULT_SEED: u64 = 2019;
 
+/// Default pause cycle for `resume` (well inside every campaign run).
+const DEFAULT_RESUME_AT: u64 = 10_000_000;
+
+/// How a command failed, mapped onto the process exit code.
+enum CmdError {
+    /// Bad arguments: exit 2, after printing usage.
+    Usage(String),
+    /// A simulation failed or an expectation did not hold: exit 1.
+    Run(String),
+}
+
+impl From<SimError> for CmdError {
+    fn from(e: SimError) -> Self {
+        CmdError::Run(e.to_string())
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hpe-chaos <command> [args]\n\
          \n\
          commands:\n\
-         \x20 campaign [APP ...] [--seed N] [--rate 75|50]\n\
+         \x20 campaign [APP ...] [--seed N] [--rate 75|50] [--retry]\n\
+         \x20          [--fallback min-page|lru-shadow]\n\
          \x20          run every policy under every fault plan and report\n\
          \x20          resilience metrics vs the clean run (default app STN)\n\
-         \x20 livelock [--seed N] [--rate 75|50]\n\
+         \x20 livelock [--seed N] [--rate 75|50] [--retry]\n\
          \x20          inject an unbounded completion-loss livelock and show\n\
          \x20          the watchdog converting it into SimError::Stalled\n\
+         \x20          (or, with --retry, into SimError::RetriesExhausted)\n\
+         \x20 resume   [APP] [--seed N] [--rate 75|50] [--plan NAME]\n\
+         \x20          [--at CYCLE] [--retry] [--fallback min-page|lru-shadow]\n\
+         \x20          run HPE under a fault plan, checkpoint at CYCLE,\n\
+         \x20          resume from the checkpoint in a fresh simulation and\n\
+         \x20          verify the stats match the uninterrupted run\n\
          \x20 smoke    [--seed N]\n\
-         \x20          fast panic-free campaign subset (CI gate)"
+         \x20          fast panic-free campaign subset (CI gate)\n\
+         \n\
+         exit codes: 0 ok, 1 simulation failure, 2 usage error"
     );
     ExitCode::from(2)
 }
@@ -56,13 +92,30 @@ fn parse_rate(text: &str) -> Option<Oversubscription> {
 struct Flags {
     seed: u64,
     rate: Oversubscription,
+    retry: bool,
+    fallback: FallbackVictim,
+    plan: Option<String>,
+    at: u64,
     positional: Vec<String>,
+}
+
+impl Flags {
+    fn recovery(&self) -> RecoveryOptions {
+        RecoveryOptions {
+            retry: self.retry.then(RetryPolicy::default),
+            fallback: self.fallback,
+        }
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags {
         seed: DEFAULT_SEED,
         rate: Oversubscription::Rate75,
+        retry: false,
+        fallback: FallbackVictim::MinPage,
+        plan: None,
+        at: DEFAULT_RESUME_AT,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -80,6 +133,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--rate" => {
                 let v = value("--rate")?;
                 flags.rate = parse_rate(&v).ok_or_else(|| format!("unknown rate '{v}'"))?;
+            }
+            "--retry" => flags.retry = true,
+            "--fallback" => {
+                let v = value("--fallback")?;
+                flags.fallback = FallbackVictim::parse(&v).ok_or_else(|| {
+                    format!("unknown fallback '{v}' (expected min-page or lru-shadow)")
+                })?;
+            }
+            "--plan" => flags.plan = Some(value("--plan")?),
+            "--at" => {
+                let v = value("--at")?;
+                flags.at = v.parse().map_err(|_| format!("bad --at '{v}'"))?;
             }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => flags.positional.push(other.to_string()),
@@ -102,7 +167,20 @@ fn campaign_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
             "signal-chaos",
             FaultPlan::signal_chaos(seed.wrapping_add(3)),
         ),
+        (
+            "partial-outage",
+            FaultPlan::partial_outage(seed.wrapping_add(4)),
+        ),
+        ("victim-drop", FaultPlan::victim_drop(seed.wrapping_add(5))),
     ]
+}
+
+/// Resolves a `--plan` name against the campaign plan set.
+fn plan_by_name(name: &str, seed: u64) -> Option<FaultPlan> {
+    campaign_plans(seed)
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| p)
 }
 
 /// One (policy, plan) cell of a campaign: the chaos run compared against
@@ -123,6 +201,12 @@ struct CampaignRow {
     faults_during_hir_outage: u64,
     degraded_entries: u64,
     degraded_faults: u64,
+    victims_dropped: u64,
+    delayed_hir_flushes: u64,
+    hir_flushes_lost: u64,
+    circuit_breaker_trips: u64,
+    retry_attempts: u64,
+    retry_backoff_cycles: u64,
 }
 
 impl CampaignRow {
@@ -165,6 +249,12 @@ impl CampaignRow {
             "degraded_entries": self.degraded_entries,
             "degraded_faults": self.degraded_faults,
             "degraded_residency": self.degraded_residency(),
+            "victims_dropped": self.victims_dropped,
+            "delayed_hir_flushes": self.delayed_hir_flushes,
+            "hir_flushes_lost": self.hir_flushes_lost,
+            "circuit_breaker_trips": self.circuit_breaker_trips,
+            "retry_attempts": self.retry_attempts,
+            "retry_backoff_cycles": self.retry_backoff_cycles,
         })
     }
 }
@@ -175,6 +265,7 @@ fn run_campaign(
     rate: Oversubscription,
     policies: &[PolicyKind],
     plans: &[(&'static str, FaultPlan)],
+    recovery: RecoveryOptions,
 ) -> Result<Vec<CampaignRow>, SimError> {
     let cfg = bench_config();
     let mut rows = Vec::new();
@@ -185,7 +276,7 @@ fn run_campaign(
             "clean run must not record injection"
         );
         for (plan_name, plan) in plans {
-            let chaos = run_policy_with_plan(&cfg, app, rate, kind, Some(plan))?;
+            let chaos = run_policy_recovering(&cfg, app, rate, kind, Some(plan), recovery)?;
             let res = &chaos.stats.resilience;
             rows.push(CampaignRow {
                 app: clean.app,
@@ -203,6 +294,12 @@ fn run_campaign(
                 faults_during_hir_outage: res.faults_during_hir_outage,
                 degraded_entries: chaos.stats.policy.degraded_entries,
                 degraded_faults: chaos.stats.policy.degraded_faults,
+                victims_dropped: res.victims_dropped,
+                delayed_hir_flushes: res.delayed_hir_flushes,
+                hir_flushes_lost: res.hir_flushes_lost,
+                circuit_breaker_trips: res.circuit_breaker_trips,
+                retry_attempts: res.retry_attempts,
+                retry_backoff_cycles: res.retry_backoff_cycles,
             });
         }
     }
@@ -225,6 +322,9 @@ fn print_campaign(title: &str, rows: &[CampaignRow]) {
             "lost",
             "fallback",
             "spurious",
+            "dropped",
+            "delayed",
+            "retried",
             "degraded",
         ],
     );
@@ -242,36 +342,48 @@ fn print_campaign(title: &str, rows: &[CampaignRow]) {
             r.completions_lost.to_string(),
             r.fallback_victims.to_string(),
             r.spurious_wrong_evictions.to_string(),
+            r.victims_dropped.to_string(),
+            r.delayed_hir_flushes.to_string(),
+            r.retry_attempts.to_string(),
             format!("{:.1}%", 100.0 * r.degraded_residency()),
         ]);
     }
     t.print();
 }
 
-fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+fn cmd_campaign(flags: &Flags) -> Result<(), CmdError> {
     let apps: Vec<&App> = if flags.positional.is_empty() {
         vec![registry::by_abbr("STN").expect("STN is registered")]
     } else {
         flags
             .positional
             .iter()
-            .map(|abbr| registry::by_abbr(abbr).ok_or_else(|| format!("unknown app '{abbr}'")))
+            .map(|abbr| {
+                registry::by_abbr(abbr)
+                    .ok_or_else(|| CmdError::Usage(format!("unknown app '{abbr}'")))
+            })
             .collect::<Result<_, _>>()?
     };
     let plans = campaign_plans(flags.seed);
     let mut rows = Vec::new();
     for app in &apps {
         eprintln!(
-            "[campaign: {} at {}, seed {}, {} policies x {} plans]",
+            "[campaign: {} at {}, seed {}, {} policies x {} plans, retry {}, fallback {}]",
             app.abbr(),
             flags.rate.label(),
             flags.seed,
             PolicyKind::ALL.len(),
-            plans.len()
+            plans.len(),
+            if flags.retry { "on" } else { "off" },
+            flags.fallback.label(),
         );
-        rows.extend(
-            run_campaign(app, flags.rate, &PolicyKind::ALL, &plans).map_err(|e| e.to_string())?,
-        );
+        rows.extend(run_campaign(
+            app,
+            flags.rate,
+            &PolicyKind::ALL,
+            &plans,
+            flags.recovery(),
+        )?);
     }
     let total_faults: u64 = rows.iter().map(|r| r.faults).sum();
     print_campaign(
@@ -290,55 +402,187 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_livelock(flags: &Flags) -> Result<(), String> {
+fn cmd_livelock(flags: &Flags) -> Result<(), CmdError> {
     let app = registry::by_abbr("STN").expect("STN is registered");
     let cfg = bench_config();
     let plan = FaultPlan::livelock(flags.seed);
     eprintln!(
-        "[injecting unbounded completion loss into {} under LRU at {}]",
+        "[injecting unbounded completion loss into {} under LRU at {}{}]",
         app.abbr(),
-        flags.rate.label()
+        flags.rate.label(),
+        if flags.retry { ", retry policy on" } else { "" }
     );
-    match run_policy_with_plan(&cfg, app, flags.rate, PolicyKind::Lru, Some(&plan)) {
-        Err(SimError::Stalled { cycle, in_flight }) => {
+    let outcome = run_policy_recovering(
+        &cfg,
+        app,
+        flags.rate,
+        PolicyKind::Lru,
+        Some(&plan),
+        flags.recovery(),
+    );
+    match (flags.retry, outcome) {
+        (false, Err(SimError::Stalled { cycle, in_flight })) => {
             println!(
                 "watchdog fired: SimError::Stalled at cycle {cycle} with {in_flight} \
                  in-flight faults (no forward progress)"
             );
             Ok(())
         }
-        Err(other) => Err(format!("expected Stalled, got: {other}")),
-        Ok(_) => Err("expected the injected livelock to stall the run".into()),
+        (
+            true,
+            Err(SimError::RetriesExhausted {
+                page,
+                cycle,
+                attempts,
+            }),
+        ) => {
+            println!(
+                "retry policy gave up: SimError::RetriesExhausted for page {page} at \
+                 cycle {cycle} after {attempts} attempts (backoff capped, driver freed)"
+            );
+            Ok(())
+        }
+        (false, Err(other)) => Err(CmdError::Run(format!("expected Stalled, got: {other}"))),
+        (true, Err(other)) => Err(CmdError::Run(format!(
+            "expected RetriesExhausted, got: {other}"
+        ))),
+        (_, Ok(_)) => Err(CmdError::Run(
+            "expected the injected livelock to abort the run".into(),
+        )),
     }
 }
 
-fn cmd_smoke(flags: &Flags) -> Result<(), String> {
+/// `resume`: run HPE under a fault plan three ways — straight through,
+/// paused at `--at` to take a checkpoint, and a fresh simulation resumed
+/// from that checkpoint — then verify the resumed stats are byte-identical
+/// to the straight run's.
+fn cmd_resume(flags: &Flags) -> Result<(), CmdError> {
+    let abbr = flags.positional.first().map_or("STN", String::as_str);
+    let app =
+        registry::by_abbr(abbr).ok_or_else(|| CmdError::Usage(format!("unknown app '{abbr}'")))?;
+    let plan_name = flags.plan.as_deref().unwrap_or("signal-chaos");
+    let plan = plan_by_name(plan_name, flags.seed).ok_or_else(|| {
+        CmdError::Usage(format!(
+            "unknown plan '{plan_name}' (expected one of: {})",
+            campaign_plans(0)
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+
+    let cfg = bench_config();
+    let trace = trace_for(&cfg, app);
+    let capacity = flags.rate.capacity_pages(app.footprint_pages());
+    let build = || -> Result<Simulation<Hpe>, SimError> {
+        let hpe = Hpe::new(HpeConfig::from_sim(&cfg))?;
+        let mut sim = Simulation::new(cfg.clone(), &trace, hpe, capacity)?;
+        sim.set_fault_plan(plan.clone())?;
+        if let Some(rp) = flags.recovery().retry {
+            sim.set_retry_policy(rp)?;
+        }
+        sim.set_fallback_victim(flags.fallback);
+        Ok(sim)
+    };
+
+    eprintln!(
+        "[resume: HPE on {} at {} under {plan_name} (seed {}), checkpoint at cycle {}]",
+        app.abbr(),
+        flags.rate.label(),
+        flags.seed,
+        flags.at
+    );
+    let straight = build()?.run()?.stats;
+
+    let mut paused = build()?;
+    let done = paused.run_until(flags.at)?;
+    let ckpt = paused.checkpoint();
+    save_json("chaos-checkpoint", &ckpt);
+    if done {
+        eprintln!(
+            "note: the run completed before cycle {}; the checkpoint captures its final state",
+            flags.at
+        );
+    }
+    println!(
+        "checkpointed at cycle {} ({} faults serviced, {} cycles simulated)",
+        ckpt.cycle, ckpt.stats.driver.faults_serviced, ckpt.stats.cycles
+    );
+
+    let mut resumed = build()?;
+    resumed.resume(&ckpt)?;
+    let stats = resumed.finish()?.stats;
+
+    let (a, b) = (stats.to_json().to_string(), straight.to_json().to_string());
+    if a != b {
+        return Err(CmdError::Run(format!(
+            "resumed stats diverged from the uninterrupted run\nresumed:  {a}\nstraight: {b}"
+        )));
+    }
+    println!(
+        "resume verified: {} cycles, {} faults — byte-identical to the uninterrupted run",
+        stats.cycles,
+        stats.faults()
+    );
+    Ok(())
+}
+
+fn cmd_smoke(flags: &Flags) -> Result<(), CmdError> {
     let app = registry::by_abbr("STN").expect("STN is registered");
     let policies = [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Hpe];
     let plans = campaign_plans(flags.seed);
-    let rows = run_campaign(app, Oversubscription::Rate75, &policies, &plans)
-        .map_err(|e| e.to_string())?;
+    let rows = run_campaign(
+        app,
+        Oversubscription::Rate75,
+        &policies,
+        &plans,
+        RecoveryOptions::default(),
+    )?;
     let mut injected = 0usize;
     for r in &rows {
         if r.injected_delay_cycles > 0
             || r.completions_lost > 0
             || r.faults_during_hir_outage > 0
             || r.spurious_wrong_evictions > 0
+            || r.victims_dropped > 0
+            || r.delayed_hir_flushes > 0
         {
             injected += 1;
         }
     }
     if injected == 0 {
-        return Err("no chaos run recorded any injection; plans are inert".into());
+        return Err(CmdError::Run(
+            "no chaos run recorded any injection; plans are inert".into(),
+        ));
     }
     let hpe_degraded = rows
         .iter()
         .any(|r| r.policy == "HPE" && r.plan == "signal-chaos" && r.degraded_faults > 0);
     if !hpe_degraded {
-        return Err("HPE did not enter degraded mode under signal-chaos".into());
+        return Err(CmdError::Run(
+            "HPE did not enter degraded mode under signal-chaos".into(),
+        ));
+    }
+    let fallback_exercised = rows
+        .iter()
+        .any(|r| r.plan == "victim-drop" && r.victims_dropped > 0 && r.fallback_victims > 0);
+    if !fallback_exercised {
+        return Err(CmdError::Run(
+            "victim-drop did not exercise the fallback victim path".into(),
+        ));
+    }
+    let delay_exercised = rows
+        .iter()
+        .any(|r| r.policy == "HPE" && r.plan == "partial-outage" && r.delayed_hir_flushes > 0);
+    if !delay_exercised {
+        return Err(CmdError::Run(
+            "partial-outage did not delay any HIR flush".into(),
+        ));
     }
     println!(
-        "chaos smoke: {} runs, {} with injection, HPE degraded-mode exercised; no panics",
+        "chaos smoke: {} runs, {} with injection, HPE degraded-mode, fallback-victim \
+         and delayed-flush paths exercised; no panics",
         rows.len(),
         injected
     );
@@ -360,6 +604,7 @@ fn main() -> ExitCode {
     let outcome = match cmd.as_str() {
         "campaign" => cmd_campaign(&flags),
         "livelock" => cmd_livelock(&flags),
+        "resume" => cmd_resume(&flags),
         "smoke" => cmd_smoke(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
@@ -368,9 +613,13 @@ fn main() -> ExitCode {
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CmdError::Usage(e)) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            usage()
+        }
+        Err(CmdError::Run(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
         }
     }
 }

@@ -9,8 +9,8 @@ use uvm_policies::{
     ClockPro, ClockProConfig, EvictionPolicy, Lfu, Lru, RandomPolicy, Rrip, RripConfig, Traced,
 };
 use uvm_sim::{
-    ideal_for, trace_for, EventCounters, EventLog, FaultPlan, IntervalCollector, IntervalKey,
-    MultiObserver, SimObserver, Simulation, TraceHistograms,
+    ideal_for, trace_for, EventCounters, EventLog, FallbackVictim, FaultPlan, IntervalCollector,
+    IntervalKey, MultiObserver, RetryPolicy, SimObserver, Simulation, TraceHistograms,
 };
 use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
 use uvm_util::{json, Json, ToJson};
@@ -113,6 +113,22 @@ pub struct RunResult {
     pub hpe: Option<HpeReport>,
 }
 
+/// Recovery knobs applied to a run (chaos campaigns): the driver's
+/// retry/backoff policy for lost completion signals and the fallback
+/// victim selector used when the eviction policy cannot answer.
+///
+/// The default (`None` retry, min-page fallback) reproduces the
+/// pre-recovery engine behavior exactly, so clean runs are unaffected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryOptions {
+    /// Exponential-backoff retry policy for lost completion signals.
+    /// `None` keeps the fault plan's flat retry latency (and its
+    /// livelock-to-`Stalled` semantics).
+    pub retry: Option<RetryPolicy>,
+    /// Victim selector used when the policy cannot produce a victim.
+    pub fallback: FallbackVictim,
+}
+
 /// The RRIP configuration the paper assigns to `app` (Section V-B).
 pub fn rrip_config_for(app: &App) -> RripConfig {
     if app.pattern() == PatternType::Thrashing {
@@ -152,10 +168,31 @@ pub fn run_policy_with_plan(
     kind: PolicyKind,
     plan: Option<&FaultPlan>,
 ) -> Result<RunResult, SimError> {
+    run_policy_recovering(cfg, app, rate, kind, plan, RecoveryOptions::default())
+}
+
+/// Like [`run_policy_with_plan`], with explicit [`RecoveryOptions`]
+/// (driver retry/backoff and fallback victim selection).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any configuration is invalid or the run cannot
+/// complete soundly. With a retry policy set, an unbounded injected
+/// livelock surfaces as [`SimError::RetriesExhausted`] instead of
+/// [`SimError::Stalled`].
+pub fn run_policy_recovering(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    kind: PolicyKind,
+    plan: Option<&FaultPlan>,
+    recovery: RecoveryOptions,
+) -> Result<RunResult, SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
+    let rec = recovery;
     let (stats, hpe) = match kind {
-        PolicyKind::Lru => (run_sim(cfg, &trace, Lru::new(), capacity, plan)?, None),
+        PolicyKind::Lru => (run_sim(cfg, &trace, Lru::new(), capacity, plan, rec)?, None),
         PolicyKind::Random => (
             run_sim(
                 cfg,
@@ -163,12 +200,20 @@ pub fn run_policy_with_plan(
                 RandomPolicy::seeded(app.seed()),
                 capacity,
                 plan,
+                rec,
             )?,
             None,
         ),
-        PolicyKind::Lfu => (run_sim(cfg, &trace, Lfu::new(), capacity, plan)?, None),
+        PolicyKind::Lfu => (run_sim(cfg, &trace, Lfu::new(), capacity, plan, rec)?, None),
         PolicyKind::Rrip => (
-            run_sim(cfg, &trace, Rrip::new(rrip_config_for(app)), capacity, plan)?,
+            run_sim(
+                cfg,
+                &trace,
+                Rrip::new(rrip_config_for(app)),
+                capacity,
+                plan,
+                rec,
+            )?,
             None,
         ),
         PolicyKind::ClockPro => (
@@ -178,19 +223,18 @@ pub fn run_policy_with_plan(
                 ClockPro::new(ClockProConfig::default()),
                 capacity,
                 plan,
+                rec,
             )?,
             None,
         ),
         PolicyKind::Ideal => (
-            run_sim(cfg, &trace, ideal_for(&trace), capacity, plan)?,
+            run_sim(cfg, &trace, ideal_for(&trace), capacity, plan, rec)?,
             None,
         ),
         PolicyKind::Hpe => {
             let hpe = Hpe::new(HpeConfig::from_sim(cfg))?;
             let mut sim = Simulation::new(cfg.clone(), &trace, hpe, capacity)?;
-            if let Some(p) = plan {
-                sim.set_fault_plan(p.clone())?;
-            }
+            configure(&mut sim, plan, rec)?;
             let outcome = sim.run()?;
             let report = HpeReport::from_policy(&outcome.policy);
             (outcome.stats, Some(report))
@@ -203,6 +247,21 @@ pub fn run_policy_with_plan(
         stats,
         hpe,
     })
+}
+
+fn configure<P: EvictionPolicy>(
+    sim: &mut Simulation<P>,
+    plan: Option<&FaultPlan>,
+    recovery: RecoveryOptions,
+) -> Result<(), SimError> {
+    if let Some(p) = plan {
+        sim.set_fault_plan(p.clone())?;
+    }
+    if let Some(rp) = recovery.retry {
+        sim.set_retry_policy(rp)?;
+    }
+    sim.set_fallback_victim(recovery.fallback);
+    Ok(())
 }
 
 /// Runs `app` under a *custom* HPE configuration (sensitivity studies).
@@ -363,11 +422,10 @@ fn run_sim<P: EvictionPolicy>(
     policy: P,
     capacity: u64,
     plan: Option<&FaultPlan>,
+    recovery: RecoveryOptions,
 ) -> Result<SimStats, SimError> {
     let mut sim = Simulation::new(cfg.clone(), trace, policy, capacity)?;
-    if let Some(p) = plan {
-        sim.set_fault_plan(p.clone())?;
-    }
+    configure(&mut sim, plan, recovery)?;
     Ok(sim.run()?.stats)
 }
 

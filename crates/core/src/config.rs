@@ -97,6 +97,12 @@ pub struct HpeConfig {
     /// page set chain (counted toward core load, not the critical path).
     /// Derived from Section V-C's 16.1 µs per 150 records at 1.4 GHz.
     pub update_cycles_per_record: u64,
+    /// Oldest delay (in faults) at which a late HIR flush is still applied
+    /// to the page set chain. Flushes delivered later than this describe a
+    /// hit pattern the chain has already rotated past, so they are dropped
+    /// instead of corrupting recency with stale records. Default: two
+    /// transfer intervals.
+    pub flush_staleness_faults: u32,
 }
 
 impl HpeConfig {
@@ -120,6 +126,7 @@ impl HpeConfig {
             enable_partitions: true,
             forced_strategy: None,
             update_cycles_per_record: 150,
+            flush_staleness_faults: 32,
         }
     }
 
@@ -147,6 +154,7 @@ impl HpeConfig {
             search_jump: 16,
             small_footprint_sets: 4 * cfg.page_set_size,
             hir: cfg.hir,
+            flush_staleness_faults: 2 * cfg.transfer_interval,
             ..Self::paper_default()
         }
     }
@@ -203,6 +211,12 @@ impl HpeConfig {
                 "must be nonzero",
             ));
         }
+        if self.flush_staleness_faults == 0 {
+            return Err(ConfigError::invalid(
+                "flush_staleness_faults",
+                "must be nonzero (a zero bound would drop every delayed flush)",
+            ));
+        }
         self.hir.validate()?;
         Ok(())
     }
@@ -253,6 +267,10 @@ mod tests {
 
         let mut cfg = HpeConfig::paper_default();
         cfg.fifo_depth = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HpeConfig::paper_default();
+        cfg.flush_staleness_faults = 0;
         assert!(cfg.validate().is_err());
 
         // Degenerate classification thresholds: ratio₁ must separate the

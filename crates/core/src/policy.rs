@@ -1,7 +1,7 @@
 //! The HPE eviction policy (Section IV), implementing
 //! [`uvm_policies::EvictionPolicy`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use uvm_policies::{EvictionPolicy, FaultOutcome};
 use uvm_types::{ConfigError, PageId, PolicyEvent, PolicyStats, SignalDisruption, StrategyTag};
@@ -10,11 +10,23 @@ use crate::adjust::Adjuster;
 use crate::chain::PageSetChain;
 use crate::classify::{classify, Classification};
 use crate::config::{HpeConfig, StrategyKind};
-use crate::hir::HirCache;
+use crate::hir::{HirCache, HirRecord};
 
 /// Consecutive HIR flush opportunities that may be lost before HPE stops
 /// trusting its driver-side state and falls back to plain LRU.
 const DEGRADE_AFTER_MISSED_FLUSHES: u32 = 2;
+
+/// An HIR flush delayed in transit (partial outage): its PCIe transfer was
+/// already paid at send time; the records apply — or are discarded as
+/// stale — when the delivery fault count is reached.
+#[derive(Debug)]
+struct PendingFlush {
+    /// Fault count at which the records reach the driver.
+    deliver_at: u64,
+    /// The transit delay in faults (compared against the staleness bound).
+    delay: u64,
+    records: Vec<HirRecord>,
+}
 
 /// Hierarchical page eviction.
 ///
@@ -83,6 +95,17 @@ pub struct Hpe {
     classification_pending: bool,
     degraded_entries: u64,
     degraded_faults: u64,
+    /// The driver's circuit breaker told the GPU side to stop transferring
+    /// flushes (they were being lost in transit anyway); flush contents are
+    /// discarded at zero PCIe cost until the breaker closes.
+    flush_suspended: bool,
+    /// Announced transit delay (in faults) for the next HIR flush.
+    next_flush_delay: Option<u64>,
+    /// Flushes in transit, ordered by delivery fault count.
+    pending_flushes: VecDeque<PendingFlush>,
+    late_flushes_applied: u64,
+    stale_flushes_dropped: u64,
+    suspended_flushes: u64,
 }
 
 impl Hpe {
@@ -124,6 +147,12 @@ impl Hpe {
             classification_pending: false,
             degraded_entries: 0,
             degraded_faults: 0,
+            flush_suspended: false,
+            next_flush_delay: None,
+            pending_flushes: VecDeque::new(),
+            late_flushes_applied: 0,
+            stale_flushes_dropped: 0,
+            suspended_flushes: 0,
         })
     }
 
@@ -167,6 +196,12 @@ impl Hpe {
         (self.degraded_entries, self.degraded_faults)
     }
 
+    /// Whether the driver's circuit breaker has suspended flush transfers
+    /// (flush contents are discarded at zero PCIe cost until it closes).
+    pub fn is_flush_suspended(&self) -> bool {
+        self.flush_suspended
+    }
+
     /// `(fault_number, strategy)` timeline (Fig. 13).
     pub fn strategy_timeline(&self) -> &[(u64, StrategyKind)] {
         self.adjuster.timeline()
@@ -195,6 +230,40 @@ impl Hpe {
 
     fn apply_hit(&mut self, page: PageId, count: u32) {
         self.chain.touch(page, count, false);
+    }
+
+    /// Applies delivered HIR records to the page set chain.
+    fn apply_records(&mut self, records: &[HirRecord]) {
+        let shift = self.cfg.page_set_shift();
+        for rec in records {
+            for (off, &c) in rec.counts.iter().enumerate() {
+                if c > 0 {
+                    let p = rec.set.page_at(shift, off as u32);
+                    self.apply_hit(p, u32::from(c));
+                }
+            }
+        }
+    }
+
+    /// Delivers flushes whose transit delay has elapsed. Records within the
+    /// staleness bound update the chain; older ones describe hits the chain
+    /// has already rotated past and are dropped.
+    fn deliver_due_flushes(&mut self) {
+        while self
+            .pending_flushes
+            .front()
+            .is_some_and(|p| p.deliver_at <= self.fault_count)
+        {
+            let Some(pending) = self.pending_flushes.pop_front() else {
+                break;
+            };
+            if pending.delay <= u64::from(self.cfg.flush_staleness_faults) {
+                self.late_flushes_applied += 1;
+                self.apply_records(&pending.records);
+            } else {
+                self.stale_flushes_dropped += 1;
+            }
+        }
     }
 
     fn push_switch_event(&mut self, from: StrategyTag, to: StrategyTag, fault_num: u64) {
@@ -306,17 +375,37 @@ impl EvictionPolicy for Hpe {
         self.chain.touch(page, 1, true);
         self.fault_count += 1;
         self.faults_in_interval += 1;
+        // Flushes delayed in transit (partial outage) land here once their
+        // delivery fault count is reached.
+        self.deliver_due_flushes();
 
         let mut outcome = FaultOutcome::default();
         if self
             .fault_count
             .is_multiple_of(u64::from(self.cfg.transfer_interval))
         {
+            // Any announced transit delay applies to this flush attempt
+            // only, whatever its fate.
+            let transit_delay = self.next_flush_delay.take();
             if self.hir_channel_down {
-                // The flush leaves the GPU but never reaches the driver:
-                // the recorded hits are lost in transit.
-                if let Some(hir) = &mut self.hir {
-                    let _ = hir.flush();
+                if self.flush_suspended {
+                    // The circuit breaker already told the GPU side to stop
+                    // transferring: the recorded hits are discarded locally
+                    // at zero PCIe cost.
+                    if let Some(hir) = &mut self.hir {
+                        let _ = hir.flush();
+                        self.suspended_flushes += 1;
+                    }
+                } else if let Some(hir) = &mut self.hir {
+                    // The flush leaves the GPU but never reaches the
+                    // driver: the PCIe transfer is wasted and the recorded
+                    // hits are lost in transit. The driver-side circuit
+                    // breaker counts the loss.
+                    let records = hir.flush();
+                    if !records.is_empty() {
+                        outcome.wasted_transfer_bytes = hir.transfer_bytes(records.len());
+                        outcome.lost_flushes = 1;
+                    }
                 }
                 self.missed_flushes += 1;
                 if self.missed_flushes >= DEGRADE_AFTER_MISSED_FLUSHES {
@@ -340,14 +429,18 @@ impl EvictionPolicy for Hpe {
                         outcome.transfer_bytes = hir.transfer_bytes(records.len());
                         outcome.driver_busy_cycles =
                             records.len() as u64 * self.cfg.update_cycles_per_record;
-                        let shift = self.cfg.page_set_shift();
-                        for rec in records {
-                            for (off, &c) in rec.counts.iter().enumerate() {
-                                if c > 0 {
-                                    let p = rec.set.page_at(shift, off as u32);
-                                    self.apply_hit(p, u32::from(c));
-                                }
+                        match transit_delay {
+                            Some(delay) => {
+                                // Partial outage: the transfer is paid now,
+                                // but the records arrive `delay` faults
+                                // later (or get dropped as stale).
+                                self.pending_flushes.push_back(PendingFlush {
+                                    deliver_at: self.fault_count + delay,
+                                    delay,
+                                    records,
+                                });
                             }
+                            None => self.apply_records(&records),
                         }
                     }
                 }
@@ -464,6 +557,25 @@ impl EvictionPolicy for Hpe {
                     self.resident_since.remove(&page);
                 }
             }
+            SignalDisruption::HirCircuitOpen => {
+                // The driver stopped receiving our flushes long enough for
+                // its circuit breaker to trip: stop paying PCIe cycles for
+                // transfers that never arrive. The eviction strategy has
+                // normally already degraded (the policy's own
+                // missed-flush trigger fires first), but entering here is
+                // idempotent and keeps the two mechanisms independent.
+                self.flush_suspended = true;
+                self.enter_degraded(self.fault_count);
+            }
+            SignalDisruption::HirCircuitClosed => {
+                // Channel restored end-to-end: resume flush transfers.
+                // Strategy recovery still waits for the next intact flush
+                // opportunity (see `try_recover`).
+                self.flush_suspended = false;
+            }
+            SignalDisruption::HirFlushDelayed { faults } => {
+                self.next_flush_delay = Some(faults);
+            }
         }
     }
 
@@ -495,6 +607,9 @@ impl EvictionPolicy for Hpe {
             page_sets_divided: self.chain.divided_count(),
             degraded_entries: self.degraded_entries,
             degraded_faults: self.degraded_faults,
+            late_flushes_applied: self.late_flushes_applied,
+            stale_flushes_dropped: self.stale_flushes_dropped,
+            suspended_flushes: self.suspended_flushes,
         }
     }
 }
@@ -901,6 +1016,98 @@ mod tests {
             h.on_disruption(SignalDisruption::SpuriousWrongEviction { fault_num: 400 + i });
         }
         assert!(h.jump_events().is_empty(), "fallback distrusts signals");
+    }
+
+    #[test]
+    fn delayed_flush_applies_late_within_staleness_bound() {
+        let mut h = hpe();
+        h.on_fault(PageId(0), 0);
+        for _ in 0..5 {
+            h.on_walk_hit(PageId(0));
+        }
+        // Announce a transit delay of 8 faults for the next flush.
+        h.on_disruption(SignalDisruption::HirFlushDelayed { faults: 8 });
+        // Drive to the flush boundary (fault 16): the transfer is paid but
+        // the records are still in transit, so the chain is unchanged.
+        let mut transfer = 0;
+        for i in 1..16u64 {
+            transfer += h.on_fault(PageId(100 + i), i).transfer_bytes;
+        }
+        assert!(transfer > 0, "transfer is paid at send time");
+        let (key, _) = h.chain().route(PageId(0));
+        assert_eq!(h.chain().entry(key).unwrap().counter, 1, "not yet applied");
+        // Eight more faults: the flush lands and the hits apply.
+        fault_range(&mut h, 200, 8, 16);
+        assert_eq!(h.chain().entry(key).unwrap().counter, 4, "applied late");
+        assert_eq!(h.stats().late_flushes_applied, 1);
+        assert_eq!(h.stats().stale_flushes_dropped, 0);
+    }
+
+    #[test]
+    fn flush_delayed_past_staleness_bound_is_dropped() {
+        let mut h = hpe();
+        h.on_fault(PageId(0), 0);
+        for _ in 0..5 {
+            h.on_walk_hit(PageId(0));
+        }
+        // Staleness bound is 32 (two transfer intervals): a 40-fault delay
+        // describes hits the chain has rotated past.
+        h.on_disruption(SignalDisruption::HirFlushDelayed { faults: 40 });
+        fault_range(&mut h, 100, 15, 1);
+        fault_range(&mut h, 200, 48, 16);
+        let (key, _) = h.chain().route(PageId(0));
+        assert_eq!(h.chain().entry(key).unwrap().counter, 1, "stale: dropped");
+        assert_eq!(h.stats().late_flushes_applied, 0);
+        assert_eq!(h.stats().stale_flushes_dropped, 1);
+    }
+
+    #[test]
+    fn lost_flush_reports_wasted_transfer() {
+        let mut h = hpe();
+        h.on_fault(PageId(0), 0);
+        h.on_walk_hit(PageId(0));
+        h.on_disruption(SignalDisruption::HirChannelDown);
+        let mut lost = 0u32;
+        let mut wasted = 0u64;
+        for i in 1..16u64 {
+            let out = h.on_fault(PageId(100 + i), i);
+            lost += out.lost_flushes;
+            wasted += out.wasted_transfer_bytes;
+            assert_eq!(out.transfer_bytes, 0, "nothing arrives");
+        }
+        assert_eq!(lost, 1, "one flush left the GPU and was lost");
+        assert!(wasted > 0, "its PCIe transfer was wasted");
+    }
+
+    #[test]
+    fn circuit_breaker_suspends_and_resumes_flush_transfers() {
+        let mut h = hpe();
+        h.on_fault(PageId(0), 0);
+        h.on_walk_hit(PageId(0));
+        h.on_disruption(SignalDisruption::HirChannelDown);
+        h.on_disruption(SignalDisruption::HirCircuitOpen);
+        assert!(h.is_flush_suspended());
+        assert!(h.is_degraded(), "breaker-open also degrades the strategy");
+        // Suspended flush boundaries discard locally: no waste, no loss.
+        let mut any_bytes = 0u64;
+        for i in 1..32u64 {
+            let out = h.on_fault(PageId(100 + i), i);
+            any_bytes += out.transfer_bytes + out.wasted_transfer_bytes;
+            assert_eq!(out.lost_flushes, 0);
+        }
+        assert_eq!(any_bytes, 0, "suspension costs zero PCIe");
+        assert_eq!(h.stats().suspended_flushes, 2);
+        // Breaker closes with the channel restored: transfers resume.
+        h.on_disruption(SignalDisruption::HirChannelUp);
+        h.on_disruption(SignalDisruption::HirCircuitClosed);
+        assert!(!h.is_flush_suspended());
+        h.on_walk_hit(PageId(0));
+        let mut resumed = 0u64;
+        for i in 32..48u64 {
+            resumed += h.on_fault(PageId(200 + i), i).transfer_bytes;
+        }
+        assert!(resumed > 0, "flush transfers resumed");
+        assert!(!h.is_degraded(), "intact flush opportunity recovers");
     }
 
     #[test]

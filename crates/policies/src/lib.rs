@@ -92,6 +92,13 @@ pub struct FaultOutcome {
     /// update). Counted toward driver core load but *not* the critical
     /// path, matching Section V-C.
     pub driver_busy_cycles: u64,
+    /// GPU-to-driver flushes sent while the channel was down: they never
+    /// arrive. The engine's HIR circuit breaker counts these failures.
+    pub lost_flushes: u32,
+    /// PCIe bytes burned on those lost flushes (paid on the critical path
+    /// like [`FaultOutcome::transfer_bytes`], but accounted separately as
+    /// waste).
+    pub wasted_transfer_bytes: u64,
 }
 
 /// A page eviction policy driven by the unified-memory fault driver.

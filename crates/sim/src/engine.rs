@@ -10,9 +10,13 @@ use uvm_policies::EvictionPolicy;
 use uvm_types::{ConfigError, PageId, SignalDisruption, SimConfig, SimError, SimStats};
 use uvm_workloads::{Op, Trace};
 
+use uvm_util::ToJson;
+
+use crate::checkpoint::Checkpoint;
 use crate::faults::{FaultPlan, FaultState};
 use crate::memory::GpuMemory;
 use crate::observer::{EventLog, SimEvent, SimObserver};
+use crate::recovery::{CircuitBreaker, FallbackVictim, LruShadow, RetryPolicy};
 use crate::tlb::Tlb;
 
 /// Window (in evictions) within which a re-fault on an evicted page counts
@@ -26,6 +30,13 @@ const WRONG_EVICTION_WINDOW: usize = 128;
 /// above anything a healthy run produces between progress points, yet
 /// small enough that an injected livelock is caught within a second.
 const WATCHDOG_BASE_EVENTS: u64 = 100_000;
+
+/// HIR flushes lost in transit before the driver's circuit breaker trips
+/// and tells the GPU side to stop transferring flushes. Higher than HPE's
+/// own two-consecutive-missed-flushes degradation trigger: the policy
+/// degrades its eviction strategy first, the breaker then stops the
+/// (still ongoing) wasted PCIe transfers.
+const HIR_BREAKER_THRESHOLD: u32 = 3;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -116,6 +127,21 @@ pub struct Simulation<P> {
     events_since_progress: u64,
     /// Watchdog threshold derived from the warp count.
     watchdog_limit: u64,
+    /// Driver retry/backoff policy for lost completions; `None` keeps the
+    /// plan's flat re-queue delay (and its livelock failure mode).
+    retry: Option<RetryPolicy>,
+    /// Backoff attempts made for the in-service fault's completion.
+    completion_attempts: u32,
+    /// Circuit breaker on the HIR channel (armed only under fault plans
+    /// that lose flushes; otherwise it never records a failure).
+    breaker: CircuitBreaker,
+    /// Victim source for fallback evictions.
+    fallback: FallbackVictim,
+    /// Recency shadow feeding [`FallbackVictim::LruShadow`]; empty (and
+    /// never touched) under the default min-page fallback.
+    shadow: LruShadow,
+    /// The `run_until` limit the run is currently paused at.
+    paused_at: Option<u64>,
 }
 
 impl<P: EvictionPolicy> Simulation<P> {
@@ -187,6 +213,12 @@ impl<P: EvictionPolicy> Simulation<P> {
             faults: None,
             events_since_progress: 0,
             watchdog_limit,
+            retry: None,
+            completion_attempts: 0,
+            breaker: CircuitBreaker::new(HIR_BREAKER_THRESHOLD),
+            fallback: FallbackVictim::default(),
+            shadow: LruShadow::default(),
+            paused_at: None,
         };
         for w in 0..sim.warps.len() {
             if !sim.warps[w].ops.is_empty() {
@@ -210,6 +242,31 @@ impl<P: EvictionPolicy> Simulation<P> {
         Ok(())
     }
 
+    /// Installs a driver retry/backoff policy for lost fault completions.
+    ///
+    /// Without one, a lost completion is re-queued after the fault plan's
+    /// flat `retry_cycles` forever (an unbounded loss then livelocks into
+    /// the watchdog's [`SimError::Stalled`]). With one, each consecutive
+    /// loss backs off exponentially and the attempt cap surfaces as
+    /// [`SimError::RetriesExhausted`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the policy is invalid.
+    pub fn set_retry_policy(&mut self, rp: RetryPolicy) -> Result<(), ConfigError> {
+        rp.validate()?;
+        self.retry = Some(rp);
+        Ok(())
+    }
+
+    /// Selects the victim source for fallback evictions (policy offered
+    /// no victim, or its answer was dropped in transit). The default is
+    /// [`FallbackVictim::MinPage`]; [`FallbackVictim::LruShadow`] makes
+    /// the engine maintain a recency shadow and evict approximate-LRU.
+    pub fn set_fallback_victim(&mut self, fallback: FallbackVictim) {
+        self.fallback = fallback;
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors
@@ -217,12 +274,33 @@ impl<P: EvictionPolicy> Simulation<P> {
     /// Returns [`SimError`] when the run cannot complete soundly: the
     /// policy offered a non-resident victim, residency accounting would
     /// overflow, the forward-progress watchdog detected a livelock
-    /// ([`SimError::Stalled`]), or warps deadlocked with an empty event
-    /// queue. A policy offering *no* victim while memory is full is
-    /// tolerated: the engine evicts the lowest-numbered resident page
+    /// ([`SimError::Stalled`]), the driver's retry policy gave up on a
+    /// completion ([`SimError::RetriesExhausted`]), or warps deadlocked
+    /// with an empty event queue. A policy offering *no* victim while
+    /// memory is full is tolerated: the engine evicts a fallback victim
     /// itself and counts it in `stats.resilience.fallback_victims`.
-    pub fn run(mut self) -> Result<SimOutcome<P>, SimError> {
-        while let Some(Reverse(ev)) = self.events.pop() {
+    pub fn run(self) -> Result<SimOutcome<P>, SimError> {
+        self.finish()
+    }
+
+    /// Processes every event with `time <= limit`, then pauses.
+    ///
+    /// Returns `Ok(true)` when the event queue drained (the run is
+    /// complete; call [`Self::finish`]) and `Ok(false)` when the run
+    /// paused at the limit — the state is then stable and
+    /// [`Self::checkpoint`] captures it.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::run`], minus the deadlock check
+    /// (which only applies to a drained queue at completion).
+    pub fn run_until(&mut self, limit: u64) -> Result<bool, SimError> {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.time > limit {
+                self.paused_at = Some(limit);
+                return Ok(false);
+            }
+            self.events.pop();
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             if self.now > self.stats.cycles {
@@ -237,22 +315,57 @@ impl<P: EvictionPolicy> Simulation<P> {
             }
             match ev.kind {
                 EventKind::WarpReady(w) => self.step_warp(w)?,
-                EventKind::DriverDone(page) => {
-                    // An injected lossy completion channel may swallow the
-                    // signal; the driver retries until it gets through (or
-                    // never does, and the watchdog reports the livelock).
-                    let lost = match &mut self.faults {
-                        Some(fs) => fs.completion_lost(&mut self.stats.resilience),
-                        None => None,
-                    };
-                    match lost {
-                        Some(delay) => self.schedule(self.now + delay, EventKind::DriverDone(page)),
-                        None => self.finish_fault(page)?,
-                    }
-                }
+                EventKind::DriverDone(page) => self.driver_done(page)?,
                 EventKind::DriverPickup => self.pickup_next_fault()?,
             }
         }
+        self.paused_at = None;
+        Ok(true)
+    }
+
+    /// Handles a fault-completion signal, routing injected losses through
+    /// the retry policy (if installed) or the plan's flat re-queue delay.
+    fn driver_done(&mut self, page: PageId) -> Result<(), SimError> {
+        // An injected lossy completion channel may swallow the signal; the
+        // driver retries until it gets through — or, without a retry
+        // policy, never does, and the watchdog reports the livelock.
+        let lost = match &mut self.faults {
+            Some(fs) => fs.completion_lost(&mut self.stats.resilience),
+            None => None,
+        };
+        match lost {
+            Some(plan_delay) => match self.retry {
+                Some(rp) => {
+                    self.completion_attempts += 1;
+                    if self.completion_attempts >= rp.max_attempts {
+                        return Err(SimError::RetriesExhausted {
+                            page,
+                            cycle: self.now,
+                            attempts: self.completion_attempts,
+                        });
+                    }
+                    let delay = rp.delay_for(self.completion_attempts);
+                    self.stats.resilience.retry_attempts += 1;
+                    self.stats.resilience.retry_backoff_cycles += delay;
+                    self.schedule(self.now + delay, EventKind::DriverDone(page));
+                }
+                None => self.schedule(self.now + plan_delay, EventKind::DriverDone(page)),
+            },
+            None => {
+                self.completion_attempts = 0;
+                self.finish_fault(page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains any remaining events and folds the final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::run`].
+    pub fn finish(mut self) -> Result<SimOutcome<P>, SimError> {
+        self.run_until(u64::MAX)?;
         if self.live_warps > 0 {
             return Err(SimError::Deadlock {
                 cycle: self.now,
@@ -264,6 +377,60 @@ impl<P: EvictionPolicy> Simulation<P> {
             stats: self.stats,
             policy: self.policy,
         })
+    }
+
+    /// Snapshots the paused run (see [`Checkpoint`] for what is captured
+    /// and why that is sufficient under the determinism contract).
+    /// Meaningful after [`Self::run_until`] returned `Ok(false)`.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let (fault_rng, fault_lost_in_row) = match &self.faults {
+            Some(fs) => {
+                let (state, lost) = fs.fingerprint();
+                (state.to_vec(), lost)
+            }
+            None => (Vec::new(), 0),
+        };
+        let (breaker_failures, breaker_open) = self.breaker.fingerprint();
+        let (shadow_pages, shadow_clock) = self.shadow.fingerprint();
+        Checkpoint {
+            cycle: self.paused_at.unwrap_or(self.now),
+            now: self.now,
+            stats: self.stats.clone(),
+            fault_rng,
+            fault_lost_in_row,
+            hir_down: self.faults.as_ref().is_some_and(|fs| fs.hir_down),
+            breaker_failures,
+            breaker_open,
+            completion_attempts: self.completion_attempts,
+            next_seq: self.next_seq,
+            live_warps: self.live_warps as u64,
+            resident_pages: self.memory.len(),
+            in_flight: self.in_flight.len() as u64,
+            queue_len: self.fault_queue.len() as u64,
+            shadow_pages,
+            shadow_clock,
+        }
+    }
+
+    /// Fast-forwards this *freshly built* simulation to `ckpt` and
+    /// verifies it reconstructed the identical machine. The simulation
+    /// must have been constructed from the same inputs (config, trace,
+    /// policy, capacity, fault plan, retry policy, fallback victim) as
+    /// the run that took the snapshot; continue it afterwards with
+    /// [`Self::run_until`] or [`Self::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointDiverged`] when the replayed state
+    /// does not byte-match the snapshot (the inputs differ), plus any
+    /// failure mode of [`Self::run_until`].
+    pub fn resume(&mut self, ckpt: &Checkpoint) -> Result<(), SimError> {
+        self.run_until(ckpt.cycle)?;
+        let replayed = self.checkpoint();
+        if replayed.to_json().to_string() != ckpt.to_json().to_string() {
+            return Err(SimError::CheckpointDiverged { cycle: ckpt.cycle });
+        }
+        Ok(())
     }
 
     /// Installs an observer receiving paging events in simulated-time
@@ -364,6 +531,9 @@ impl<P: EvictionPolicy> Simulation<P> {
 
         // The access completes.
         self.events_since_progress = 0;
+        if self.fallback == FallbackVictim::LruShadow {
+            self.shadow.touch(op.page);
+        }
         self.warps[w].issued = false;
         self.warps[w].cursor += 1;
         self.stats.mem_accesses += 1;
@@ -485,9 +655,22 @@ impl<P: EvictionPolicy> Simulation<P> {
                 } else {
                     SignalDisruption::HirChannelUp
                 });
+                if !down && self.breaker.reset() {
+                    // Channel restored: close the breaker so the GPU side
+                    // resumes paying for flush transfers.
+                    self.policy
+                        .on_disruption(SignalDisruption::HirCircuitClosed);
+                }
             }
             if fs.hir_down {
                 self.stats.resilience.faults_during_hir_outage += demand_count;
+            }
+            // Injected partial outage: this window's HIR flush will arrive
+            // late. Announced before faults are serviced so the policy can
+            // divert the flush instead of applying it inline.
+            if let Some(delay) = fs.flush_delay(&mut self.stats.resilience) {
+                self.policy
+                    .on_disruption(SignalDisruption::HirFlushDelayed { faults: delay });
             }
         }
 
@@ -495,30 +678,43 @@ impl<P: EvictionPolicy> Simulation<P> {
         let needed = (self.memory.len() + self.in_flight.len() as u64)
             .saturating_sub(self.memory.capacity());
         for _ in 0..needed {
+            // Injected victim-notification drop: the policy's answer is
+            // lost in transit, so the driver acts as if none was offered.
+            let dropped = match &mut self.faults {
+                Some(fs) => fs.victim_dropped(&mut self.stats.resilience),
+                None => false,
+            };
             let victim = match self.policy.select_victim() {
-                Some(v) => {
-                    if !self.memory.remove(v) {
+                Some(v) if !dropped => {
+                    if self.memory.remove(v) {
+                        v
+                    } else if self.faults.as_ref().is_some_and(|fs| fs.drops_victims()) {
+                        // An earlier dropped notification desynced the
+                        // policy's residency view (it forgot a page that
+                        // was never evicted, and never learned about the
+                        // fallback eviction that replaced it). Under a
+                        // victim-dropping plan a stale offer is an expected
+                        // consequence of the injection, so the driver
+                        // tolerates it and falls back; on clean runs it
+                        // stays a hard policy-bug error.
+                        self.evict_fallback()?
+                    } else {
                         return Err(SimError::NonResidentVictim {
                             page: v,
                             cycle: self.now,
                         });
                     }
-                    v
                 }
-                None => {
-                    // The policy believes nothing is resident but memory
-                    // disagrees: evict the lowest-numbered resident page
-                    // (deterministic) rather than aborting the run.
-                    let Some(v) = self.memory.min_resident() else {
-                        return Err(SimError::NoVictimAvailable { cycle: self.now });
-                    };
-                    self.memory.remove(v);
-                    self.stats.resilience.fallback_victims += 1;
-                    self.policy
-                        .on_disruption(SignalDisruption::ForcedEviction { page: v });
-                    v
+                _ => {
+                    // No victim arrived — the policy believes nothing is
+                    // resident, or its answer was dropped in transit.
+                    // Evict a fallback victim rather than aborting the run.
+                    self.evict_fallback()?
                 }
             };
+            if self.fallback == FallbackVictim::LruShadow {
+                self.shadow.remove(victim);
+            }
             for l1 in &mut self.l1 {
                 l1.invalidate(victim);
             }
@@ -542,9 +738,26 @@ impl<P: EvictionPolicy> Simulation<P> {
             let o = self.policy.on_fault(p, n);
             outcome.transfer_bytes += o.transfer_bytes;
             outcome.driver_busy_cycles += o.driver_busy_cycles;
+            outcome.lost_flushes += o.lost_flushes;
+            outcome.wasted_transfer_bytes += o.wasted_transfer_bytes;
         }
         // StrategySwitch / HirFlush events raised inside on_fault.
         self.drain_policy_events();
+        // HIR flushes sent into a dead channel: account the wasted PCIe
+        // transfer and feed the circuit breaker, which eventually tells
+        // the GPU side to stop paying for flushes that never arrive.
+        if outcome.lost_flushes > 0 {
+            self.stats.resilience.hir_flushes_lost += u64::from(outcome.lost_flushes);
+            self.stats.resilience.wasted_flush_cycles +=
+                self.cfg.pcie_transfer_cycles(outcome.wasted_transfer_bytes);
+            for _ in 0..outcome.lost_flushes {
+                if self.breaker.record_failure() {
+                    self.stats.resilience.circuit_breaker_trips += 1;
+                    self.policy.on_disruption(SignalDisruption::HirCircuitOpen);
+                    self.drain_policy_events();
+                }
+            }
+        }
         // Injected corrupted fault report: a spurious wrong-eviction signal
         // reaches the policy's adjustment machinery.
         if let Some(fs) = &mut self.faults {
@@ -554,11 +767,13 @@ impl<P: EvictionPolicy> Simulation<P> {
                 self.drain_policy_events();
             }
         }
-        // Prefetched pages each pay their own PCIe transfer.
+        // Prefetched pages each pay their own PCIe transfer. Wasted flush
+        // bytes are on the critical path too — the GPU side sent them
+        // before learning the channel was dead.
         let prefetch_bytes = (self.in_flight.len() as u64 - 1) * uvm_types::PAGE_SIZE;
-        let mut transfer = self
-            .cfg
-            .pcie_transfer_cycles(outcome.transfer_bytes + prefetch_bytes);
+        let mut transfer = self.cfg.pcie_transfer_cycles(
+            outcome.transfer_bytes + outcome.wasted_transfer_bytes + prefetch_bytes,
+        );
         let mut service = self.cfg.fault_service_cycles();
         if let Some(fs) = &mut self.faults {
             (service, transfer) =
@@ -582,6 +797,9 @@ impl<P: EvictionPolicy> Simulation<P> {
                     page: p,
                     cycle: self.now,
                 });
+            }
+            if self.fallback == FallbackVictim::LruShadow {
+                self.shadow.touch(p);
             }
             self.emit(SimEvent::FaultServiced {
                 time: self.now,
@@ -623,6 +841,36 @@ impl<P: EvictionPolicy> Simulation<P> {
             break;
         }
         Ok(())
+    }
+
+    /// Picks the engine-side fallback victim: approximate-LRU from the
+    /// recency shadow when enabled (with a min-page safety net should the
+    /// shadow be empty), else the lowest-numbered resident page.
+    fn fallback_victim(&self) -> Option<PageId> {
+        match self.fallback {
+            FallbackVictim::MinPage => self.memory.min_resident(),
+            FallbackVictim::LruShadow => self
+                .shadow
+                .lru()
+                .filter(|&p| self.memory.is_resident(p))
+                .or_else(|| self.memory.min_resident()),
+        }
+    }
+
+    /// Evicts a fallback victim, accounting it and notifying the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoVictimAvailable`] when nothing is resident.
+    fn evict_fallback(&mut self) -> Result<PageId, SimError> {
+        let Some(v) = self.fallback_victim() else {
+            return Err(SimError::NoVictimAvailable { cycle: self.now });
+        };
+        self.memory.remove(v);
+        self.stats.resilience.fallback_victims += 1;
+        self.policy
+            .on_disruption(SignalDisruption::ForcedEviction { page: v });
+        Ok(v)
     }
 
     fn remember_eviction(&mut self, page: PageId) {
@@ -1076,6 +1324,166 @@ mod tests {
             Err(SimError::Stalled { in_flight, .. }) => assert!(in_flight >= 1),
             other => panic!("expected Stalled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_policy_turns_livelock_into_retries_exhausted() {
+        let global: Vec<u64> = (0..10u64).collect();
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&global, 10, 0, 1, 1);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 16).unwrap();
+        sim.set_fault_plan(crate::FaultPlan::livelock(1)).unwrap();
+        let rp = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+        sim.set_retry_policy(rp).unwrap();
+        match sim.run() {
+            Err(SimError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 5),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_backoff_completes_bounded_loss_and_is_counted() {
+        let global: Vec<u64> = (0..40u64).cycle().take(120).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 0, 2, 3);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_fault_plan(crate::FaultPlan::completion_loss(7))
+            .unwrap();
+        sim.set_retry_policy(RetryPolicy::default()).unwrap();
+        let stats = sim.run().expect("backoff still delivers").stats;
+        assert!(stats.resilience.completions_lost > 0);
+        assert_eq!(
+            stats.resilience.retry_attempts, stats.resilience.completions_lost,
+            "every loss goes through the backoff schedule"
+        );
+        assert!(stats.resilience.retry_backoff_cycles >= stats.resilience.retry_attempts * 2_000);
+    }
+
+    #[test]
+    fn invalid_retry_policy_is_rejected() {
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&[0], 1, 0, 1, 1);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 4).unwrap();
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(sim.set_retry_policy(bad).is_err());
+    }
+
+    #[test]
+    fn lru_shadow_fallback_tracks_recency() {
+        // NoVictim forces every eviction through the fallback path. Under
+        // the LRU shadow, re-touched pages must not be the next victims.
+        let global: Vec<u64> = (0..20u64).cycle().take(80).collect();
+        let run = |fallback: FallbackVictim| {
+            let cfg = tiny_cfg(2, 1);
+            let trace = Trace::from_global(&global, 20, 0, 2, 2);
+            let mut sim = Simulation::new(cfg, &trace, NoVictim, 8).unwrap();
+            sim.set_fallback_victim(fallback);
+            sim.run().expect("fallback keeps the run alive").stats
+        };
+        let min_page = run(FallbackVictim::MinPage);
+        let shadow = run(FallbackVictim::LruShadow);
+        assert_eq!(
+            min_page.resilience.fallback_victims,
+            min_page.evictions(),
+            "every eviction is a fallback"
+        );
+        assert_eq!(shadow.resilience.fallback_victims, shadow.evictions());
+        // A cyclic sweep makes the two victim orders genuinely different.
+        assert_ne!(
+            min_page.faults(),
+            shadow.faults(),
+            "recency-aware fallback changes the eviction pattern"
+        );
+    }
+
+    #[test]
+    fn victim_drops_force_fallback_evictions_and_complete() {
+        let global: Vec<u64> = (0..40u64).cycle().take(200).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 0, 2, 3);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_fault_plan(crate::FaultPlan::victim_drop(3))
+            .unwrap();
+        let stats = sim.run().expect("dropped victims are tolerated").stats;
+        assert!(stats.resilience.victims_dropped > 0, "injection fired");
+        assert!(
+            stats.resilience.fallback_victims >= stats.resilience.victims_dropped,
+            "each drop (and each later stale offer) falls back"
+        );
+        let resident_end = stats.faults() - stats.evictions();
+        assert!(resident_end <= 30);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_straight_run() {
+        let global: Vec<u64> = (0..40u64).cycle().take(200).collect();
+        let build = || {
+            let cfg = tiny_cfg(2, 1);
+            let trace = Trace::from_global(&global, 40, 0, 2, 3);
+            let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+            sim.set_fault_plan(crate::FaultPlan::latency_storm(11))
+                .unwrap();
+            sim
+        };
+        let straight = build().run().unwrap().stats;
+
+        // Pause mid-run, snapshot, rebuild from the same inputs, resume.
+        let mut first = build();
+        let done = first.run_until(400_000).unwrap();
+        assert!(!done, "pause point must fall inside the run");
+        let ckpt = first.checkpoint();
+        assert_eq!(ckpt.cycle, 400_000);
+
+        let mut resumed = build();
+        resumed
+            .resume(&ckpt)
+            .expect("same inputs replay identically");
+        let stats = resumed.finish().unwrap().stats;
+        assert_eq!(stats, straight, "resume must not change the run");
+    }
+
+    #[test]
+    fn resume_with_different_inputs_reports_divergence() {
+        let global: Vec<u64> = (0..40u64).cycle().take(200).collect();
+        let build = |seed: u64| {
+            let cfg = tiny_cfg(2, 1);
+            let trace = Trace::from_global(&global, 40, 0, 2, 3);
+            let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+            sim.set_fault_plan(crate::FaultPlan::latency_storm(seed))
+                .unwrap();
+            sim
+        };
+        let mut first = build(11);
+        assert!(!first.run_until(400_000).unwrap());
+        let ckpt = first.checkpoint();
+        // Different fault-plan seed -> different RNG stream -> divergence.
+        let mut other = build(12);
+        match other.resume(&ckpt) {
+            Err(SimError::CheckpointDiverged { cycle }) => assert_eq!(cycle, 400_000),
+            other => panic!("expected CheckpointDiverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_past_end_completes_and_finish_matches_run() {
+        let global: Vec<u64> = (0..20u64).cycle().take(60).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 20, 0, 2, 2);
+        let straight = Simulation::new(cfg.clone(), &trace, Lru::new(), 10)
+            .unwrap()
+            .run()
+            .unwrap()
+            .stats;
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 10).unwrap();
+        assert!(sim.run_until(u64::MAX).unwrap(), "queue drains");
+        let stats = sim.finish().unwrap().stats;
+        assert_eq!(stats, straight);
     }
 
     #[test]

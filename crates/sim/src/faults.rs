@@ -64,6 +64,17 @@ pub struct FaultPlan {
     /// Probability that a serviced fault additionally delivers a spurious
     /// (corrupted) wrong-eviction report to the policy.
     pub spurious_wrong_eviction_probability: f64,
+    /// Probability that a fault-service window delays (rather than drops)
+    /// the policy's next HIR flush in transit — the partial-outage mode.
+    pub hir_delay_probability: f64,
+    /// Delivery delay of a delayed HIR flush, in serviced faults. The
+    /// policy applies flushes within its staleness bound and discards
+    /// staler ones.
+    pub hir_delay_faults: u64,
+    /// Probability that one victim response from the policy is corrupted
+    /// in transit: the engine discards the answer and evicts via its
+    /// fallback victim instead.
+    pub victim_drop_probability: f64,
 }
 
 impl_json_struct!(FaultPlan {
@@ -80,6 +91,9 @@ impl_json_struct!(FaultPlan {
     hir_outage_period = 0,
     hir_outage_duty = 0.0,
     spurious_wrong_eviction_probability = 0.0,
+    hir_delay_probability = 0.0,
+    hir_delay_faults = 0,
+    victim_drop_probability = 0.0,
 });
 
 impl Default for FaultPlan {
@@ -105,6 +119,9 @@ impl FaultPlan {
             hir_outage_period: 0,
             hir_outage_duty: 0.0,
             spurious_wrong_eviction_probability: 0.0,
+            hir_delay_probability: 0.0,
+            hir_delay_faults: 0,
+            victim_drop_probability: 0.0,
         }
     }
 
@@ -156,6 +173,30 @@ impl FaultPlan {
         }
     }
 
+    /// Partial outage: a quarter of fault-service windows delay the next
+    /// HIR flush by 24 faults in transit. With HPE's default staleness
+    /// bound (two transfer intervals = 32 faults) delayed flushes still
+    /// apply — late, but not dropped.
+    pub fn partial_outage(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            hir_delay_probability: 0.25,
+            hir_delay_faults: 24,
+            ..Self::none()
+        }
+    }
+
+    /// Corrupted victim responses: 5% of the policy's eviction answers
+    /// are dropped in transit, forcing the engine onto its fallback
+    /// victim (min-page or the LRU shadow).
+    pub fn victim_drop(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            victim_drop_probability: 0.05,
+            ..Self::none()
+        }
+    }
+
     /// An injected livelock: every completion is lost and never retried
     /// successfully. The watchdog must report `SimError::Stalled`.
     pub fn livelock(seed: u64) -> Self {
@@ -177,6 +218,8 @@ impl FaultPlan {
             && self.completion_loss_probability == 0.0
             && self.hir_outage_period == 0
             && self.spurious_wrong_eviction_probability == 0.0
+            && self.hir_delay_probability == 0.0
+            && self.victim_drop_probability == 0.0
     }
 
     /// Validates the plan.
@@ -208,6 +251,8 @@ impl FaultPlan {
             "spurious_wrong_eviction_probability",
             self.spurious_wrong_eviction_probability,
         )?;
+        probability("hir_delay_probability", self.hir_delay_probability)?;
+        probability("victim_drop_probability", self.victim_drop_probability)?;
         if self.tail_probability > 0.0 && self.tail_multiplier < 2 {
             return Err(ConfigError::invalid(
                 "tail_multiplier",
@@ -224,6 +269,33 @@ impl FaultPlan {
             return Err(ConfigError::invalid(
                 "retry_cycles",
                 "must be nonzero when completions can be lost",
+            ));
+        }
+        if self.congestion_period > 0
+            && (self.congestion_period as f64 * self.congestion_duty) < 1.0
+        {
+            return Err(ConfigError::invalid(
+                "congestion_duty",
+                "congested window rounds to zero cycles; raise congestion_duty \
+                 (or congestion_period) so period * duty is at least 1, or set \
+                 congestion_period to 0 to disable congestion",
+            ));
+        }
+        if self.hir_outage_period > 0
+            && (self.hir_outage_period as f64 * self.hir_outage_duty) < 1.0
+        {
+            return Err(ConfigError::invalid(
+                "hir_outage_duty",
+                "outage window rounds to zero faults; raise hir_outage_duty \
+                 (or hir_outage_period) so period * duty is at least 1, or set \
+                 hir_outage_period to 0 to disable outages",
+            ));
+        }
+        if self.hir_delay_probability > 0.0 && self.hir_delay_faults == 0 {
+            return Err(ConfigError::invalid(
+                "hir_delay_faults",
+                "must be nonzero when hir_delay_probability is nonzero (a \
+                 zero-fault delay would be indistinguishable from no delay)",
             ));
         }
         Ok(())
@@ -318,6 +390,43 @@ impl FaultState {
             return true;
         }
         false
+    }
+
+    /// Whether this fault-service window delays the policy's next HIR
+    /// flush in transit (partial outage); returns the delay in faults.
+    pub(crate) fn flush_delay(&mut self, res: &mut ResilienceStats) -> Option<u64> {
+        let p = self.plan.hir_delay_probability;
+        if p > 0.0 && self.rng.gen_bool(p) {
+            res.delayed_hir_flushes += 1;
+            return Some(self.plan.hir_delay_faults);
+        }
+        None
+    }
+
+    /// Whether one victim response from the policy is corrupted in
+    /// transit, forcing the engine onto its fallback victim.
+    pub(crate) fn victim_dropped(&mut self, res: &mut ResilienceStats) -> bool {
+        let p = self.plan.victim_drop_probability;
+        if p > 0.0 && self.rng.gen_bool(p) {
+            res.victims_dropped += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Whether this plan can drop victim responses at all. When it can,
+    /// the engine tolerates stale (non-resident) victim offers — an
+    /// expected after-effect of a drop — instead of treating them as a
+    /// policy bug.
+    pub(crate) fn drops_victims(&self) -> bool {
+        self.plan.victim_drop_probability > 0.0
+    }
+
+    /// Checkpoint fingerprint: the RNG words and the loss streak. Both
+    /// are replayed on resume; recording them lets the resumed run prove
+    /// it reached the identical stream position.
+    pub(crate) fn fingerprint(&self) -> ([u64; 4], u32) {
+        (self.rng.state(), self.lost_in_row)
     }
 
     /// Decides the fate of a fault-completion signal. Returns
@@ -459,12 +568,49 @@ mod tests {
             FaultPlan::congestion(1),
             FaultPlan::completion_loss(1),
             FaultPlan::signal_chaos(1),
+            FaultPlan::partial_outage(1),
+            FaultPlan::victim_drop(1),
             FaultPlan::livelock(1),
         ] {
             plan.validate().unwrap();
         }
         assert!(FaultPlan::none().is_noop());
         assert!(!FaultPlan::signal_chaos(1).is_noop());
+        assert!(!FaultPlan::partial_outage(1).is_noop());
+        assert!(!FaultPlan::victim_drop(1).is_noop());
+    }
+
+    #[test]
+    fn flush_delay_draws_only_when_enabled() {
+        let mut st = FaultState::new(FaultPlan::none());
+        let mut res = ResilienceStats::default();
+        for _ in 0..100 {
+            assert_eq!(st.flush_delay(&mut res), None);
+        }
+        assert!(!st.drops_victims());
+
+        let mut st = FaultState::new(FaultPlan {
+            seed: 7,
+            hir_delay_probability: 1.0,
+            hir_delay_faults: 24,
+            ..FaultPlan::none()
+        });
+        for _ in 0..10 {
+            assert_eq!(st.flush_delay(&mut res), Some(24));
+        }
+        assert_eq!(res.delayed_hir_flushes, 10);
+    }
+
+    #[test]
+    fn victim_drops_are_counted_and_flagged() {
+        let mut st = FaultState::new(FaultPlan::victim_drop(8));
+        assert!(st.drops_victims());
+        let mut res = ResilienceStats::default();
+        let drops = (0..2_000).filter(|_| st.victim_dropped(&mut res)).count() as u64;
+        // 5% of 2000 draws: far from zero, far from certain.
+        assert!(drops > 0, "p=0.05 over 2000 draws must drop something");
+        assert!(drops < 500, "p=0.05 cannot drop a quarter of responses");
+        assert_eq!(res.victims_dropped, drops);
     }
 
     #[test]
@@ -495,6 +641,34 @@ mod tests {
         let mut p = FaultPlan::none();
         p.hir_outage_duty = f64::NAN;
         assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.hir_delay_probability = 0.2;
+        p.hir_delay_faults = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.victim_drop_probability = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_width_windows_with_actionable_messages() {
+        // A 1%-duty window over 50 cycles rounds to zero congested
+        // cycles: the plan would look active but inject nothing.
+        let mut p = FaultPlan::congestion(1);
+        p.congestion_period = 50;
+        p.congestion_duty = 0.01;
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("congestion_duty"), "{msg}");
+        assert!(msg.contains("rounds to zero"), "{msg}");
+
+        let mut p = FaultPlan::signal_chaos(1);
+        p.hir_outage_period = 2;
+        p.hir_outage_duty = 0.1;
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("hir_outage_duty"), "{msg}");
+        assert!(msg.contains("rounds to zero"), "{msg}");
     }
 
     #[test]

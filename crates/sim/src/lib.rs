@@ -11,7 +11,11 @@
 //!   the eviction policy (ideal model) or recorded for HPE's HIR,
 //! * a serialized CPU-side fault driver with the paper's 20 µs service
 //!   time, fault coalescing, and policy-driven eviction,
-//! * a PCIe transfer model charging HPE's hit-information flushes.
+//! * a PCIe transfer model charging HPE's hit-information flushes,
+//! * driver-side recovery machinery: completion retry with exponential
+//!   backoff, an HIR circuit breaker, approximate-LRU fallback eviction,
+//!   and deterministic checkpoint/restore of paused runs (see
+//!   [`Checkpoint`]).
 //!
 //! # Examples
 //!
@@ -35,17 +39,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 mod engine;
 mod faults;
 mod memory;
 mod observer;
+mod recovery;
 mod tlb;
 mod trace;
 
+pub use checkpoint::Checkpoint;
 pub use engine::{SimOutcome, Simulation};
 pub use faults::FaultPlan;
 pub use memory::GpuMemory;
 pub use observer::{EventLog, SimEvent, SimObserver};
+pub use recovery::{FallbackVictim, RetryPolicy};
 pub use tlb::Tlb;
 pub use trace::{
     parse_jsonl, EventCounters, IntervalCollector, IntervalKey, IntervalRow, JsonlWriter,

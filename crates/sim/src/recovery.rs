@@ -1,0 +1,350 @@
+//! Driver-side recovery machinery: completion retry with exponential
+//! backoff, the HIR circuit breaker, and the engine's approximate-LRU
+//! shadow for fallback evictions.
+//!
+//! The pieces here model how a hardened UVM driver reacts to the failures
+//! the fault plan injects, instead of livelocking or silently degrading:
+//!
+//! * [`RetryPolicy`] replaces the plan's flat re-queue delay for lost
+//!   fault completions with a bounded exponential-backoff schedule; when
+//!   the attempt cap is hit the engine reports
+//!   [`uvm_types::SimError::RetriesExhausted`] instead of spinning until
+//!   the watchdog fires.
+//! * [`CircuitBreaker`] counts HIR flushes lost in transit during a
+//!   channel outage and trips once the loss is clearly not transient, so
+//!   the GPU side can stop paying PCIe cycles for flushes that never
+//!   arrive.
+//! * [`LruShadow`] is a cheap engine-side recency map, giving the
+//!   fallback-eviction path an approximate-LRU victim instead of the
+//!   deterministic-but-arbitrary minimum page id.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_sim::RetryPolicy;
+//!
+//! let rp = RetryPolicy::default();
+//! rp.validate().unwrap();
+//! assert!(rp.delay_for(1) < rp.delay_for(3));
+//! assert!(rp.delay_for(60) <= rp.max_delay_cycles);
+//! ```
+
+use std::collections::HashMap;
+
+use uvm_types::{ConfigError, PageId};
+use uvm_util::impl_json_struct;
+
+/// How the driver retries a lost fault-completion signal.
+///
+/// Installed with `Simulation::set_retry_policy`. Without one, a lost
+/// completion is re-queued after the fault plan's flat `retry_cycles`
+/// forever (the pre-recovery behavior, where an unbounded loss becomes a
+/// watchdog [`uvm_types::SimError::Stalled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in cycles.
+    pub base_delay_cycles: u64,
+    /// Multiplier applied to the delay after each consecutive loss.
+    pub multiplier: u64,
+    /// Upper bound on any single backoff delay.
+    pub max_delay_cycles: u64,
+    /// Consecutive losses tolerated before the driver gives up with
+    /// [`uvm_types::SimError::RetriesExhausted`].
+    pub max_attempts: u32,
+}
+
+impl_json_struct!(RetryPolicy {
+    base_delay_cycles = 2_000,
+    multiplier = 2,
+    max_delay_cycles = 64_000,
+    max_attempts = 8,
+});
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay_cycles: 2_000,
+            multiplier: 2,
+            max_delay_cycles: 64_000,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `attempt` (1-based):
+    /// `base * multiplier^(attempt-1)`, saturating, capped at
+    /// [`RetryPolicy::max_delay_cycles`].
+    pub fn delay_for(&self, attempt: u32) -> u64 {
+        let mut delay = self.base_delay_cycles;
+        for _ in 1..attempt {
+            delay = delay.saturating_mul(self.multiplier);
+            if delay >= self.max_delay_cycles {
+                return self.max_delay_cycles;
+            }
+        }
+        delay.min(self.max_delay_cycles)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.base_delay_cycles == 0 {
+            return Err(ConfigError::invalid(
+                "base_delay_cycles",
+                "must be nonzero (a zero-delay retry would re-fire in the same cycle)",
+            ));
+        }
+        if self.multiplier < 2 {
+            return Err(ConfigError::invalid(
+                "multiplier",
+                "must be at least 2 for an exponential backoff",
+            ));
+        }
+        if self.max_delay_cycles < self.base_delay_cycles {
+            return Err(ConfigError::invalid(
+                "max_delay_cycles",
+                "must be at least base_delay_cycles",
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err(ConfigError::invalid(
+                "max_attempts",
+                "must be nonzero (zero attempts could never deliver a completion)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A count-based circuit breaker on the HIR channel.
+///
+/// The engine records one failure per flush lost in transit; at
+/// `threshold` failures the breaker trips (returns `true` exactly once)
+/// and stays open until [`CircuitBreaker::reset`] — which the engine
+/// calls when the injected outage ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CircuitBreaker {
+    threshold: u32,
+    failures: u32,
+    open: bool,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold,
+            failures: 0,
+            open: false,
+        }
+    }
+
+    /// Records one lost flush; returns `true` on the failure that trips
+    /// the breaker open (only that one — callers emit the open signal
+    /// exactly once).
+    pub(crate) fn record_failure(&mut self) -> bool {
+        if self.open {
+            return false;
+        }
+        self.failures += 1;
+        if self.failures >= self.threshold {
+            self.open = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the breaker is currently open.
+    #[cfg(test)]
+    pub(crate) fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Closes the breaker and clears the failure count; returns `true` if
+    /// it had been open (so callers can emit the close signal).
+    pub(crate) fn reset(&mut self) -> bool {
+        let was_open = self.open;
+        self.failures = 0;
+        self.open = false;
+        was_open
+    }
+
+    /// Fingerprint for checkpoint verification.
+    pub(crate) fn fingerprint(&self) -> (u32, bool) {
+        (self.failures, self.open)
+    }
+}
+
+/// Which victim the engine evicts when the policy offers none (or its
+/// answer was dropped in transit by the fault plan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FallbackVictim {
+    /// The lowest-numbered resident page: deterministic and free, but
+    /// recency-blind (the pre-recovery behavior and the default).
+    #[default]
+    MinPage,
+    /// An approximate-LRU page from the engine's recency shadow.
+    LruShadow,
+}
+
+impl FallbackVictim {
+    /// Short label for reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackVictim::MinPage => "min-page",
+            FallbackVictim::LruShadow => "lru-shadow",
+        }
+    }
+
+    /// Parses a CLI label (`min-page` / `lru-shadow`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "min-page" => Some(FallbackVictim::MinPage),
+            "lru-shadow" => Some(FallbackVictim::LruShadow),
+            _ => None,
+        }
+    }
+}
+
+/// A cheap recency shadow over resident pages, maintained by the engine
+/// only when [`FallbackVictim::LruShadow`] is selected.
+///
+/// Stamps are a logical clock bumped on every touch; the fallback victim
+/// is the resident page with the smallest stamp (ties broken by page id,
+/// though stamps are unique in practice).
+#[derive(Debug, Default)]
+pub(crate) struct LruShadow {
+    stamps: HashMap<PageId, u64>,
+    clock: u64,
+}
+
+impl LruShadow {
+    /// Marks `page` as most recently used.
+    pub(crate) fn touch(&mut self, page: PageId) {
+        self.clock += 1;
+        self.stamps.insert(page, self.clock);
+    }
+
+    /// Forgets an evicted page.
+    pub(crate) fn remove(&mut self, page: PageId) {
+        self.stamps.remove(&page);
+    }
+
+    /// The approximately least-recently-used page, if any is tracked.
+    pub(crate) fn lru(&self) -> Option<PageId> {
+        self.stamps
+            .iter()
+            .min_by_key(|&(page, stamp)| (*stamp, *page))
+            .map(|(&page, _)| page)
+    }
+
+    /// Fingerprint for checkpoint verification.
+    pub(crate) fn fingerprint(&self) -> (u64, u64) {
+        (self.stamps.len() as u64, self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_util::{FromJson, Json, ToJson};
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let rp = RetryPolicy {
+            base_delay_cycles: 1_000,
+            multiplier: 2,
+            max_delay_cycles: 10_000,
+            max_attempts: 8,
+        };
+        assert_eq!(rp.delay_for(1), 1_000);
+        assert_eq!(rp.delay_for(2), 2_000);
+        assert_eq!(rp.delay_for(3), 4_000);
+        assert_eq!(rp.delay_for(4), 8_000);
+        assert_eq!(rp.delay_for(5), 10_000);
+        assert_eq!(rp.delay_for(64), 10_000, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn retry_policy_validates() {
+        RetryPolicy::default().validate().unwrap();
+        for bad in [
+            RetryPolicy {
+                base_delay_cycles: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                multiplier: 1,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                max_delay_cycles: 1,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn retry_policy_json_roundtrip_with_defaults() {
+        let rp = RetryPolicy {
+            base_delay_cycles: 500,
+            multiplier: 3,
+            max_delay_cycles: 9_000,
+            max_attempts: 4,
+        };
+        let back = RetryPolicy::from_json(&rp.to_json()).unwrap();
+        assert_eq!(back, rp);
+        let sparse = Json::parse(r#"{"max_attempts": 2}"#).unwrap();
+        let p = RetryPolicy::from_json(&sparse).unwrap();
+        assert_eq!(p.max_attempts, 2);
+        assert_eq!(
+            p.base_delay_cycles,
+            RetryPolicy::default().base_delay_cycles
+        );
+    }
+
+    #[test]
+    fn breaker_trips_once_and_resets() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third failure trips");
+        assert!(b.is_open());
+        assert!(!b.record_failure(), "already open: no second trip");
+        assert!(b.reset(), "reset reports it had been open");
+        assert!(!b.is_open());
+        assert!(!b.reset(), "reset of a closed breaker is a no-op");
+        assert!(!b.record_failure(), "count restarts after reset");
+    }
+
+    #[test]
+    fn shadow_tracks_recency() {
+        let mut s = LruShadow::default();
+        assert_eq!(s.lru(), None);
+        s.touch(PageId(5));
+        s.touch(PageId(3));
+        s.touch(PageId(9));
+        assert_eq!(s.lru(), Some(PageId(5)));
+        s.touch(PageId(5)); // re-touch: 3 is now coldest
+        assert_eq!(s.lru(), Some(PageId(3)));
+        s.remove(PageId(3));
+        assert_eq!(s.lru(), Some(PageId(9)));
+    }
+
+    #[test]
+    fn fallback_labels_roundtrip() {
+        for f in [FallbackVictim::MinPage, FallbackVictim::LruShadow] {
+            assert_eq!(FallbackVictim::parse(f.label()), Some(f));
+        }
+        assert_eq!(FallbackVictim::parse("nope"), None);
+    }
+}

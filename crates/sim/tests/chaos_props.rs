@@ -9,11 +9,11 @@
 
 use std::collections::HashSet;
 use uvm_policies::Lru;
-use uvm_sim::{FaultPlan, Simulation};
-use uvm_types::{SimConfig, SimStats, TlbConfig};
+use uvm_sim::{trace_for, Checkpoint, FaultPlan, RetryPolicy, Simulation};
+use uvm_types::{Oversubscription, SimConfig, SimError, SimStats, TlbConfig};
 use uvm_util::prop::Checker;
-use uvm_util::{Rng, ToJson};
-use uvm_workloads::Trace;
+use uvm_util::{FromJson, Json, Rng, ToJson};
+use uvm_workloads::{registry, Trace};
 
 fn small_cfg(n_sms: u32) -> SimConfig {
     SimConfig::builder()
@@ -43,14 +43,19 @@ fn random_plan(rng: &mut Rng) -> FaultPlan {
         tail_probability: rng.gen_f64() * 0.1,
         tail_multiplier: rng.gen_range(2u64..10),
         congestion_period: rng.gen_range(1_000u64..2_000_000),
-        congestion_duty: rng.gen_f64(),
+        // Duties are kept away from zero so the congested / down windows
+        // never round to zero cycles (validate rejects such plans).
+        congestion_duty: 0.01 + rng.gen_f64() * 0.99,
         congestion_factor: rng.gen_range(2u64..10),
         completion_loss_probability: if lossy { rng.gen_f64() * 0.2 } else { 0.0 },
         retry_cycles: rng.gen_range(1_000u64..20_000),
         max_completion_retries: Some(rng.gen_range(1u64..4) as u32),
         hir_outage_period: rng.gen_range(16u64..512),
-        hir_outage_duty: rng.gen_f64(),
+        hir_outage_duty: 0.1 + rng.gen_f64() * 0.9,
         spurious_wrong_eviction_probability: rng.gen_f64() * 0.1,
+        hir_delay_probability: rng.gen_f64() * 0.3,
+        hir_delay_faults: rng.gen_range(1u64..64),
+        victim_drop_probability: rng.gen_f64() * 0.1,
     }
 }
 
@@ -122,6 +127,116 @@ fn identical_seeds_reproduce_identical_chaos_runs() {
             let a = run_chaos(global, *capacity, plan);
             let b = run_chaos(global, *capacity, plan);
             assert_eq!(a, b, "same plan + seed must replay identically");
+        },
+    );
+}
+
+/// Acceptance: an unbounded completion loss under a retry policy must
+/// surface as the typed `SimError::RetriesExhausted` — never a panic and
+/// never a silent stall.
+#[test]
+fn unbounded_loss_with_retry_policy_reports_retries_exhausted() {
+    let global: Vec<u64> = (0..10).collect();
+    let trace = Trace::from_global(&global, 10, 0, 1, 1);
+    let mut sim = Simulation::new(small_cfg(1), &trace, Lru::new(), 16).expect("valid sim");
+    sim.set_fault_plan(FaultPlan::livelock(9))
+        .expect("valid plan");
+    sim.set_retry_policy(RetryPolicy::default())
+        .expect("valid policy");
+    match sim.run() {
+        Err(e @ SimError::RetriesExhausted { .. }) => {
+            assert_eq!(e.kind(), "RetriesExhausted");
+            assert!(
+                e.to_string().contains("retries exhausted"),
+                "actionable message, got: {e}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+/// Acceptance: checkpoint → resume yields `SimStats` byte-identical to the
+/// uninterrupted run on STN, for several seeds, clean and under active
+/// fault plans.
+#[test]
+fn checkpoint_resume_reproduces_stn_byte_identically() {
+    let cfg = SimConfig::scaled_default();
+    let app = registry::by_abbr("STN").expect("STN registered");
+    let trace = trace_for(&cfg, app);
+    let capacity = Oversubscription::Rate75.capacity_pages(app.footprint_pages());
+    let plans: Vec<(&str, Option<FaultPlan>)> = vec![
+        ("clean", None),
+        ("signal-chaos/1", Some(FaultPlan::signal_chaos(1))),
+        ("latency-storm/2019", Some(FaultPlan::latency_storm(2019))),
+        ("completion-loss/77", Some(FaultPlan::completion_loss(77))),
+    ];
+    for (label, plan) in &plans {
+        let build = || {
+            let mut sim =
+                Simulation::new(cfg.clone(), &trace, Lru::new(), capacity).expect("valid sim");
+            if let Some(p) = plan {
+                sim.set_fault_plan(p.clone()).expect("valid plan");
+            }
+            sim
+        };
+        let straight = build().run().expect("straight run completes").stats;
+
+        let mut paused = build();
+        let done = paused.run_until(10_000_000).expect("first half runs");
+        assert!(!done, "{label}: pause point must fall inside the run");
+        let ckpt = paused.checkpoint();
+
+        let mut resumed = build();
+        resumed
+            .resume(&ckpt)
+            .expect("identical inputs replay identically");
+        let stats = resumed.finish().expect("resumed run completes").stats;
+        assert_eq!(
+            stats.to_json().to_string(),
+            straight.to_json().to_string(),
+            "{label}: resumed stats must be byte-identical"
+        );
+    }
+}
+
+/// Property: `FaultPlan` JSON serialization round-trips byte-identically
+/// (serialize → parse → re-serialize).
+#[test]
+fn fault_plan_json_roundtrip_is_byte_identical() {
+    Checker::new().cases(64).run(random_plan, |plan| {
+        let text = plan.to_json().to_string();
+        let parsed = FaultPlan::from_json(&Json::parse(&text).expect("serialized plan parses"))
+            .expect("parsed plan converts");
+        assert_eq!(&parsed, plan);
+        assert_eq!(parsed.to_json().to_string(), text);
+    });
+}
+
+/// Property: checkpoints taken from real paused chaos runs round-trip
+/// through JSON byte-identically.
+#[test]
+fn checkpoint_json_roundtrip_is_byte_identical() {
+    Checker::new().cases(12).run(
+        |rng| {
+            (
+                rng.gen_vec(50..300, |r| r.gen_range(0u64..40)),
+                rng.gen_range(4u64..48),
+                random_plan(rng),
+                rng.gen_range(10_000u64..1_000_000),
+            )
+        },
+        |(global, capacity, plan, limit)| {
+            let trace = Trace::from_global(global, 40, 2, 3, 3);
+            let mut sim =
+                Simulation::new(small_cfg(3), &trace, Lru::new(), *capacity).expect("valid sim");
+            sim.set_fault_plan(plan.clone()).expect("valid plan");
+            let _ = sim.run_until(*limit).expect("run proceeds");
+            let ckpt = sim.checkpoint();
+            let text = ckpt.to_json().to_string();
+            let back = Checkpoint::from_json(&Json::parse(&text).expect("checkpoint parses"))
+                .expect("checkpoint converts");
+            assert_eq!(back, ckpt);
+            assert_eq!(back.to_json().to_string(), text);
         },
     );
 }

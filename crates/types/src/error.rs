@@ -101,6 +101,23 @@ pub enum SimError {
         /// Warps left blocked.
         blocked_warps: u64,
     },
+    /// The driver's retry policy gave up on a fault completion: every
+    /// backoff attempt up to the configured cap was lost in transit.
+    RetriesExhausted {
+        /// The page whose completion never arrived.
+        page: PageId,
+        /// Simulated cycle at which the last attempt was abandoned.
+        cycle: u64,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// A resumed simulation did not reproduce the checkpointed state —
+    /// the inputs (trace, config, policy, fault plan) differ from the run
+    /// that took the snapshot.
+    CheckpointDiverged {
+        /// The checkpoint cycle at which verification failed.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -128,6 +145,18 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "deadlock at cycle {cycle}: {blocked_warps} warps blocked with an empty event queue"
+            ),
+            SimError::RetriesExhausted {
+                page,
+                cycle,
+                attempts,
+            } => write!(
+                f,
+                "completion for page {page} lost {attempts} times; retries exhausted at cycle {cycle}"
+            ),
+            SimError::CheckpointDiverged { cycle } => write!(
+                f,
+                "resumed run diverged from checkpoint taken at cycle {cycle}; inputs differ"
             ),
         }
     }
@@ -158,6 +187,8 @@ impl SimError {
             SimError::ResidencyOverflow { .. } => "ResidencyOverflow",
             SimError::Stalled { .. } => "Stalled",
             SimError::Deadlock { .. } => "Deadlock",
+            SimError::RetriesExhausted { .. } => "RetriesExhausted",
+            SimError::CheckpointDiverged { .. } => "CheckpointDiverged",
         }
     }
 }
@@ -229,6 +260,20 @@ mod tests {
                 },
                 "Deadlock",
                 "3 warps blocked",
+            ),
+            (
+                SimError::RetriesExhausted {
+                    page: PageId(12),
+                    cycle: 77,
+                    attempts: 8,
+                },
+                "RetriesExhausted",
+                "lost 8 times",
+            ),
+            (
+                SimError::CheckpointDiverged { cycle: 640 },
+                "CheckpointDiverged",
+                "checkpoint taken at cycle 640",
             ),
         ];
         for (err, kind, needle) in cases {

@@ -71,6 +71,19 @@ pub enum SignalDisruption {
         /// Global fault number the spurious signal was attributed to.
         fault_num: u64,
     },
+    /// The driver's HIR circuit breaker tripped: enough flushes were lost
+    /// in transit that the GPU side should stop transferring flushes (and
+    /// stop paying their PCIe cost) until the breaker closes.
+    HirCircuitOpen,
+    /// The HIR circuit breaker closed again: flush transfers may resume.
+    HirCircuitClosed,
+    /// The next HIR flush will be delivered late by this many faults
+    /// (partial outage: delayed, not dropped). The policy decides whether
+    /// a flush that stale is still worth applying.
+    HirFlushDelayed {
+        /// Delivery delay, in serviced faults.
+        faults: u64,
+    },
 }
 
 /// One policy-internal decision, without a timestamp (the engine stamps

@@ -93,6 +93,23 @@ pub struct ResilienceStats {
     pub faults_during_hir_outage: u64,
     /// Spurious wrong-eviction signals injected into the policy.
     pub spurious_wrong_evictions: u64,
+    /// HIR flushes that left the GPU while the channel was down and never
+    /// reached the driver (their PCIe cost was paid for nothing).
+    pub hir_flushes_lost: u64,
+    /// PCIe cycles burned transferring flushes that were then lost.
+    pub wasted_flush_cycles: u64,
+    /// Times the driver's HIR circuit breaker tripped open.
+    pub circuit_breaker_trips: u64,
+    /// HIR flushes the plan delayed in transit (partial outage).
+    pub delayed_hir_flushes: u64,
+    /// Completion retries scheduled by the driver's backoff policy (only
+    /// nonzero when a retry policy is installed on the simulation).
+    pub retry_attempts: u64,
+    /// Cycles the driver spent waiting in retry backoff.
+    pub retry_backoff_cycles: u64,
+    /// Victim responses corrupted in transit: the engine discarded the
+    /// policy's answer and used its fallback victim instead.
+    pub victims_dropped: u64,
 }
 
 impl ResilienceStats {
@@ -110,6 +127,13 @@ impl_json_struct!(ResilienceStats {
     completions_lost,
     faults_during_hir_outage,
     spurious_wrong_evictions,
+    hir_flushes_lost = 0,
+    wasted_flush_cycles = 0,
+    circuit_breaker_trips = 0,
+    delayed_hir_flushes = 0,
+    retry_attempts = 0,
+    retry_backoff_cycles = 0,
+    victims_dropped = 0,
 });
 
 /// Counters a policy reports about its own operation.
@@ -140,6 +164,15 @@ pub struct PolicyStats {
     pub degraded_entries: u64,
     /// Faults handled while in degraded fallback mode (HPE only).
     pub degraded_faults: u64,
+    /// Delayed HIR flushes that arrived within the staleness bound and
+    /// were applied late (HPE only).
+    pub late_flushes_applied: u64,
+    /// Delayed HIR flushes that arrived too stale and were discarded
+    /// (HPE only).
+    pub stale_flushes_dropped: u64,
+    /// Flush boundaries skipped while the HIR circuit breaker was open,
+    /// saving their PCIe transfer (HPE only).
+    pub suspended_flushes: u64,
 }
 
 impl PolicyStats {
@@ -168,6 +201,9 @@ impl_json_struct!(PolicyStats {
     page_sets_divided,
     degraded_entries = 0,
     degraded_faults = 0,
+    late_flushes_applied = 0,
+    stale_flushes_dropped = 0,
+    suspended_flushes = 0,
 });
 
 /// End-to-end simulation results.
@@ -320,6 +356,13 @@ mod tests {
                 completions_lost: 4,
                 faults_during_hir_outage: 5,
                 spurious_wrong_evictions: 6,
+                hir_flushes_lost: 7,
+                wasted_flush_cycles: 8,
+                circuit_breaker_trips: 1,
+                delayed_hir_flushes: 2,
+                retry_attempts: 3,
+                retry_backoff_cycles: 9,
+                victims_dropped: 1,
             },
         };
         let text = s.to_json().to_string();

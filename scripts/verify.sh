@@ -25,6 +25,15 @@ cargo test -q --offline --workspace
 echo "==> chaos smoke campaign (seeded fault injection, must be panic-free)"
 cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- smoke
 cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- livelock > /dev/null
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- livelock --retry > /dev/null
+
+echo "==> checkpoint/resume determinism smoke (STN, checkpoint mid-run)"
+# `resume` runs STN straight through, checkpoints a second run mid-flight,
+# resumes it in a fresh simulation, and exits nonzero unless the resumed
+# SimStats are byte-identical to the uninterrupted run's.
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- resume > /dev/null
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- resume --plan victim-drop \
+    --fallback lru-shadow --retry > /dev/null
 
 echo "==> unwrap/expect gate (non-test sim/core code)"
 # The only allowed .unwrap()/.expect() calls in non-test uvm-sim and

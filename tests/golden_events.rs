@@ -130,7 +130,7 @@ fn golden_events_hpe_degraded() {
         "HPE/signal-chaos",
         &|cfg| Box::new(Hpe::new(HpeConfig::from_sim(cfg)).expect("valid HPE")),
         Some(&FaultPlan::signal_chaos(2019)),
-        "n=11362 first=0 last=47600383 Eviction=1124 FaultRaised=1700 FaultServiced=1700 HirFlush=60 MemoryFull=1 PageWalk=5345 StrategySwitch=7 VictimSelected=1124 WrongEviction=301",
+        "n=11362 first=0 last=47600451 Eviction=1124 FaultRaised=1700 FaultServiced=1700 HirFlush=60 MemoryFull=1 PageWalk=5345 StrategySwitch=7 VictimSelected=1124 WrongEviction=301",
     );
 }
 
