@@ -12,7 +12,8 @@
 //! hpe-chaos livelock                       # watchdog demo: injected livelock -> Stalled
 //! hpe-chaos livelock --retry               # same, with backoff -> RetriesExhausted
 //! hpe-chaos resume                         # checkpoint mid-run, resume, verify equality
-//! hpe-chaos smoke                          # fast panic-free subset for CI
+//! hpe-chaos smoke                          # fast panic-free subset for CI (sanitizer on)
+//! hpe-chaos sanitize                       # invariant sanitizer zero-perturbation proof
 //! ```
 //!
 //! Campaign results are saved as JSON under `target/paper-results/`
@@ -29,7 +30,9 @@ use hpe_bench::{
     Table,
 };
 use hpe_core::{Hpe, HpeConfig};
-use uvm_sim::{trace_for, FallbackVictim, FaultPlan, RetryPolicy, Simulation};
+use uvm_sim::{
+    trace_for, FallbackVictim, FaultPlan, RetryPolicy, Simulation, DEFAULT_SANITIZER_CADENCE,
+};
 use uvm_types::{Oversubscription, SimError};
 use uvm_util::{json, Json, ToJson};
 use uvm_workloads::{registry, App};
@@ -74,7 +77,12 @@ fn usage() -> ExitCode {
          \x20          resume from the checkpoint in a fresh simulation and\n\
          \x20          verify the stats match the uninterrupted run\n\
          \x20 smoke    [--seed N]\n\
-         \x20          fast panic-free campaign subset (CI gate)\n\
+         \x20          fast panic-free campaign subset with the runtime\n\
+         \x20          invariant sanitizer enabled (CI gate)\n\
+         \x20 sanitize [APP ...] [--rate 75|50] [--sanitize CADENCE]\n\
+         \x20          run HPE with the invariant sanitizer on and off\n\
+         \x20          (default apps STN SGM) and verify the sanitizer\n\
+         \x20          leaves SimStats byte-identical\n\
          \n\
          exit codes: 0 ok, 1 simulation failure, 2 usage error"
     );
@@ -96,6 +104,7 @@ struct Flags {
     fallback: FallbackVictim,
     plan: Option<String>,
     at: u64,
+    sanitize: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -104,6 +113,7 @@ impl Flags {
         RecoveryOptions {
             retry: self.retry.then(RetryPolicy::default),
             fallback: self.fallback,
+            sanitize: self.sanitize,
         }
     }
 }
@@ -116,6 +126,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         fallback: FallbackVictim::MinPage,
         plan: None,
         at: DEFAULT_RESUME_AT,
+        sanitize: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -142,6 +153,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 })?;
             }
             "--plan" => flags.plan = Some(value("--plan")?),
+            "--sanitize" => {
+                let v = value("--sanitize")?;
+                let cadence: u64 = v.parse().map_err(|_| format!("bad --sanitize '{v}'"))?;
+                flags.sanitize = Some(cadence);
+            }
             "--at" => {
                 let v = value("--at")?;
                 flags.at = v.parse().map_err(|_| format!("bad --at '{v}'"))?;
@@ -532,13 +548,14 @@ fn cmd_smoke(flags: &Flags) -> Result<(), CmdError> {
     let app = registry::by_abbr("STN").expect("STN is registered");
     let policies = [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Hpe];
     let plans = campaign_plans(flags.seed);
-    let rows = run_campaign(
-        app,
-        Oversubscription::Rate75,
-        &policies,
-        &plans,
-        RecoveryOptions::default(),
-    )?;
+    // The smoke gate runs with the invariant sanitizer on: a corrupted
+    // residency count or broken policy structure under injection fails
+    // CI as a typed InvariantViolated, not a wrong number downstream.
+    let recovery = RecoveryOptions {
+        sanitize: Some(flags.sanitize.unwrap_or(DEFAULT_SANITIZER_CADENCE)),
+        ..RecoveryOptions::default()
+    };
+    let rows = run_campaign(app, Oversubscription::Rate75, &policies, &plans, recovery)?;
     let mut injected = 0usize;
     for r in &rows {
         if r.injected_delay_cycles > 0
@@ -582,10 +599,55 @@ fn cmd_smoke(flags: &Flags) -> Result<(), CmdError> {
     }
     println!(
         "chaos smoke: {} runs, {} with injection, HPE degraded-mode, fallback-victim \
-         and delayed-flush paths exercised; no panics",
+         and delayed-flush paths exercised; sanitizer on, no panics",
         rows.len(),
         injected
     );
+    Ok(())
+}
+
+/// `sanitize`: prove the runtime invariant sanitizer is observation-only.
+/// For each app, run HPE once with the sanitizer off and once with it on
+/// (at `--sanitize` cadence) and require byte-identical `SimStats` JSON.
+fn cmd_sanitize(flags: &Flags) -> Result<(), CmdError> {
+    let cfg = bench_config();
+    let cadence = flags.sanitize.unwrap_or(DEFAULT_SANITIZER_CADENCE);
+    let abbrs: Vec<&str> = if flags.positional.is_empty() {
+        vec!["STN", "SGM"]
+    } else {
+        flags.positional.iter().map(String::as_str).collect()
+    };
+    for abbr in abbrs {
+        let app = registry::by_abbr(abbr)
+            .ok_or_else(|| CmdError::Usage(format!("unknown app '{abbr}'")))?;
+        let off = run_policy(&cfg, app, flags.rate, PolicyKind::Hpe)?;
+        let on = run_policy_recovering(
+            &cfg,
+            app,
+            flags.rate,
+            PolicyKind::Hpe,
+            None,
+            RecoveryOptions {
+                sanitize: Some(cadence),
+                ..RecoveryOptions::default()
+            },
+        )?;
+        let (a, b) = (
+            on.stats.to_json().to_string(),
+            off.stats.to_json().to_string(),
+        );
+        if a != b {
+            return Err(CmdError::Run(format!(
+                "sanitizer perturbed {abbr}: stats diverged\nsanitized: {a}\nplain:     {b}"
+            )));
+        }
+        println!(
+            "{abbr}: {} cycles, {} faults — sanitizer (cadence {cadence}) left \
+             SimStats byte-identical",
+            on.stats.cycles,
+            on.stats.faults()
+        );
+    }
     Ok(())
 }
 
@@ -606,6 +668,7 @@ fn main() -> ExitCode {
         "livelock" => cmd_livelock(&flags),
         "resume" => cmd_resume(&flags),
         "smoke" => cmd_smoke(&flags),
+        "sanitize" => cmd_sanitize(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();

@@ -1,0 +1,143 @@
+//! `hpe-lint`: static analysis over the workspace source tree.
+//!
+//! Front end to the `uvm-lint` crate: walks the checkout, runs the
+//! selected rule families, and reports violations as `file:line` lines
+//! or machine-readable JSON. Replaces the old awk-based unwrap counter
+//! in `scripts/verify.sh` — violations carry a rule id and an inline
+//! `// lint:allow(rule-id)` escape hatch instead of a numeric baseline.
+//!
+//! ```sh
+//! hpe-lint check                               # all rule families, repo root
+//! hpe-lint check --rules error-discipline      # one family (CI unwrap gate)
+//! hpe-lint check --rules determinism,hermeticity --json
+//! hpe-lint check path/to/checkout              # explicit root
+//! hpe-lint rules                               # list families and rules
+//! ```
+//!
+//! Exit codes (the `hpe-chaos` convention): 0 clean, 1 violations
+//! found, 2 usage or internal error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use uvm_lint::{check_workspace, report_json, RuleFamily};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hpe-lint <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 check [--rules FAMILY[,FAMILY..]] [--json] [ROOT]\n\
+         \x20       lint the workspace at ROOT (default: the enclosing\n\
+         \x20       checkout) with the selected rule families\n\
+         \x20       (default: all of determinism, hermeticity,\n\
+         \x20       error-discipline, paper-constants)\n\
+         \x20 rules list rule families and the rules they contain\n\
+         \n\
+         exit codes: 0 clean, 1 violations, 2 usage/internal error"
+    );
+    ExitCode::from(2)
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when built in-tree,
+/// else the current directory.
+fn default_root() -> PathBuf {
+    let compiled_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled_root.join("Cargo.toml").is_file() {
+        return compiled_root;
+    }
+    PathBuf::from(".")
+}
+
+fn parse_families(text: &str) -> Result<Vec<RuleFamily>, String> {
+    let mut families = Vec::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        let fam = RuleFamily::parse(part).ok_or_else(|| format!("unknown rule family `{part}`"))?;
+        if !families.contains(&fam) {
+            families.push(fam);
+        }
+    }
+    if families.is_empty() {
+        return Err("empty --rules list".to_string());
+    }
+    Ok(families)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut families: Vec<RuleFamily> = RuleFamily::ALL.to_vec();
+    let mut json_out = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rules" => {
+                let spec = it.next().ok_or("--rules needs a value")?;
+                families = parse_families(spec)?;
+            }
+            "--json" => json_out = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => {
+                if root.replace(PathBuf::from(path)).is_some() {
+                    return Err("more than one ROOT argument".to_string());
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!("{} is not a workspace root", root.display()));
+    }
+    let diags = check_workspace(&root, &families).map_err(|e| e.to_string())?;
+    if json_out {
+        println!("{}", report_json(&diags).pretty());
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let labels: Vec<&str> = families.iter().map(|f| f.label()).collect();
+        eprintln!(
+            "hpe-lint: {} violation(s) [{}] under {}",
+            diags.len(),
+            labels.join(","),
+            root.display()
+        );
+    }
+    Ok(if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_rules() -> ExitCode {
+    println!(
+        "determinism        wall-clock, hash-iteration, randomness\n\
+         \x20                  (crates/{{sim,core,policies,workloads}}/src)\n\
+         hermeticity        external-import (every .rs file)\n\
+         error-discipline   unwrap (.unwrap()/.expect(/panic! outside tests;\n\
+         \x20                  crates/{{sim,core,policies}}/src)\n\
+         paper-constants    paper-constants (config constructors vs the\n\
+         \x20                  declared manifest)\n\
+         \n\
+         suppress a single line with: // lint:allow(rule-id)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match cmd_check(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("hpe-lint: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("rules") => cmd_rules(),
+        _ => usage(),
+    }
+}

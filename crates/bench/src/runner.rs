@@ -10,7 +10,7 @@ use uvm_policies::{
 };
 use uvm_sim::{
     ideal_for, trace_for, EventCounters, EventLog, FallbackVictim, FaultPlan, IntervalCollector,
-    IntervalKey, MultiObserver, RetryPolicy, SimObserver, Simulation, TraceHistograms,
+    IntervalKey, MultiObserver, RetryPolicy, Sanitizer, SimObserver, Simulation, TraceHistograms,
 };
 use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
 use uvm_util::{json, Json, ToJson};
@@ -127,6 +127,9 @@ pub struct RecoveryOptions {
     pub retry: Option<RetryPolicy>,
     /// Victim selector used when the policy cannot produce a victim.
     pub fallback: FallbackVictim,
+    /// Runtime invariant sanitizer cadence (events between sweeps).
+    /// `None` disables the sanitizer entirely (zero cost).
+    pub sanitize: Option<u64>,
 }
 
 /// The RRIP configuration the paper assigns to `app` (Section V-B).
@@ -261,6 +264,9 @@ fn configure<P: EvictionPolicy>(
         sim.set_retry_policy(rp)?;
     }
     sim.set_fallback_victim(recovery.fallback);
+    if let Some(cadence) = recovery.sanitize {
+        sim.set_sanitizer(Sanitizer::new(cadence));
+    }
     Ok(())
 }
 

@@ -184,7 +184,7 @@ impl PageSetChain {
         // result is kept; secondaries never divide again.
         if self.division_enabled && !key.secondary {
             let full = self.full_mask();
-            let entry = self.entries.get_mut(&key).expect("just inserted");
+            let entry = self.entries.get_mut(&key).expect("just inserted"); // lint:allow(unwrap) — inserted two lines up
             if entry.counter >= counter_max
                 && !entry.divided
                 && !self.divisions.contains_key(&key.set)
@@ -296,10 +296,10 @@ impl PageSetChain {
             self.remove_key(z);
         }
         let key = chosen?;
-        let entry = self.entries.get_mut(&key).expect("chosen entry exists");
+        let entry = self.entries.get_mut(&key).expect("chosen entry exists"); // lint:allow(unwrap) — key came from the live scan above
         let offset = entry
             .first_resident_offset()
-            .expect("chosen entry has a resident page");
+            .expect("chosen entry has a resident page"); // lint:allow(unwrap) — zombies were pruned above
         entry.resident &= !(1u64 << offset);
         let page = key.set.page_at(self.set_shift, offset);
         if entry.resident == 0 {
@@ -323,6 +323,7 @@ impl PageSetChain {
     pub fn counter_stats(&self) -> CounterStats {
         let s = self.set_size;
         let mut st = CounterStats::default();
+        // lint:allow(hash-iteration) — commutative accumulation
         for e in self.entries.values() {
             if e.counter == 0 {
                 continue;
@@ -383,7 +384,7 @@ impl PageSetChain {
 
     /// Iterates all live entries in unspecified order (diagnostics).
     pub fn iter_entries(&self) -> impl Iterator<Item = &SetEntry> {
-        self.entries.values()
+        self.entries.values() // lint:allow(hash-iteration) — order documented as unspecified
     }
 }
 

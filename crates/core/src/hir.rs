@@ -70,7 +70,7 @@ impl HirCache {
     ///
     /// Panics if the geometry is invalid.
     pub fn new(geom: HirGeometry, set_shift: u32) -> Self {
-        geom.validate().expect("valid HIR geometry");
+        geom.validate().expect("valid HIR geometry"); // lint:allow(unwrap)
         let pages_per_set = 1u32 << set_shift;
         let n = geom.entries as usize;
         HirCache {
@@ -119,7 +119,7 @@ impl HirCache {
             .unwrap_or_else(|| {
                 (base..base + ways)
                     .min_by_key(|&i| self.ways[i].stamp)
-                    .expect("ways nonzero")
+                    .expect("ways nonzero") // lint:allow(unwrap)
             });
         if self.ways[slot].valid {
             self.conflict_evictions += 1;
@@ -173,6 +173,68 @@ impl HirCache {
     /// Bytes one flush of `n` records occupies on PCIe.
     pub fn transfer_bytes(&self, n_records: usize) -> u64 {
         n_records as u64 * HirRecord::wire_bytes(self.pages_per_set, self.geom.counter_bits)
+    }
+
+    /// Validates the cache's structural invariants (the simulator's
+    /// sanitizer hook): the way array matches the geometry, every valid
+    /// way sits in the set its tag routes to, no set holds two ways with
+    /// the same tag (so per-set occupancy never exceeds the
+    /// associativity), counter vectors have one slot per page, and way
+    /// stamps never exceed the logical clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.ways.len() != self.geom.entries as usize {
+            return Err(format!(
+                "HIR way array has {} slots, geometry says {}",
+                self.ways.len(),
+                self.geom.entries
+            ));
+        }
+        let sets = self.geom.sets() as usize;
+        let ways = self.geom.ways as usize;
+        let mut occupancy = vec![0usize; sets];
+        for (i, w) in self.ways.iter().enumerate() {
+            if !w.valid {
+                continue;
+            }
+            let home = w.tag.0 as usize % sets;
+            if i / ways != home {
+                return Err(format!(
+                    "HIR way {i} holds tag {} which routes to set {home}, not set {}",
+                    w.tag.0,
+                    i / ways
+                ));
+            }
+            occupancy[home] += 1;
+            if w.counts.len() != self.pages_per_set as usize {
+                return Err(format!(
+                    "HIR way {i} has {} counters for {}-page sets",
+                    w.counts.len(),
+                    self.pages_per_set
+                ));
+            }
+            if w.stamp > self.clock {
+                return Err(format!(
+                    "HIR way {i} stamp {} exceeds clock {}",
+                    w.stamp, self.clock
+                ));
+            }
+            if self.ways[home * ways..i]
+                .iter()
+                .any(|o| o.valid && o.tag == w.tag)
+            {
+                return Err(format!("HIR set {home} holds tag {} in two ways", w.tag.0));
+            }
+        }
+        if let Some((set, &n)) = occupancy.iter().enumerate().find(|&(_, &n)| n > ways) {
+            return Err(format!(
+                "HIR set {set} occupancy {n} exceeds associativity {ways}"
+            ));
+        }
+        Ok(())
     }
 }
 

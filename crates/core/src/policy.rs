@@ -612,6 +612,24 @@ impl EvictionPolicy for Hpe {
             suspended_flushes: self.suspended_flushes,
         }
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let (old, middle, new, len) = (
+            self.chain.old_len(),
+            self.chain.middle_len(),
+            self.chain.new_len(),
+            self.chain.len(),
+        );
+        if old + middle + new != len {
+            return Err(format!(
+                "chain partitions old {old} + middle {middle} + new {new} != length {len}"
+            ));
+        }
+        if let Some(hir) = &self.hir {
+            hir.check_invariants()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! The paper-constants manifest: the numeric ground truth of Yu et al.,
+//! cross-checked against the config constructors that claim to encode it.
+//!
+//! Every entry pins the literals of one constructor (Table I / Section
+//! IV-B / V-B of the paper). If a constant in the source drifts — an
+//! accidental edit, a "temporary" experiment that leaks into a commit —
+//! the `paper-constants` rule fails with the exact file:line, before the
+//! drift can silently skew an EXPERIMENTS.md table.
+
+use crate::analyze::{is_ident_char, LineInfo};
+use crate::rules::RULE_PAPER_CONSTANTS;
+use crate::Diagnostic;
+
+/// One constructor whose literal fields are pinned to the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantSpec {
+    /// Workspace-relative path suffix of the file holding the
+    /// constructor.
+    pub file_suffix: &'static str,
+    /// Human-readable constructor name for messages.
+    pub context: &'static str,
+    /// Function name to locate (body chosen by field containment when a
+    /// file holds several functions of this name).
+    pub fn_name: &'static str,
+    /// Pinned fields: name, plus every expected literal in order of
+    /// appearance inside the constructor body.
+    pub fields: &'static [(&'static str, &'static [&'static str])],
+}
+
+/// The declared manifest (see DESIGN.md §10 for the catalog rationale).
+pub const MANIFEST: &[ConstantSpec] = &[
+    // HIR geometry: 1024 entries, 8-way, 2-bit counters (Section IV-B).
+    ConstantSpec {
+        file_suffix: "crates/types/src/config.rs",
+        context: "HirGeometry::paper_default",
+        fn_name: "paper_default",
+        fields: &[
+            ("entries", &["1024"]),
+            ("ways", &["8"]),
+            ("counter_bits", &["2"]),
+        ],
+    },
+    // Simulator Table I: L1 TLB 128-entry fully-assoc, L2 TLB 512-entry
+    // 16-way, 20 us fault service, 16 GB/s PCIe, 16-page sets, 64-fault
+    // interval, flush every 16th fault.
+    ConstantSpec {
+        file_suffix: "crates/types/src/config.rs",
+        context: "SimConfig::paper_default",
+        fn_name: "paper_default",
+        fields: &[
+            ("entries", &["128", "512"]),
+            ("ways", &["128", "16"]),
+            ("fault_service_us", &["20.0"]),
+            ("pcie_gbps", &["16.0"]),
+            ("page_set_size", &["16"]),
+            ("interval_len", &["64"]),
+            ("transfer_interval", &["16"]),
+        ],
+    },
+    // HPE policy constants: set size 16, interval 64, flush period 16,
+    // classifier threshold 0.3, counter max 64 (Sections IV-B..IV-D).
+    ConstantSpec {
+        file_suffix: "crates/core/src/config.rs",
+        context: "HpeConfig::paper_default",
+        fn_name: "paper_default",
+        fields: &[
+            ("page_set_size", &["16"]),
+            ("interval_len", &["64"]),
+            ("transfer_interval", &["16"]),
+            ("ratio1_threshold", &["0.3"]),
+            ("counter_max", &["64"]),
+        ],
+    },
+    // CLOCK-Pro's fixed cold-page target m_c = 128 (Section V-B).
+    ConstantSpec {
+        file_suffix: "crates/policies/src/clockpro.rs",
+        context: "ClockProConfig::default",
+        fn_name: "default",
+        fields: &[("m_c", &["128"])],
+    },
+];
+
+/// Runs every manifest entry whose file matches `rel_path`.
+pub fn scan(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+    for spec in MANIFEST {
+        if rel_path.ends_with(spec.file_suffix) {
+            check_spec(rel_path, lines, spec, diags);
+        }
+    }
+}
+
+/// Checks one spec against one analyzed file (public so tests can run a
+/// spec against synthetic sources).
+pub fn check_spec(
+    rel_path: &str,
+    lines: &[LineInfo],
+    spec: &ConstantSpec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some((start, end)) = find_body(lines, spec) else {
+        diags.push(Diagnostic::new(
+            rel_path,
+            1,
+            RULE_PAPER_CONSTANTS,
+            format!(
+                "constructor `{}` with fields {:?} not found; the constants \
+                 manifest in uvm-lint must be updated together with the code",
+                spec.context,
+                spec.fields.iter().map(|(f, _)| *f).collect::<Vec<_>>()
+            ),
+        ));
+        return;
+    };
+    for (field, expected) in spec.fields {
+        let found = field_values(lines, start, end, field);
+        if found.len() != expected.len() {
+            diags.push(Diagnostic::new(
+                rel_path,
+                start as u64 + 1,
+                RULE_PAPER_CONSTANTS,
+                format!(
+                    "`{}`: field `{field}` appears {} times, manifest pins {} value(s)",
+                    spec.context,
+                    found.len(),
+                    expected.len()
+                ),
+            ));
+            continue;
+        }
+        for ((line_no, got), want) in found.iter().zip(expected.iter()) {
+            if normalize(got) != normalize(want) {
+                diags.push(Diagnostic::new(
+                    rel_path,
+                    *line_no as u64 + 1,
+                    RULE_PAPER_CONSTANTS,
+                    format!(
+                        "paper constant `{field}` is `{got}`, manifest pins `{want}` \
+                         ({})",
+                        spec.context
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Locates the body (inclusive line range) of the spec's constructor:
+/// the first `fn {name}` whose body mentions every pinned field.
+fn find_body(lines: &[LineInfo], spec: &ConstantSpec) -> Option<(usize, usize)> {
+    let header = format!("fn {}", spec.fn_name);
+    for (i, line) in lines.iter().enumerate() {
+        let Some(at) = line.code.find(&header) else {
+            continue;
+        };
+        // Boundary: `fn paper_default` must not match `fn paper_defaults`.
+        let end = at + header.len();
+        if line.code[end..].chars().next().is_some_and(is_ident_char) {
+            continue;
+        }
+        let Some(body_end) = body_end(lines, i) else {
+            continue;
+        };
+        let contains_all = spec.fields.iter().all(|(field, _)| {
+            (i..=body_end).any(|j| field_at_line(&lines[j].code, field).is_some())
+        });
+        if contains_all {
+            return Some((i, body_end));
+        }
+    }
+    None
+}
+
+/// The line on which the brace opened on `start`'s fn signature closes.
+fn body_end(lines: &[LineInfo], start: usize) -> Option<usize> {
+    let mut depth: i64 = 0;
+    let mut started = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    started = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if started && depth <= 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// All `field: value` occurrences (line index, raw value text) within
+/// the body range, in appearance order.
+fn field_values(lines: &[LineInfo], start: usize, end: usize, field: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (j, line) in lines.iter().enumerate().take(end + 1).skip(start) {
+        let mut offset = 0;
+        while let Some((at, value)) = field_at_offset(&line.code, field, offset) {
+            out.push((j, value));
+            offset = at + field.len();
+        }
+    }
+    out
+}
+
+/// First `field: value` at or after `offset` in a line; returns the
+/// match position and the captured value.
+fn field_at_offset(code: &str, field: &str, offset: usize) -> Option<(usize, String)> {
+    let mut start = offset;
+    while let Some(rel) = code[start..].find(field) {
+        let at = start + rel;
+        let before_ok = at == 0 || !is_ident_char(code[..at].chars().next_back()?);
+        let after = &code[at + field.len()..];
+        let after_trim = after.trim_start();
+        // Require `name:` but reject `name::` (a path, not a field).
+        if before_ok && after_trim.starts_with(':') && !after_trim.starts_with("::") {
+            let value_text = after_trim[1..]
+                .split([',', '}'])
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            if !value_text.is_empty() {
+                return Some((at, value_text));
+            }
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Convenience wrapper for [`field_values`] used by body matching.
+fn field_at_line(code: &str, field: &str) -> Option<(usize, String)> {
+    field_at_offset(code, field, 0)
+}
+
+/// Literal normalization: digit separators and surrounding whitespace
+/// are immaterial (`16_384` == `16384`).
+fn normalize(v: &str) -> String {
+    v.chars().filter(|&c| c != '_' && c != ' ').collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+
+    const SPEC: ConstantSpec = ConstantSpec {
+        file_suffix: "x.rs",
+        context: "Demo::paper_default",
+        fn_name: "paper_default",
+        fields: &[("alpha", &["16"]), ("beta", &["0.3"])],
+    };
+
+    #[test]
+    fn matching_body_is_clean() {
+        let text = "impl Demo {\n  pub fn paper_default() -> Self {\n    Demo { alpha: 16, beta: 0.3 }\n  }\n}\n";
+        let mut d = Vec::new();
+        check_spec("x.rs", &analyze(text), &SPEC, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn drifted_constant_is_reported_with_line() {
+        let text = "impl Demo {\n  pub fn paper_default() -> Self {\n    Demo { alpha: 17, beta: 0.3 }\n  }\n}\n";
+        let mut d = Vec::new();
+        check_spec("x.rs", &analyze(text), &SPEC, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("alpha"));
+        assert!(d[0].message.contains("17"));
+    }
+
+    #[test]
+    fn missing_constructor_is_reported() {
+        let mut d = Vec::new();
+        check_spec("x.rs", &analyze("fn other() {}\n"), &SPEC, &mut d);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Demo::paper_default"));
+    }
+
+    #[test]
+    fn same_named_fn_disambiguated_by_fields() {
+        let text = "fn paper_default() -> A { A { gamma: 1 } }\n\
+                    fn paper_default() -> B { B { alpha: 16, beta: 0.3 } }\n";
+        let mut d = Vec::new();
+        check_spec("x.rs", &analyze(text), &SPEC, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn digit_separators_normalize() {
+        assert_eq!(normalize("16_384"), normalize("16384"));
+    }
+
+    #[test]
+    fn repeated_field_checks_appearance_order() {
+        let spec = ConstantSpec {
+            fields: &[("alpha", &["1", "2"])],
+            ..SPEC
+        };
+        let good = "fn paper_default() { S { alpha: 1, x: X { alpha: 2 } } }\n";
+        let bad = "fn paper_default() { S { alpha: 2, x: X { alpha: 1 } } }\n";
+        let mut d = Vec::new();
+        check_spec("x.rs", &analyze(good), &spec, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+        check_spec("x.rs", &analyze(bad), &spec, &mut d);
+        assert_eq!(d.len(), 2);
+    }
+}

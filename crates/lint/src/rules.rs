@@ -1,0 +1,561 @@
+//! The rule families and their per-line matchers.
+//!
+//! Rules run over [`crate::analyze::LineInfo`] lines — comments and
+//! literal contents already blanked — so every matcher here is plain,
+//! boundary-checked substring search. Each hit not covered by a
+//! same-line `// lint:allow(rule-id)` annotation becomes one
+//! [`crate::Diagnostic`].
+
+use crate::analyze::{is_ident_char, LineInfo};
+use crate::{Diagnostic, RuleFamily};
+
+/// Rule id: wall-clock / date reads in deterministic crates.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Rule id: iteration over `HashMap`/`HashSet` (unordered) in
+/// deterministic crates.
+pub const RULE_HASH_ITERATION: &str = "hash-iteration";
+/// Rule id: randomness not drawn from `uvm_util::rng`.
+pub const RULE_RANDOMNESS: &str = "randomness";
+/// Rule id: import of a crate outside the workspace.
+pub const RULE_EXTERNAL_IMPORT: &str = "external-import";
+/// Rule id: `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+pub const RULE_UNWRAP: &str = "unwrap";
+/// Rule id: a literal in a config constructor drifted from the paper's
+/// constants manifest.
+pub const RULE_PAPER_CONSTANTS: &str = "paper-constants";
+
+/// Crate-path prefixes whose code must be bit-exact deterministic.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/sim/src/",
+    "crates/core/src/",
+    "crates/policies/src/",
+    "crates/workloads/src/",
+];
+
+/// Crate-path prefixes under the error-discipline gate.
+const ERROR_DISCIPLINE_SCOPE: &[&str] = &[
+    "crates/sim/src/",
+    "crates/core/src/",
+    "crates/policies/src/",
+];
+
+/// Import roots that keep the workspace hermetic: the language /
+/// standard-library roots plus every workspace crate.
+const ALLOWED_IMPORT_ROOTS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "crate",
+    "self",
+    "super",
+    "uvm_util",
+    "uvm_types",
+    "uvm_workloads",
+    "uvm_policies",
+    "uvm_sim",
+    "uvm_lint",
+    "hpe_core",
+    "hpe_bench",
+    "hpe",
+];
+
+/// APIs that read the wall clock or a date — nondeterministic across
+/// runs, so banned where golden traces must stay bit-exact.
+const WALL_CLOCK_TOKENS: &[&str] = &[
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "Instant::now",
+    "SystemTime::now",
+    "UNIX_EPOCH",
+    "Date::now",
+    "chrono::",
+    "OffsetDateTime",
+];
+
+/// Randomness sources other than the workspace's seeded
+/// `uvm_util::rng` generator.
+const RANDOMNESS_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "rand::",
+    "getrandom",
+    "OsRng",
+    "RandomState::new",
+];
+
+/// Methods whose call on a `HashMap`/`HashSet` visits entries in hash
+/// order.
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Whether `rel_path` (normalized with `/` separators) falls under any
+/// prefix in `scope`.
+fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// Whether line `n` carries an allow for `rule` — on the line itself, or
+/// on an immediately preceding comment-only line (the form rustfmt
+/// produces when a trailing comment no longer fits).
+fn allowed(lines: &[LineInfo], n: usize, rule: &str) -> bool {
+    if lines[n].allows(rule) {
+        return true;
+    }
+    n > 0 && lines[n - 1].code.trim().is_empty() && lines[n - 1].allows(rule)
+}
+
+/// Finds `token` in `code` at an identifier boundary (the characters
+/// immediately before and after the match are not identifier
+/// characters). Returns the match offset.
+fn find_token(code: &str, token: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(at) = code[start..].find(token) {
+        let at = start + at;
+        let before_ok = at == 0
+            || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '))
+            || !token.starts_with(|c: char| is_ident_char(c));
+        let end = at + token.len();
+        let after_ok = end >= code.len()
+            || !is_ident_char(code[end..].chars().next().unwrap_or(' '))
+            || !token.ends_with(|c: char| is_ident_char(c));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Runs every rule of the requested `families` over one analyzed file.
+pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if families.contains(&RuleFamily::Determinism) && in_scope(rel_path, DETERMINISM_SCOPE) {
+        scan_tokens(
+            rel_path,
+            lines,
+            WALL_CLOCK_TOKENS,
+            RULE_WALL_CLOCK,
+            "reads the wall clock; simulated time must come from the event loop",
+            &mut diags,
+        );
+        scan_tokens(
+            rel_path,
+            lines,
+            RANDOMNESS_TOKENS,
+            RULE_RANDOMNESS,
+            "non-seeded randomness; use uvm_util::rng",
+            &mut diags,
+        );
+        scan_hash_iteration(rel_path, lines, &mut diags);
+    }
+    if families.contains(&RuleFamily::Hermeticity) {
+        scan_imports(rel_path, lines, &mut diags);
+    }
+    if families.contains(&RuleFamily::ErrorDiscipline) && in_scope(rel_path, ERROR_DISCIPLINE_SCOPE)
+    {
+        scan_unwraps(rel_path, lines, &mut diags);
+    }
+    if families.contains(&RuleFamily::PaperConstants) {
+        crate::manifest::scan(rel_path, lines, &mut diags);
+    }
+    diags
+}
+
+/// Token-list rules (wall clock, randomness).
+fn scan_tokens(
+    rel_path: &str,
+    lines: &[LineInfo],
+    tokens: &[&str],
+    rule: &'static str,
+    why: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (n, line) in lines.iter().enumerate() {
+        if line.in_test || allowed(lines, n, rule) {
+            continue;
+        }
+        for token in tokens {
+            if find_token(&line.code, token).is_some() {
+                diags.push(Diagnostic::new(
+                    rel_path,
+                    n as u64 + 1,
+                    rule,
+                    format!("`{token}` {why}"),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Error-discipline rule: `.unwrap()`, `.expect(`, `panic!` in non-test
+/// code without an inline allow.
+fn scan_unwraps(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+    for (n, line) in lines.iter().enumerate() {
+        if line.in_test || allowed(lines, n, RULE_UNWRAP) {
+            continue;
+        }
+        for token in [".unwrap()", ".expect(", "panic!"] {
+            if find_token(&line.code, token).is_some() {
+                diags.push(Diagnostic::new(
+                    rel_path,
+                    n as u64 + 1,
+                    RULE_UNWRAP,
+                    format!(
+                        "`{token}` in non-test code; return a typed error or annotate \
+                         with `// lint:allow(unwrap)`"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Hermeticity rule: every `use` / `extern crate` must resolve inside
+/// the workspace or the standard library. Paths rooted at a module the
+/// file itself declares (`mod engine;` → `pub use engine::Sim;`) are
+/// local, not external.
+fn scan_imports(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+    let local_mods = collect_local_mods(lines);
+    for (n, line) in lines.iter().enumerate() {
+        if allowed(lines, n, RULE_EXTERNAL_IMPORT) {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let path = if let Some(rest) = trimmed.strip_prefix("extern crate ") {
+            rest
+        } else if let Some(rest) = trimmed
+            .strip_prefix("pub use ")
+            .or_else(|| trimmed.strip_prefix("pub(crate) use "))
+            .or_else(|| trimmed.strip_prefix("pub(super) use "))
+            .or_else(|| trimmed.strip_prefix("use "))
+        {
+            rest
+        } else {
+            continue;
+        };
+        let path = path.trim_start_matches("::");
+        let root: String = path.chars().take_while(|&c| is_ident_char(c)).collect();
+        if root.is_empty() {
+            continue;
+        }
+        if !ALLOWED_IMPORT_ROOTS.contains(&root.as_str()) && !local_mods.contains(&root) {
+            diags.push(Diagnostic::new(
+                rel_path,
+                n as u64 + 1,
+                RULE_EXTERNAL_IMPORT,
+                format!("import of external crate `{root}`; the workspace is hermetic"),
+            ));
+        }
+    }
+}
+
+/// Module names the file declares itself (`mod x;`, `pub mod x;`,
+/// `mod x {`) — valid un-prefixed import roots within the file.
+fn collect_local_mods(lines: &[LineInfo]) -> Vec<String> {
+    let mut mods = Vec::new();
+    for line in lines {
+        let trimmed = line.code.trim_start();
+        let rest = if let Some(rest) = trimmed.strip_prefix("mod ") {
+            rest
+        } else if let Some(after_pub) = trimmed.strip_prefix("pub") {
+            // `pub mod x;`, `pub(crate) mod x;`, ...
+            let after_vis = after_pub
+                .strip_prefix("(crate)")
+                .or_else(|| after_pub.strip_prefix("(super)"))
+                .unwrap_or(after_pub);
+            match after_vis.trim_start().strip_prefix("mod ") {
+                Some(rest) => rest,
+                None => continue,
+            }
+        } else {
+            continue;
+        };
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if !name.is_empty() {
+            mods.push(name);
+        }
+    }
+    mods
+}
+
+/// Determinism rule: iteration over hash containers.
+///
+/// Pass 1 collects identifiers declared with a `HashMap`/`HashSet` type
+/// or initializer anywhere in the file (struct fields included); pass 2
+/// flags unordered-iteration methods invoked on them — same-line
+/// (`self.stamps.iter()`), continuation-line (receiver at end of one
+/// line, `.iter()` opening the next), and `for _ in &ident` loops.
+fn scan_hash_iteration(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+    let idents = collect_hash_idents(lines);
+    if idents.is_empty() {
+        return;
+    }
+    for (n, line) in lines.iter().enumerate() {
+        if line.in_test || allowed(lines, n, RULE_HASH_ITERATION) {
+            continue;
+        }
+        let code = &line.code;
+        let mut hit: Option<String> = None;
+        for method in HASH_ITER_METHODS {
+            let mut start = 0;
+            while let Some(at) = code[start..].find(method) {
+                let at = start + at;
+                if let Some(recv) = receiver_before(code, at) {
+                    if idents.contains(&recv) {
+                        hit = Some(recv);
+                        break;
+                    }
+                }
+                start = at + 1;
+            }
+            if hit.is_some() {
+                break;
+            }
+            // Continuation: a chain split across lines, with the
+            // receiver closing the previous code line.
+            if code.trim_start().starts_with(method) {
+                if let Some(prev) = previous_code_line(lines, n) {
+                    if let Some(recv) = trailing_ident(&lines[prev].code) {
+                        if idents.contains(&recv) {
+                            hit = Some(recv);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if hit.is_none() {
+            if let Some(recv) = for_loop_target(code) {
+                if idents.contains(&recv) {
+                    hit = Some(recv);
+                }
+            }
+        }
+        if let Some(recv) = hit {
+            diags.push(Diagnostic::new(
+                rel_path,
+                n as u64 + 1,
+                RULE_HASH_ITERATION,
+                format!(
+                    "iteration over hash container `{recv}` visits entries in hash order; \
+                     sort first or annotate an order-insensitive use with \
+                     `// lint:allow(hash-iteration)`"
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` in this file: `let x =
+/// HashMap::new()` bindings and `field: HashMap<..>` declarations.
+fn collect_hash_idents(lines: &[LineInfo]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        let trimmed = code.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("let ") {
+            let rest = rest.trim_start_matches("mut ").trim_start();
+            let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !ident.is_empty() {
+                idents.push(ident);
+            }
+            continue;
+        }
+        // `name: HashMap<..>` — struct fields, typed lets, fn params.
+        for ty in ["HashMap", "HashSet"] {
+            let mut start = 0;
+            while let Some(at) = code[start..].find(ty) {
+                let at = start + at;
+                let before = code[..at].trim_end();
+                if let Some(stripped) = before.strip_suffix(':') {
+                    if let Some(ident) = trailing_ident(stripped) {
+                        idents.push(ident);
+                    }
+                }
+                start = at + 1;
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// The identifier immediately preceding position `at` (a `.method` call
+/// site), skipping nothing else: `self.stamps.iter()` yields `stamps`.
+fn receiver_before(code: &str, at: usize) -> Option<String> {
+    let ident: String = code[..at]
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!ident.is_empty()).then_some(ident)
+}
+
+/// The identifier a line's code ends with (ignoring trailing spaces).
+fn trailing_ident(code: &str) -> Option<String> {
+    let trimmed = code.trim_end();
+    let ident: String = trimmed
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
+}
+
+/// Index of the nearest preceding line with non-blank code.
+fn previous_code_line(lines: &[LineInfo], n: usize) -> Option<usize> {
+    (0..n).rev().find(|&i| !lines[i].code.trim().is_empty())
+}
+
+/// The iterated identifier of a `for .. in <expr> {` line, stripped of
+/// `&`, `&mut`, and a `self.` prefix. Returns `None` for non-loops or
+/// compound expressions (method calls handle those).
+fn for_loop_target(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    if !trimmed.starts_with("for ") {
+        return None;
+    }
+    let after_in = trimmed.split(" in ").nth(1)?;
+    let expr = after_in
+        .split('{')
+        .next()
+        .unwrap_or("")
+        .trim()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim();
+    // A dotted path of plain identifiers (`stamps`, `self.stamps`,
+    // `s.stamps`): the hash container is the last segment. Method-call
+    // expressions (`map.keys()`) are caught by the method scan instead.
+    let mut last = None;
+    for seg in expr.split('.') {
+        if seg.is_empty() || !seg.chars().all(is_ident_char) {
+            return None;
+        }
+        last = Some(seg);
+    }
+    last.map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+
+    fn scan_at(path: &str, text: &str, fam: RuleFamily) -> Vec<Diagnostic> {
+        scan(path, &analyze(text), &[fam])
+    }
+
+    #[test]
+    fn unwrap_flagged_only_without_allow() {
+        let text = "fn f() {\n  x.unwrap();\n  y.expect(\"z\"); // lint:allow(unwrap)\n}\n";
+        let d = scan_at("crates/sim/src/a.rs", text, RuleFamily::ErrorDiscipline);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule, RULE_UNWRAP);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let text = "fn f() { x.unwrap_or_else(|| 3); y.unwrap_or(4); z.expect_err_helper(); }\n";
+        let d = scan_at("crates/sim/src/a.rs", text, RuleFamily::ErrorDiscipline);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_outside_scope_is_ignored() {
+        let d = scan_at(
+            "crates/bench/src/lib.rs",
+            "fn f() { x.unwrap(); }\n",
+            RuleFamily::ErrorDiscipline,
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_randomness_flagged() {
+        let text = "use std::time::Instant;\nlet t = Instant::now();\nlet r = thread_rng();\n";
+        let d = scan_at("crates/core/src/a.rs", text, RuleFamily::Determinism);
+        let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RULE_WALL_CLOCK));
+        assert!(rules.contains(&RULE_RANDOMNESS));
+    }
+
+    #[test]
+    fn hash_iteration_same_line_continuation_and_for_loop() {
+        let text = "struct S { stamps: HashMap<u64, u64> }\n\
+                    fn f(s: &S) {\n\
+                    \x20 for (k, v) in &s.stamps {}\n\
+                    \x20 s.stamps.iter().count();\n\
+                    \x20 s.stamps\n\
+                    \x20     .iter()\n\
+                    \x20     .count();\n\
+                    }\n";
+        let d = scan_at("crates/sim/src/a.rs", text, RuleFamily::Determinism);
+        let lines: Vec<u64> = d.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![3, 4, 6], "{d:?}");
+    }
+
+    #[test]
+    fn vec_iteration_is_not_flagged() {
+        let text = "fn f() { let v: Vec<u32> = Vec::new(); v.iter().count(); }\n";
+        let d = scan_at("crates/sim/src/a.rs", text, RuleFamily::Determinism);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn external_imports_flagged_workspace_allowed() {
+        let text = "use serde::Serialize;\nuse std::fmt;\nuse uvm_util::ToJson;\nuse crate::x;\n";
+        let d = scan_at("crates/types/src/a.rs", text, RuleFamily::Hermeticity);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn standalone_allow_line_covers_the_next_code_line() {
+        let text = "fn f() {\n  // lint:allow(unwrap) — guarded by the caller\n  x.unwrap();\n  y.unwrap();\n}\n";
+        let d = scan_at("crates/sim/src/a.rs", text, RuleFamily::ErrorDiscipline);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn local_module_reexports_are_allowed() {
+        let text = "pub mod engine;\nmod detail;\npub use engine::Sim;\nuse detail::helper;\nuse report::Row;\n";
+        let d = scan_at("crates/sim/src/lib.rs", text, RuleFamily::Hermeticity);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 5);
+        assert!(d[0].message.contains("report"));
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let text = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); } }\n";
+        let d = scan_at("crates/sim/src/a.rs", text, RuleFamily::ErrorDiscipline);
+        assert!(d.is_empty());
+    }
+}

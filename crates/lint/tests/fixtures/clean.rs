@@ -1,0 +1,13 @@
+//! Clean fixture: zero violations under every rule family.
+
+use std::collections::BTreeMap;
+
+/// Deterministic aggregation: BTreeMap iterates in key order.
+pub fn total(map: &BTreeMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+
+/// Typed fallibility instead of unwrap.
+pub fn first_key(map: &BTreeMap<u64, u64>) -> Result<u64, String> {
+    map.keys().next().copied().ok_or_else(|| "empty map".to_string())
+}

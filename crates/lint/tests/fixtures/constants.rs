@@ -1,0 +1,23 @@
+//! Seeded paper-constant drift (lint fixture — never compiled).
+//! Impersonates `crates/core/src/config.rs`; `interval_len` has drifted
+//! from the paper's 64 to 63.
+
+pub struct HpeConfig {
+    pub page_set_size: u32,
+    pub interval_len: u32,
+    pub transfer_interval: u32,
+    pub ratio1_threshold: f64,
+    pub counter_max: u32,
+}
+
+impl HpeConfig {
+    pub fn paper_default() -> Self {
+        HpeConfig {
+            page_set_size: 16,
+            interval_len: 63,
+            transfer_interval: 16,
+            ratio1_threshold: 0.3,
+            counter_max: 64,
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded determinism violations (lint fixture — never compiled).
+
+use std::collections::HashMap;
+
+pub struct Telemetry {
+    samples: HashMap<u64, u64>,
+}
+
+pub fn jitter(t: &Telemetry) -> u64 {
+    let started = std::time::Instant::now();
+    let seed = thread_rng();
+    let mut total = 0;
+    for (_, v) in &t.samples {
+        total += v;
+    }
+    total + seed + started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,14 @@
+//! Seeded error-discipline violations (lint fixture — never compiled).
+
+pub fn brittle(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y must be set");
+    if a > b {
+        panic!("a exceeds b");
+    }
+    a + b
+}
+
+pub fn documented(z: Option<u32>) -> u32 {
+    z.unwrap() // lint:allow(unwrap) — fixture: annotated sites are exempt
+}

@@ -1,0 +1,15 @@
+//! Seeded hermeticity violation (lint fixture — never compiled).
+
+use serde::Serialize;
+use std::fmt;
+
+#[derive(Serialize)]
+pub struct Row {
+    pub label: String,
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}

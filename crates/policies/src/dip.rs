@@ -159,7 +159,7 @@ impl Dip {
         self.recent.push_back(page);
         *self.recent_set.entry(page).or_insert(0) += 1;
         if self.recent.len() > 128 {
-            let old = self.recent.pop_front().expect("nonempty");
+            let old = self.recent.pop_front().expect("nonempty"); // lint:allow(unwrap) — len > 128 checked above
             if let Some(c) = self.recent_set.get_mut(&old) {
                 *c -= 1;
                 if *c == 0 {

@@ -158,6 +158,18 @@ pub trait EvictionPolicy {
     /// stamps each event with the current simulated cycle. The default
     /// drains nothing.
     fn drain_events(&mut self, _sink: &mut dyn FnMut(PolicyEvent)) {}
+
+    /// Validates the policy's internal structural invariants.
+    ///
+    /// Called by the simulator's opt-in sanitizer between events; it must
+    /// be read-only (no decision or statistic may change). On a violation
+    /// the implementation returns `Err` with a short description of what
+    /// is inconsistent; the engine wraps it into
+    /// `SimError::InvariantViolated` instead of panicking. The default
+    /// claims nothing and always passes.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
@@ -190,6 +202,9 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
     fn drain_events(&mut self, sink: &mut dyn FnMut(PolicyEvent)) {
         (**self).drain_events(sink);
+    }
+    fn check_invariants(&self) -> Result<(), String> {
+        (**self).check_invariants()
     }
 }
 

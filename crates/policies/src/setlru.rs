@@ -58,7 +58,7 @@ impl SetLru {
     /// Number of resident pages tracked.
     pub fn resident_len(&self) -> usize {
         self.resident
-            .values()
+            .values() // lint:allow(hash-iteration) — commutative popcount sum
             .map(|m| m.count_ones() as usize)
             .sum()
     }
@@ -88,7 +88,7 @@ impl EvictionPolicy for SetLru {
         let mask = self
             .resident
             .get_mut(&set)
-            .expect("chained set has a resident mask");
+            .expect("chained set has a resident mask"); // lint:allow(unwrap) — chain and resident are kept in lockstep
         debug_assert_ne!(*mask, 0, "chained set has no resident pages");
         let offset = mask.trailing_zeros();
         *mask &= !(1u64 << offset);

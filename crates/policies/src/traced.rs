@@ -143,6 +143,10 @@ impl<P: EvictionPolicy> EvictionPolicy for Traced<P> {
         }
         self.inner.drain_events(sink);
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.inner.check_invariants()
+    }
 }
 
 #[cfg(test)]

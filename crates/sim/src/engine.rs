@@ -17,6 +17,7 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::memory::GpuMemory;
 use crate::observer::{EventLog, SimEvent, SimObserver};
 use crate::recovery::{CircuitBreaker, FallbackVictim, LruShadow, RetryPolicy};
+use crate::sanitizer::Sanitizer;
 use crate::tlb::Tlb;
 
 /// Window (in evictions) within which a re-fault on an evicted page counts
@@ -142,6 +143,9 @@ pub struct Simulation<P> {
     shadow: LruShadow,
     /// The `run_until` limit the run is currently paused at.
     paused_at: Option<u64>,
+    /// Opt-in runtime invariant checker; `None` (the default) costs one
+    /// branch per event and nothing else.
+    sanitizer: Option<Sanitizer>,
 }
 
 impl<P: EvictionPolicy> Simulation<P> {
@@ -219,6 +223,7 @@ impl<P: EvictionPolicy> Simulation<P> {
             fallback: FallbackVictim::default(),
             shadow: LruShadow::default(),
             paused_at: None,
+            sanitizer: None,
         };
         for w in 0..sim.warps.len() {
             if !sim.warps[w].ops.is_empty() {
@@ -265,6 +270,21 @@ impl<P: EvictionPolicy> Simulation<P> {
     /// the engine maintain a recency shadow and evict approximate-LRU.
     pub fn set_fallback_victim(&mut self, fallback: FallbackVictim) {
         self.fallback = fallback;
+    }
+
+    /// Installs the opt-in runtime sanitizer (see [`Sanitizer`]): every
+    /// `cadence` retired events — and once more at end of run — the
+    /// engine validates its structural invariants and reports the first
+    /// violation as [`SimError::InvariantViolated`]. The checks are
+    /// read-only, so a sanitized run's [`SimStats`] are byte-identical
+    /// to an unsanitized run's.
+    pub fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// The installed sanitizer, if any (for inspecting check counts).
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_ref()
     }
 
     /// Runs the simulation to completion.
@@ -317,6 +337,13 @@ impl<P: EvictionPolicy> Simulation<P> {
                 EventKind::WarpReady(w) => self.step_warp(w)?,
                 EventKind::DriverDone(page) => self.driver_done(page)?,
                 EventKind::DriverPickup => self.pickup_next_fault()?,
+            }
+            let sanitize_due = match &mut self.sanitizer {
+                Some(s) => s.tick(),
+                None => false,
+            };
+            if sanitize_due {
+                self.sanitize_check()?;
             }
         }
         self.paused_at = None;
@@ -371,6 +398,14 @@ impl<P: EvictionPolicy> Simulation<P> {
                 cycle: self.now,
                 blocked_warps: self.live_warps as u64,
             });
+        }
+        // Final sanitizer pass regardless of cadence phase, so a
+        // corruption in the run's tail cannot slip out unchecked.
+        if let Some(s) = &mut self.sanitizer {
+            s.note_final_check();
+        }
+        if self.sanitizer.is_some() {
+            self.sanitize_check()?;
         }
         self.stats.policy = self.policy.stats();
         Ok(SimOutcome {
@@ -871,6 +906,64 @@ impl<P: EvictionPolicy> Simulation<P> {
         self.policy
             .on_disruption(SignalDisruption::ForcedEviction { page: v });
         Ok(v)
+    }
+
+    /// One sanitizer pass over the engine's structural invariants.
+    /// Read-only by contract: nothing in the simulation (state, RNG,
+    /// statistics) may change, so sanitized and unsanitized runs stay
+    /// byte-identical.
+    fn sanitize_check(&self) -> Result<(), SimError> {
+        let cycle = self.now;
+        let fail = |invariant: &'static str, detail: String| SimError::InvariantViolated {
+            invariant,
+            detail,
+            cycle,
+        };
+        if self.memory.len() > self.memory.capacity() {
+            return Err(fail(
+                "residency-capacity",
+                format!(
+                    "{} pages resident in {} frames",
+                    self.memory.len(),
+                    self.memory.capacity()
+                ),
+            ));
+        }
+        // Pages are neither minted nor leaked: what is resident plus what
+        // is mid-migration must equal what the driver ever moved in minus
+        // what it evicted. Stated without subtraction so a corrupted
+        // counter cannot hide behind saturation.
+        let migrating = if self.in_service.is_some() {
+            self.in_flight.len() as u64
+        } else {
+            0
+        };
+        let d = &self.stats.driver;
+        if self.memory.len() + migrating + d.evictions != d.faults_serviced + d.prefetched_pages {
+            return Err(fail(
+                "residency-conservation",
+                format!(
+                    "resident {} + migrating {} + evicted {} != serviced {} + prefetched {}",
+                    self.memory.len(),
+                    migrating,
+                    d.evictions,
+                    d.faults_serviced,
+                    d.prefetched_pages
+                ),
+            ));
+        }
+        if self.fallback == FallbackVictim::LruShadow {
+            self.shadow
+                .check_invariants(&|p| self.memory.is_resident(p))
+                .map_err(|detail| fail("lru-shadow", detail))?;
+        }
+        self.breaker
+            .check_invariants()
+            .map_err(|detail| fail("circuit-breaker", detail))?;
+        self.policy
+            .check_invariants()
+            .map_err(|detail| fail("policy-structure", detail))?;
+        Ok(())
     }
 
     fn remember_eviction(&mut self, page: PageId) {
@@ -1515,5 +1608,63 @@ mod tests {
         // Each fault's replay re-walks and hits.
         assert_eq!(stats.walk_hits, 2);
         assert_eq!(stats.walks, 4);
+    }
+
+    #[test]
+    fn sanitizer_on_leaves_stats_byte_identical() {
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 2, 2, 4);
+        let plain = Simulation::new(cfg.clone(), &trace, Lru::new(), 30)
+            .unwrap()
+            .run()
+            .unwrap()
+            .stats;
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_sanitizer(Sanitizer::new(1)); // check after every event
+        assert!(sim.run_until(u64::MAX).unwrap());
+        let checks = sim.sanitizer().unwrap().checks_run();
+        assert!(checks > 0, "cadence-1 sanitizer must have run");
+        let sanitized = sim.finish().unwrap().stats;
+        assert_eq!(
+            sanitized.to_json().to_string(),
+            plain.to_json().to_string(),
+            "sanitizer must be read-only"
+        );
+    }
+
+    #[test]
+    fn sanitizer_runs_under_lru_shadow_fallback() {
+        let global: Vec<u64> = (0..30u64).cycle().take(90).collect();
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&global, 30, 0, 1, 3);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 20).unwrap();
+        sim.set_fallback_victim(FallbackVictim::LruShadow);
+        sim.set_sanitizer(Sanitizer::new(1));
+        let stats = sim.run().unwrap().stats;
+        assert!(stats.faults() > 0);
+    }
+
+    #[test]
+    fn corrupted_residency_surfaces_typed_error_not_panic() {
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let cfg = tiny_cfg(1, 1);
+        let trace = Trace::from_global(&global, 40, 2, 1, 4);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_sanitizer(Sanitizer::new(1));
+        assert!(sim.run_until(u64::MAX).unwrap());
+        assert!(!sim.memory.is_empty());
+        // Corrupt the resident set behind the driver's accounting.
+        let page = sim.memory.min_resident().unwrap();
+        sim.memory.remove(page);
+        match sim.finish() {
+            Err(SimError::InvariantViolated {
+                invariant, detail, ..
+            }) => {
+                assert_eq!(invariant, "residency-conservation");
+                assert!(detail.contains("resident"), "detail {detail:?}");
+            }
+            other => panic!("expected InvariantViolated, got {other:?}"),
+        }
     }
 }

@@ -15,7 +15,11 @@
 //! * driver-side recovery machinery: completion retry with exponential
 //!   backoff, an HIR circuit breaker, approximate-LRU fallback eviction,
 //!   and deterministic checkpoint/restore of paused runs (see
-//!   [`Checkpoint`]).
+//!   [`Checkpoint`]),
+//! * an opt-in runtime [`Sanitizer`] validating structural invariants
+//!   (residency conservation, HIR/chain layout, recovery state machines)
+//!   at a configurable cadence, reporting violations as typed
+//!   [`uvm_types::SimError::InvariantViolated`] instead of panicking.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@ mod faults;
 mod memory;
 mod observer;
 mod recovery;
+mod sanitizer;
 mod tlb;
 mod trace;
 
@@ -54,6 +59,7 @@ pub use faults::FaultPlan;
 pub use memory::GpuMemory;
 pub use observer::{EventLog, SimEvent, SimObserver};
 pub use recovery::{FallbackVictim, RetryPolicy};
+pub use sanitizer::{Sanitizer, DEFAULT_SANITIZER_CADENCE};
 pub use tlb::Tlb;
 pub use trace::{
     parse_jsonl, EventCounters, IntervalCollector, IntervalKey, IntervalRow, JsonlWriter,

@@ -176,6 +176,21 @@ impl CircuitBreaker {
     pub(crate) fn fingerprint(&self) -> (u32, bool) {
         (self.failures, self.open)
     }
+
+    /// Validates the breaker's state machine (sanitizer hook): the
+    /// breaker is open exactly when the failure count has reached the
+    /// threshold (it trips at the threshold and stops counting while
+    /// open).
+    pub(crate) fn check_invariants(&self) -> Result<(), String> {
+        let should_be_open = self.failures >= self.threshold;
+        if self.open != should_be_open {
+            return Err(format!(
+                "circuit breaker open={} with {} failures against threshold {}",
+                self.open, self.failures, self.threshold
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Which victim the engine evicts when the policy offers none (or its
@@ -236,7 +251,7 @@ impl LruShadow {
     /// The approximately least-recently-used page, if any is tracked.
     pub(crate) fn lru(&self) -> Option<PageId> {
         self.stamps
-            .iter()
+            .iter() // lint:allow(hash-iteration)
             .min_by_key(|&(page, stamp)| (*stamp, *page))
             .map(|(&page, _)| page)
     }
@@ -244,6 +259,43 @@ impl LruShadow {
     /// Fingerprint for checkpoint verification.
     pub(crate) fn fingerprint(&self) -> (u64, u64) {
         (self.stamps.len() as u64, self.clock)
+    }
+
+    /// Validates the shadow against the engine's resident set (sanitizer
+    /// hook): the clock is monotone so no more stamps than clock ticks
+    /// can exist, every stamp lies in `1..=clock`, and every tracked
+    /// page is actually resident.
+    pub(crate) fn check_invariants(&self, resident: &dyn Fn(PageId) -> bool) -> Result<(), String> {
+        if self.stamps.len() as u64 > self.clock {
+            return Err(format!(
+                "LRU shadow tracks {} pages but its clock only reached {}",
+                self.stamps.len(),
+                self.clock
+            ));
+        }
+        // Reduced to the minimal offending page so the report is
+        // independent of hash visit order.
+        let mut bad_stamp: Option<PageId> = None;
+        let mut missing: Option<PageId> = None;
+        for (&page, &stamp) in &self.stamps {
+            // lint:allow(hash-iteration)
+            if stamp == 0 || stamp > self.clock {
+                bad_stamp = Some(bad_stamp.map_or(page, |p| p.min(page)));
+            }
+            if !resident(page) {
+                missing = Some(missing.map_or(page, |p| p.min(page)));
+            }
+        }
+        if let Some(page) = bad_stamp {
+            return Err(format!(
+                "LRU shadow stamp for page {page} is outside 1..={}",
+                self.clock
+            ));
+        }
+        if let Some(page) = missing {
+            return Err(format!("LRU shadow tracks non-resident page {page}"));
+        }
+        Ok(())
     }
 }
 

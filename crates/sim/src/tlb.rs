@@ -41,7 +41,7 @@ impl Tlb {
     ///
     /// Panics if the geometry is invalid (see [`TlbConfig::validate`]).
     pub fn new(cfg: TlbConfig) -> Self {
-        cfg.validate().expect("valid TLB geometry");
+        cfg.validate().expect("valid TLB geometry"); // lint:allow(unwrap) — constructor contract, documented panic
         let n_sets = cfg.sets() as usize;
         Tlb {
             cfg,
@@ -92,7 +92,7 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
-                .expect("set nonempty");
+                .expect("set nonempty"); // lint:allow(unwrap) — set is full on this branch
             set.swap_remove(lru);
         }
         set.push(Entry { page, stamp: clock });

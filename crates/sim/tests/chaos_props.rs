@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 use uvm_policies::Lru;
-use uvm_sim::{trace_for, Checkpoint, FaultPlan, RetryPolicy, Simulation};
+use uvm_sim::{trace_for, Checkpoint, FaultPlan, RetryPolicy, Sanitizer, Simulation};
 use uvm_types::{Oversubscription, SimConfig, SimError, SimStats, TlbConfig};
 use uvm_util::prop::Checker;
 use uvm_util::{FromJson, Json, Rng, ToJson};
@@ -63,6 +63,11 @@ fn run_chaos(global: &[u64], capacity: u64, plan: &FaultPlan) -> SimStats {
     let trace = Trace::from_global(global, 40, 2, 3, 3);
     let mut sim = Simulation::new(small_cfg(3), &trace, Lru::new(), capacity).expect("valid sim");
     sim.set_fault_plan(plan.clone()).expect("valid plan");
+    // Every chaos property runs with the invariant sanitizer enabled at a
+    // tight cadence: injection must never corrupt engine accounting, and
+    // the sanitizer itself must never perturb stats (the comparisons
+    // against sanitizer-off runs below double as that proof).
+    sim.set_sanitizer(Sanitizer::new(256));
     sim.run().expect("chaos run completes").stats
 }
 
@@ -197,6 +202,42 @@ fn checkpoint_resume_reproduces_stn_byte_identically() {
             "{label}: resumed stats must be byte-identical"
         );
     }
+}
+
+/// Property: the invariant sanitizer is observation-only under active
+/// fault plans — a sanitized run's `SimStats` are byte-identical to the
+/// same run without a sanitizer, at any cadence.
+#[test]
+fn sanitizer_is_byte_identical_under_random_fault_plans() {
+    Checker::new().cases(24).run(
+        |rng| {
+            (
+                rng.gen_vec(1..200, |r| r.gen_range(0u64..30)),
+                rng.gen_range(2u64..32),
+                random_plan(rng),
+                rng.gen_range(1u64..4096),
+            )
+        },
+        |(global, capacity, plan, cadence)| {
+            let trace = Trace::from_global(global, 30, 2, 3, 3);
+            let run = |sanitize: Option<u64>| {
+                let mut sim = Simulation::new(small_cfg(3), &trace, Lru::new(), *capacity)
+                    .expect("valid sim");
+                sim.set_fault_plan(plan.clone()).expect("valid plan");
+                if let Some(c) = sanitize {
+                    sim.set_sanitizer(Sanitizer::new(c));
+                }
+                sim.run().expect("run completes").stats
+            };
+            let plain = run(None);
+            let sanitized = run(Some(*cadence));
+            assert_eq!(
+                sanitized.to_json().to_string(),
+                plain.to_json().to_string(),
+                "sanitizer (cadence {cadence}) must not perturb stats"
+            );
+        },
+    );
 }
 
 /// Property: `FaultPlan` JSON serialization round-trips byte-identically

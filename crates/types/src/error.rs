@@ -118,6 +118,18 @@ pub enum SimError {
         /// The checkpoint cycle at which verification failed.
         cycle: u64,
     },
+    /// The runtime sanitizer found a structural invariant broken —
+    /// residency accounting, HIR occupancy, chain partitioning, or
+    /// recovery state machines are internally inconsistent.
+    InvariantViolated {
+        /// Short stable name of the violated invariant (e.g.
+        /// `residency-conservation`).
+        invariant: &'static str,
+        /// Human-readable detail: the observed vs expected quantities.
+        detail: String,
+        /// Simulated cycle at which the check ran.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -158,6 +170,14 @@ impl fmt::Display for SimError {
                 f,
                 "resumed run diverged from checkpoint taken at cycle {cycle}; inputs differ"
             ),
+            SimError::InvariantViolated {
+                invariant,
+                detail,
+                cycle,
+            } => write!(
+                f,
+                "invariant `{invariant}` violated at cycle {cycle}: {detail}"
+            ),
         }
     }
 }
@@ -189,6 +209,7 @@ impl SimError {
             SimError::Deadlock { .. } => "Deadlock",
             SimError::RetriesExhausted { .. } => "RetriesExhausted",
             SimError::CheckpointDiverged { .. } => "CheckpointDiverged",
+            SimError::InvariantViolated { .. } => "InvariantViolated",
         }
     }
 }
@@ -274,6 +295,15 @@ mod tests {
                 SimError::CheckpointDiverged { cycle: 640 },
                 "CheckpointDiverged",
                 "checkpoint taken at cycle 640",
+            ),
+            (
+                SimError::InvariantViolated {
+                    invariant: "residency-conservation",
+                    detail: "resident 5 + in-flight 0 != serviced 9 - evicted 3".to_string(),
+                    cycle: 1234,
+                },
+                "InvariantViolated",
+                "invariant `residency-conservation` violated at cycle 1234",
             ),
         ];
         for (err, kind, needle) in cases {

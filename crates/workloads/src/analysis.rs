@@ -132,7 +132,7 @@ pub fn profile(global: &[u64]) -> TraceProfile {
         },
         median_reuse: percentile(&finite, 0.50),
         p90_reuse: percentile(&finite, 0.90),
-        max_refs_per_page: per_page.values().copied().max().unwrap_or(0),
+        max_refs_per_page: per_page.values().copied().max().unwrap_or(0), // lint:allow(hash-iteration) — max() is order-insensitive
     }
 }
 

@@ -35,23 +35,22 @@ cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- resume > /dev/n
 cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- resume --plan victim-drop \
     --fallback lru-shadow --retry > /dev/null
 
-echo "==> unwrap/expect gate (non-test sim/core code)"
-# The only allowed .unwrap()/.expect() calls in non-test uvm-sim and
-# hpe-core code are the pinned internal-invariant sites below (geometry
-# re-validation in constructors and just-inserted map lookups). Anything
-# new must propagate SimError instead of panicking; see DESIGN.md §9.
-unwrap_baseline=7
-unwrap_count=$(for f in crates/sim/src/*.rs crates/core/src/*.rs; do
-    awk '/^#\[cfg\(test\)\]/{exit}
-         {line=$0; sub(/^[ \t]+/,"",line);
-          if (line ~ /^\/\//) next;
-          if (line ~ /\.unwrap\(|\.expect\(/) print FILENAME": "line}' "$f"
-done | tee /dev/stderr | wc -l)
-if [ "$unwrap_count" -gt "$unwrap_baseline" ]; then
-    echo "error: $unwrap_count unwrap()/expect() calls in non-test sim/core code" \
-         "(baseline $unwrap_baseline); convert new ones to SimError/Result."
-    exit 1
-fi
+echo "==> hpe-lint: error-discipline gate (replaces the old awk unwrap counter)"
+# Every .unwrap()/.expect(/panic! in non-test sim/core/policies code must
+# either propagate SimError instead, or carry an inline justification as
+# `// lint:allow(unwrap)` at the call site. No central baseline number:
+# the allowlist lives next to the code it excuses. See DESIGN.md §10.
+cargo run -q --release --offline -p hpe-bench --bin hpe-lint -- check --rules error-discipline
+
+echo "==> hpe-lint: full static analysis (determinism, hermeticity, paper constants)"
+# Exit codes: 0 clean, 1 violations (file:line listed above the summary),
+# 2 internal error — same convention as hpe-chaos.
+cargo run -q --release --offline -p hpe-bench --bin hpe-lint -- check
+
+echo "==> invariant sanitizer zero-perturbation proof (STN + SGM, on vs off)"
+# Runs HPE with the runtime invariant sanitizer enabled and disabled and
+# exits nonzero unless SimStats are byte-identical.
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- sanitize > /dev/null
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
