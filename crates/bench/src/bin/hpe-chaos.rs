@@ -8,6 +8,8 @@
 //! ```sh
 //! hpe-chaos campaign                       # all policies x all fault kinds (STN, 75%)
 //! hpe-chaos campaign BFS --seed 7          # another app / another seed
+//! hpe-chaos campaign --workers 8           # same cells fanned over 8 threads;
+//!                                          # the merged report is byte-identical
 //! hpe-chaos campaign --retry --fallback lru-shadow   # recovery machinery on
 //! hpe-chaos livelock                       # watchdog demo: injected livelock -> Stalled
 //! hpe-chaos livelock --retry               # same, with backoff -> RetriesExhausted
@@ -26,8 +28,8 @@
 use std::process::ExitCode;
 
 use hpe_bench::{
-    bench_config, f2, run_policy, run_policy_recovering, save_json, PolicyKind, RecoveryOptions,
-    Table,
+    bench_config, campaign, f2, run_policy, run_policy_recovering, save_json, PolicyKind,
+    RecoveryOptions, Table,
 };
 use hpe_core::{Hpe, HpeConfig};
 use uvm_sim::{
@@ -64,9 +66,11 @@ fn usage() -> ExitCode {
          \n\
          commands:\n\
          \x20 campaign [APP ...] [--seed N] [--rate 75|50] [--retry]\n\
-         \x20          [--fallback min-page|lru-shadow]\n\
+         \x20          [--fallback min-page|lru-shadow] [--workers N]\n\
          \x20          run every policy under every fault plan and report\n\
-         \x20          resilience metrics vs the clean run (default app STN)\n\
+         \x20          resilience metrics vs the clean run (default app STN);\n\
+         \x20          --workers fans the cells over N threads with a\n\
+         \x20          deterministic merge (same output for any N)\n\
          \x20 livelock [--seed N] [--rate 75|50] [--retry]\n\
          \x20          inject an unbounded completion-loss livelock and show\n\
          \x20          the watchdog converting it into SimError::Stalled\n\
@@ -105,6 +109,7 @@ struct Flags {
     plan: Option<String>,
     at: u64,
     sanitize: Option<u64>,
+    workers: usize,
     positional: Vec<String>,
 }
 
@@ -127,6 +132,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         plan: None,
         at: DEFAULT_RESUME_AT,
         sanitize: None,
+        workers: 1,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -162,6 +168,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 let v = value("--at")?;
                 flags.at = v.parse().map_err(|_| format!("bad --at '{v}'"))?;
             }
+            "--workers" => {
+                let v = value("--workers")?;
+                flags.workers = v.parse().map_err(|_| format!("bad --workers '{v}'"))?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => flags.positional.push(other.to_string()),
         }
@@ -169,42 +179,31 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
-/// The named fault plans a campaign sweeps. Each derives its RNG stream
-/// from the campaign seed so the whole sweep replays from one number.
-fn campaign_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        ("latency-storm", FaultPlan::latency_storm(seed)),
-        ("congestion", FaultPlan::congestion(seed.wrapping_add(1))),
-        (
-            "completion-loss",
-            FaultPlan::completion_loss(seed.wrapping_add(2)),
-        ),
-        (
-            "signal-chaos",
-            FaultPlan::signal_chaos(seed.wrapping_add(3)),
-        ),
-        (
-            "partial-outage",
-            FaultPlan::partial_outage(seed.wrapping_add(4)),
-        ),
-        ("victim-drop", FaultPlan::victim_drop(seed.wrapping_add(5))),
-    ]
+/// The named fault plans a campaign sweeps, shared with the parallel
+/// engine's [`campaign::chaos_plan_set`] (minus its clean control cell).
+/// Each derives its RNG stream from the campaign seed so the whole sweep
+/// replays from one number.
+fn campaign_plans(seed: u64) -> Vec<(String, FaultPlan)> {
+    campaign::chaos_plan_set(seed)
+        .into_iter()
+        .filter_map(|spec| spec.plan.clone().map(|plan| (spec.name, plan)))
+        .collect()
 }
 
 /// Resolves a `--plan` name against the campaign plan set.
 fn plan_by_name(name: &str, seed: u64) -> Option<FaultPlan> {
     campaign_plans(seed)
         .into_iter()
-        .find(|(n, _)| *n == name)
+        .find(|(n, _)| n == name)
         .map(|(_, p)| p)
 }
 
 /// One (policy, plan) cell of a campaign: the chaos run compared against
 /// the policy's clean run.
 struct CampaignRow {
-    app: &'static str,
-    policy: &'static str,
-    plan: &'static str,
+    app: String,
+    policy: String,
+    plan: String,
     faults: u64,
     clean_cycles: u64,
     chaos_cycles: u64,
@@ -247,9 +246,9 @@ impl CampaignRow {
 
     fn to_json(&self) -> Json {
         json!({
-            "app": self.app,
-            "policy": self.policy,
-            "plan": self.plan,
+            "app": self.app.as_str(),
+            "policy": self.policy.as_str(),
+            "plan": self.plan.as_str(),
             "faults": self.faults,
             "clean_cycles": self.clean_cycles,
             "chaos_cycles": self.chaos_cycles,
@@ -276,11 +275,13 @@ impl CampaignRow {
 }
 
 /// Runs `policies` x `plans` on `app` and collects one row per chaos run.
+/// This is the single-threaded path `smoke` uses; `campaign` itself goes
+/// through the parallel engine (`campaign::run_campaign`).
 fn run_campaign(
     app: &App,
     rate: Oversubscription,
     policies: &[PolicyKind],
-    plans: &[(&'static str, FaultPlan)],
+    plans: &[(String, FaultPlan)],
     recovery: RecoveryOptions,
 ) -> Result<Vec<CampaignRow>, SimError> {
     let cfg = bench_config();
@@ -295,9 +296,9 @@ fn run_campaign(
             let chaos = run_policy_recovering(&cfg, app, rate, kind, Some(plan), recovery)?;
             let res = &chaos.stats.resilience;
             rows.push(CampaignRow {
-                app: clean.app,
-                policy: clean.policy,
-                plan: plan_name,
+                app: clean.app.to_string(),
+                policy: clean.policy.to_string(),
+                plan: plan_name.clone(),
                 faults: chaos.stats.faults(),
                 clean_cycles: clean.stats.cycles,
                 chaos_cycles: chaos.stats.cycles,
@@ -368,47 +369,117 @@ fn print_campaign(title: &str, rows: &[CampaignRow]) {
 }
 
 fn cmd_campaign(flags: &Flags) -> Result<(), CmdError> {
-    let apps: Vec<&App> = if flags.positional.is_empty() {
-        vec![registry::by_abbr("STN").expect("STN is registered")]
+    let apps: Vec<String> = if flags.positional.is_empty() {
+        vec!["STN".to_string()]
     } else {
-        flags
-            .positional
-            .iter()
-            .map(|abbr| {
-                registry::by_abbr(abbr)
-                    .ok_or_else(|| CmdError::Usage(format!("unknown app '{abbr}'")))
-            })
-            .collect::<Result<_, _>>()?
+        flags.positional.clone()
     };
-    let plans = campaign_plans(flags.seed);
+    // The engine's plan set keeps the clean control cell in the grid, so
+    // every chaos row's baseline comes out of the same merged report.
+    let spec = campaign::CampaignSpec {
+        apps,
+        policies: PolicyKind::ALL.to_vec(),
+        rates: vec![flags.rate],
+        plans: campaign::chaos_plan_set(flags.seed),
+        recovery: flags.recovery(),
+        seed: flags.seed,
+    };
+    eprintln!(
+        "[campaign: {} app(s) at {}, seed {}, {} policies x {} plans, retry {}, \
+         fallback {}, {} worker(s)]",
+        spec.apps.len(),
+        flags.rate.label(),
+        flags.seed,
+        spec.policies.len(),
+        spec.plans.len(),
+        if flags.retry { "on" } else { "off" },
+        flags.fallback.label(),
+        flags.workers.max(1),
+    );
+    let pool = campaign::PoolOptions {
+        workers: flags.workers,
+        ..campaign::PoolOptions::default()
+    };
+    let outcome = campaign::run_campaign(&bench_config(), &spec, &pool, None)
+        .map_err(|e| CmdError::Run(e.to_string()))?;
+    let report = outcome.report().map_err(|e| CmdError::Run(e.to_string()))?;
+
+    let rate_label = flags.rate.label();
     let mut rows = Vec::new();
-    for app in &apps {
-        eprintln!(
-            "[campaign: {} at {}, seed {}, {} policies x {} plans, retry {}, fallback {}]",
-            app.abbr(),
-            flags.rate.label(),
-            flags.seed,
-            PolicyKind::ALL.len(),
-            plans.len(),
-            if flags.retry { "on" } else { "off" },
-            flags.fallback.label(),
-        );
-        rows.extend(run_campaign(
-            app,
-            flags.rate,
-            &PolicyKind::ALL,
-            &plans,
-            flags.recovery(),
-        )?);
+    for abbr in &spec.apps {
+        for &kind in &spec.policies {
+            let clean = report
+                .find(&campaign::grid_key(
+                    abbr,
+                    kind.label(),
+                    &rate_label,
+                    "clean",
+                ))
+                .ok_or_else(|| CmdError::Run(format!("missing clean cell for {abbr}")))?;
+            if !clean.ok {
+                return Err(CmdError::Run(format!(
+                    "clean run failed for {abbr}/{}: {}",
+                    kind.label(),
+                    clean.error
+                )));
+            }
+            debug_assert!(
+                !clean.stats.resilience.any(),
+                "clean run must not record injection"
+            );
+            for plan in spec.plans.iter().filter(|p| p.plan.is_some()) {
+                let chaos = report
+                    .find(&campaign::grid_key(
+                        abbr,
+                        kind.label(),
+                        &rate_label,
+                        &plan.name,
+                    ))
+                    .ok_or_else(|| {
+                        CmdError::Run(format!("missing {} cell for {abbr}", plan.name))
+                    })?;
+                if !chaos.ok {
+                    return Err(CmdError::Run(format!(
+                        "chaos run failed for {}: {}",
+                        chaos.key, chaos.error
+                    )));
+                }
+                let res = &chaos.stats.resilience;
+                rows.push(CampaignRow {
+                    app: chaos.app.clone(),
+                    policy: chaos.policy.clone(),
+                    plan: plan.name.clone(),
+                    faults: chaos.stats.faults(),
+                    clean_cycles: clean.stats.cycles,
+                    chaos_cycles: chaos.stats.cycles,
+                    injected_delay_cycles: res.injected_delay_cycles,
+                    tail_latency_events: res.tail_latency_events,
+                    congested_services: res.congested_services,
+                    completions_lost: res.completions_lost,
+                    fallback_victims: res.fallback_victims,
+                    spurious_wrong_evictions: res.spurious_wrong_evictions,
+                    faults_during_hir_outage: res.faults_during_hir_outage,
+                    degraded_entries: chaos.stats.policy.degraded_entries,
+                    degraded_faults: chaos.stats.policy.degraded_faults,
+                    victims_dropped: res.victims_dropped,
+                    delayed_hir_flushes: res.delayed_hir_flushes,
+                    hir_flushes_lost: res.hir_flushes_lost,
+                    circuit_breaker_trips: res.circuit_breaker_trips,
+                    retry_attempts: res.retry_attempts,
+                    retry_backoff_cycles: res.retry_backoff_cycles,
+                });
+            }
+        }
     }
     let total_faults: u64 = rows.iter().map(|r| r.faults).sum();
     print_campaign(
         format!(
-            "chaos campaign (seed {}, {}, {} chaos runs, {} faults total)",
+            "chaos campaign (seed {}, {}, {} chaos runs, {} faults total, fingerprint {})",
             flags.seed,
             flags.rate.label(),
             rows.len(),
-            total_faults
+            total_faults,
+            report.fingerprint
         )
         .as_str(),
         &rows,
@@ -482,7 +553,7 @@ fn cmd_resume(flags: &Flags) -> Result<(), CmdError> {
             "unknown plan '{plan_name}' (expected one of: {})",
             campaign_plans(0)
                 .iter()
-                .map(|(n, _)| *n)
+                .map(|(n, _)| n.clone())
                 .collect::<Vec<_>>()
                 .join(", ")
         ))

@@ -7,13 +7,26 @@
 //! hpe-lab compare <APP> [--rate ...]        # all policies side by side
 //! hpe-lab sweep <APP> [--policy ...]        # capacity sweep 95%..40%
 //! hpe-lab profile <APP>                     # access-pattern profile
+//! hpe-lab campaign [APP ...] [--workers N] [--chaos] [--snapshot FILE]
+//!                  [--resume] [--progress FILE]   # parallel grid sweep
+//! hpe-lab bench-snapshot [--workers N]      # record the next BENCH_*.json
+//! hpe-lab bench-check [--workers N]         # regression gate vs the last one
 //! ```
 //!
 //! Run via `cargo run --release -p hpe-bench --bin hpe-lab -- <args>`.
+//!
+//! Exit codes: 0 success, 1 a run failed or the bench gate found a
+//! regression, 2 usage error — the same convention as `hpe-chaos` and
+//! `hpe-lint`.
 
-use hpe_bench::{bench_config, run_policy, PolicyKind, Table};
+use std::fs;
+use std::path::PathBuf;
+
+use hpe_bench::{
+    bench_config, campaign, f2, f3, geomean, perf, run_policy, save_json, PolicyKind, Table,
+};
 use uvm_types::Oversubscription;
-use uvm_util::json;
+use uvm_util::{json, ToJson};
 use uvm_workloads::registry;
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -205,32 +218,395 @@ fn cmd_profile(abbr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags of the `campaign` subcommand.
+struct CampaignOpts {
+    apps: Vec<String>,
+    workers: usize,
+    seed: u64,
+    chaos: bool,
+    rate: Option<Oversubscription>,
+    progress: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
+    snapshot_every: usize,
+    resume: bool,
+    limit: Option<usize>,
+}
+
+fn parse_campaign_opts(args: &[String]) -> Result<CampaignOpts, String> {
+    let mut opts = CampaignOpts {
+        apps: Vec::new(),
+        workers: 1,
+        seed: 2019,
+        chaos: false,
+        rate: None,
+        progress: None,
+        snapshot: None,
+        snapshot_every: 0,
+        resume: false,
+        limit: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
+            "--chaos" => opts.chaos = true,
+            "--rate" => {
+                let v = value("--rate")?;
+                if v == "both" {
+                    opts.rate = None;
+                } else {
+                    opts.rate = Some(parse_rate(&v)?);
+                }
+            }
+            "--progress" => opts.progress = Some(PathBuf::from(value("--progress")?)),
+            "--snapshot" => opts.snapshot = Some(PathBuf::from(value("--snapshot")?)),
+            "--snapshot-every" => {
+                let v = value("--snapshot-every")?;
+                opts.snapshot_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --snapshot-every {v:?}"))?;
+            }
+            "--resume" => opts.resume = true,
+            "--limit" => {
+                let v = value("--limit")?;
+                opts.limit = Some(v.parse().map_err(|_| format!("bad --limit {v:?}"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            other => opts.apps.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// `campaign`: run a (sub)grid on the parallel engine and summarize the
+/// deterministically merged report.
+fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
+    let apps: Vec<String> = if opts.apps.is_empty() {
+        registry::all()
+            .iter()
+            .map(|a| a.abbr().to_string())
+            .collect()
+    } else {
+        opts.apps.clone()
+    };
+    let mut spec = campaign::CampaignSpec::clean_grid(apps, opts.seed);
+    if opts.chaos {
+        spec.plans = campaign::chaos_plan_set(opts.seed);
+    }
+    if let Some(rate) = opts.rate {
+        spec.rates = vec![rate];
+    }
+    let pool = campaign::PoolOptions {
+        workers: opts.workers,
+        shuffle: None,
+        snapshot_path: opts.snapshot.clone(),
+        snapshot_every: opts.snapshot_every,
+        resume: opts.resume,
+        limit: opts.limit,
+    };
+    eprintln!(
+        "[campaign: {} apps x {} policies x {} rates x {} plans = {} cells, {} worker(s), seed {}]",
+        spec.apps.len(),
+        spec.policies.len(),
+        spec.rates.len(),
+        spec.plans.len(),
+        spec.grid_len(),
+        pool.workers.max(1),
+        spec.seed,
+    );
+
+    let mut progress_file = match &opts.progress {
+        Some(path) => {
+            Some(fs::File::create(path).map_err(|e| CliError::Usage(format!("--progress: {e}")))?)
+        }
+        None => None,
+    };
+    let progress = progress_file.as_mut().map(|f| f as &mut dyn std::io::Write);
+
+    let outcome = campaign::run_campaign(&bench_config(), &spec, &pool, progress)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    if !outcome.is_complete() {
+        println!(
+            "campaign stopped at --limit: {}/{} cells done ({} resumed, {} executed); \
+             snapshot holds the completed cells",
+            outcome.runs.len(),
+            outcome.total,
+            outcome.resumed,
+            outcome.executed
+        );
+        return Ok(());
+    }
+    let report = outcome.report().map_err(|e| CliError::Run(e.to_string()))?;
+
+    // Per (policy, rate): totals and, where the clean Ideal run exists,
+    // the geomean slowdown versus Ideal.
+    let mut t = Table::new(
+        format!(
+            "campaign ({} cells, fingerprint {})",
+            report.runs.len(),
+            report.fingerprint
+        ),
+        &[
+            "policy",
+            "rate",
+            "runs",
+            "failed",
+            "faults",
+            "slowdown-vs-ideal",
+        ],
+    );
+    for &policy in &spec.policies {
+        for &rate in &spec.rates {
+            let rate_label = rate.label();
+            let rows: Vec<_> = report
+                .runs
+                .iter()
+                .filter(|r| r.policy == policy.label() && r.rate == rate_label)
+                .collect();
+            let failed = rows.iter().filter(|r| !r.ok).count();
+            let faults: u64 = rows.iter().map(|r| r.stats.faults()).sum();
+            let mut slowdowns = Vec::new();
+            for app in &spec.apps {
+                let key = |p: PolicyKind| campaign::grid_key(app, p.label(), &rate_label, "clean");
+                if let (Some(run), Some(ideal)) = (
+                    report.find(&key(policy)),
+                    report.find(&key(PolicyKind::Ideal)),
+                ) {
+                    if run.ok && ideal.ok && ideal.stats.cycles > 0 {
+                        slowdowns.push(run.stats.cycles as f64 / ideal.stats.cycles as f64);
+                    }
+                }
+            }
+            t.row(vec![
+                policy.label().to_string(),
+                rate_label,
+                rows.len().to_string(),
+                failed.to_string(),
+                faults.to_string(),
+                if slowdowns.is_empty() {
+                    "-".to_string()
+                } else {
+                    f3(geomean(&slowdowns))
+                },
+            ]);
+        }
+    }
+    t.print();
+    let totals = report.totals();
+    println!(
+        "merged: {} runs ({} resumed from snapshot), {} failed, {} faults, {} evictions",
+        totals.runs, outcome.resumed, totals.failed, totals.faults, totals.evictions
+    );
+    save_json("campaign", &report.to_json());
+    if totals.failed > 0 {
+        return Err(CliError::Run(format!(
+            "{} campaign cell(s) failed; see the merged report",
+            totals.failed
+        )));
+    }
+    Ok(())
+}
+
+/// Flags shared by `bench-snapshot` / `bench-check`.
+struct BenchOpts {
+    workers: usize,
+    dir: PathBuf,
+}
+
+fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, String> {
+    let mut opts = BenchOpts {
+        workers: 1,
+        dir: perf::bench_dir(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+            }
+            "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_snapshot(snap: &perf::BenchSnapshot) {
+    let mut t = Table::new(
+        format!("{} (seed {}, {} apps)", snap.id, snap.seed, snap.apps.len()),
+        &["policy", "slowdown@75%", "slowdown@50%"],
+    );
+    for p in &snap.policies {
+        t.row(vec![p.policy.clone(), f3(p.slowdown_75), f3(p.slowdown_50)]);
+    }
+    t.print();
+    let mut w = Table::new("wall-clocks", &["routine", "median"]);
+    for wc in &snap.wall_clocks {
+        w.row(vec![
+            wc.name.clone(),
+            format!("{:.3} ms", wc.median_ns / 1e6),
+        ]);
+    }
+    w.print();
+}
+
+/// `bench-snapshot`: collect and record the next `BENCH_NNNN.json`.
+fn cmd_bench_snapshot(opts: &BenchOpts) -> Result<(), CliError> {
+    fs::create_dir_all(&opts.dir).map_err(|e| CliError::Run(e.to_string()))?;
+    let id = perf::next_id(&opts.dir);
+    eprintln!("[collecting {} over the clean full grid ...]", id);
+    let snap = perf::collect(&id, opts.workers).map_err(CliError::Run)?;
+    snap.validate().map_err(CliError::Run)?;
+    let path = opts.dir.join(format!("{id}.json"));
+    fs::write(&path, snap.to_json().pretty()).map_err(|e| CliError::Run(e.to_string()))?;
+    print_snapshot(&snap);
+    println!("[saved {}]", path.display());
+    Ok(())
+}
+
+/// `bench-check`: the regression gate — collect fresh numbers and compare
+/// them against the highest-numbered snapshot under tolerance.
+fn cmd_bench_check(opts: &BenchOpts) -> Result<(), CliError> {
+    let Some(baseline_path) = perf::latest(&opts.dir) else {
+        return Err(CliError::Usage(format!(
+            "no BENCH_*.json under {} — record one with `hpe-lab bench-snapshot`",
+            opts.dir.display()
+        )));
+    };
+    let baseline = perf::BenchSnapshot::load(&baseline_path).map_err(CliError::Run)?;
+    eprintln!(
+        "[bench gate: current run vs {} ({})]",
+        baseline.id,
+        baseline_path.display()
+    );
+    let current = perf::collect("BENCH_current", opts.workers).map_err(CliError::Run)?;
+    let rows = perf::compare(&current, &baseline);
+    let mut t = Table::new(
+        format!("bench gate vs {}", baseline.id),
+        &["metric", "baseline", "current", "ratio", "verdict"],
+    );
+    for r in &rows {
+        let fmt = |v: f64| {
+            if r.metric.starts_with("wall/") {
+                format!("{:.3} ms", v / 1e6)
+            } else {
+                f3(v)
+            }
+        };
+        t.row(vec![
+            r.metric.clone(),
+            fmt(r.baseline),
+            fmt(r.current),
+            f2(r.ratio()),
+            r.verdict.label().to_string(),
+        ]);
+    }
+    t.print();
+    match perf::worst(&rows) {
+        perf::Verdict::Pass => {
+            println!("bench gate: pass ({} metrics)", rows.len());
+            Ok(())
+        }
+        perf::Verdict::Warn => {
+            println!(
+                "bench gate: pass with warnings ({} warn of {} metrics)",
+                rows.iter()
+                    .filter(|r| r.verdict == perf::Verdict::Warn)
+                    .count(),
+                rows.len()
+            );
+            Ok(())
+        }
+        perf::Verdict::Fail => Err(CliError::Run(format!(
+            "bench gate: REGRESSION — {} metric(s) over the fail tolerance vs {}",
+            rows.iter()
+                .filter(|r| r.verdict == perf::Verdict::Fail)
+                .count(),
+            baseline.id
+        ))),
+    }
+}
+
+/// How a command failed, mapped onto the process exit code (1 run
+/// failure / regression, 2 usage).
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+fn usage() -> String {
+    "usage: hpe-lab <list|run|compare|sweep|profile|campaign|bench-snapshot|bench-check> \
+     [APP ...] [options]"
+        .to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.split_first() {
+    let result: Result<(), CliError> = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "list" => {
                 cmd_list();
                 Ok(())
             }
             "profile" => match rest.first() {
-                Some(abbr) => cmd_profile(abbr),
-                None => Err("profile needs an application abbreviation".to_string()),
+                Some(abbr) => cmd_profile(abbr).map_err(CliError::Usage),
+                None => Err(CliError::Usage(
+                    "profile needs an application abbreviation".to_string(),
+                )),
             },
             "run" | "compare" | "sweep" => match rest.split_first() {
-                Some((abbr, flags)) => parse_opts(flags).and_then(|opts| match cmd.as_str() {
-                    "run" => cmd_run(abbr, &opts),
-                    "compare" => cmd_compare(abbr, &opts),
-                    _ => cmd_sweep(abbr, &opts),
-                }),
-                None => Err(format!("{cmd} needs an application abbreviation")),
+                Some((abbr, flags)) => parse_opts(flags)
+                    .and_then(|opts| match cmd.as_str() {
+                        "run" => cmd_run(abbr, &opts),
+                        "compare" => cmd_compare(abbr, &opts),
+                        _ => cmd_sweep(abbr, &opts),
+                    })
+                    .map_err(CliError::Usage),
+                None => Err(CliError::Usage(format!(
+                    "{cmd} needs an application abbreviation"
+                ))),
             },
-            other => Err(format!("unknown command {other:?}")),
+            "campaign" => parse_campaign_opts(rest)
+                .map_err(CliError::Usage)
+                .and_then(|opts| cmd_campaign(&opts)),
+            "bench-snapshot" => parse_bench_opts(rest)
+                .map_err(CliError::Usage)
+                .and_then(|opts| cmd_bench_snapshot(&opts)),
+            "bench-check" => parse_bench_opts(rest)
+                .map_err(CliError::Usage)
+                .and_then(|opts| cmd_bench_check(&opts)),
+            other => Err(CliError::Usage(format!("unknown command {other:?}"))),
         },
-        None => Err("usage: hpe-lab <list|run|compare|sweep|profile> [APP] [options]".to_string()),
+        None => Err(CliError::Usage(usage())),
     };
-    if let Err(msg) = result {
-        eprintln!("error: {msg}");
-        std::process::exit(2);
+    match result {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! hpe-trace timeline stn.jsonl             # windowed series + marker events
 //! hpe-trace diff a.jsonl b.jsonl           # first divergence of two streams
 //! hpe-trace shape fig13.json               # stable shape of a figure series
+//! hpe-trace campaign progress.jsonl        # summarize a campaign progress stream
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -42,6 +43,10 @@ fn usage() -> ExitCode {
          \x20           compare two streams; exit 1 if they differ\n\
          \x20 shape     <FIG.json>\n\
          \x20           stable shape of a figure's JSON series\n\
+         \x20 campaign  <FILE.jsonl>\n\
+         \x20           summarize a campaign progress stream (written by\n\
+         \x20           `hpe-lab campaign --progress FILE`); exit 1 if any\n\
+         \x20           recorded run failed\n\
          \n\
          policies: LRU, Random, LFU, RRIP, CLOCK-Pro, Ideal, HPE (default HPE)"
     );
@@ -365,6 +370,92 @@ fn cmd_shape(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Summarizes a campaign progress JSONL stream: per-policy and per-plan
+/// completion counts, failures, and whether the arrival order was
+/// sequential (serial run) or interleaved (parallel workers). Returns
+/// `Ok(false)` when any recorded run failed.
+fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
+    let [file] = flags.positional.as_slice() else {
+        return Err("campaign needs exactly one FILE.jsonl".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let mut indices = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let mut by_policy: Vec<(String, u64)> = Vec::new();
+    let mut by_plan: Vec<(String, u64)> = Vec::new();
+    let mut cycles = 0u64;
+    let mut faults = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("{file}:{}: {e}", lineno + 1))?;
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{file}:{}: missing field `{name}`", lineno + 1))
+        };
+        let index = v
+            .get("index")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{file}:{}: missing field `index`", lineno + 1))?;
+        indices.push(index);
+        let ok = v.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        if !ok {
+            failures.push((
+                field("key")?,
+                field("error").unwrap_or_else(|_| "?".to_string()),
+            ));
+        }
+        cycles += v.get("cycles").and_then(Json::as_u64).unwrap_or(0);
+        faults += v.get("faults").and_then(Json::as_u64).unwrap_or(0);
+        for (name, tallies) in [("policy", &mut by_policy), ("plan", &mut by_plan)] {
+            let label = field(name)?;
+            match tallies.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => tallies.push((label, 1)),
+            }
+        }
+    }
+    if indices.is_empty() {
+        return Err(format!("{file}: no progress lines"));
+    }
+    let sequential = indices.windows(2).all(|w| w[1] > w[0]);
+    println!(
+        "{}: {} runs recorded, {} failed, {} faults, {} cycles total",
+        file,
+        indices.len(),
+        failures.len(),
+        faults,
+        cycles
+    );
+    println!(
+        "arrival order: {} (progress lines are completion-ordered; only the \
+         merged report is deterministic)",
+        if sequential {
+            "sequential — consistent with a serial run"
+        } else {
+            "interleaved — parallel workers"
+        }
+    );
+    let mut t = Table::new(format!("completions ({file})"), &["group", "label", "runs"]);
+    for (group, tallies) in [("policy", &by_policy), ("plan", &by_plan)] {
+        for (label, n) in tallies {
+            t.row(vec![group.to_string(), label.clone(), n.to_string()]);
+        }
+    }
+    t.print();
+    if !failures.is_empty() {
+        println!("\nfailed runs:");
+        for (key, error) in &failures {
+            println!("  {key}: {error}");
+        }
+        return Ok(false);
+    }
+    Ok(true)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -383,6 +474,7 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(&flags).map(|()| true),
         "diff" => cmd_diff(&flags),
         "shape" => cmd_shape(&flags).map(|()| true),
+        "campaign" => cmd_campaign(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();

@@ -14,9 +14,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
+pub mod perf;
 pub mod report;
 pub mod runner;
 
+pub use campaign::{
+    chaos_plan_set, grid_key, run_campaign, run_campaign_serial, CampaignError, CampaignOutcome,
+    CampaignReport, CampaignRun, CampaignSnapshot, CampaignSpec, CampaignTotals, PlanSpec,
+    PoolOptions, DEFAULT_SNAPSHOT_EVERY,
+};
+pub use perf::{BenchSnapshot, PolicyPerf, Tolerance, Verdict, WallClock, BENCH_SCHEMA_VERSION};
 pub use report::{f2, f3, geomean, mean, save_json, traces_dir, write_jsonl, Table};
 pub use runner::{
     manual_strategy_for, rrip_config_for, run_hpe_with, run_policy, run_policy_recovering,

@@ -1,0 +1,231 @@
+//! `BENCH_*.json` schema suite: round-trip fidelity, the tolerance
+//! boundary math of the regression gate, and malformed-snapshot
+//! rejection.
+
+use hpe_bench::perf::{
+    compare, next_id, verdict, worst, CompareRow, Verdict, SIM_TOLERANCE, WALL_TOLERANCE,
+};
+use hpe_bench::{BenchSnapshot, PolicyPerf, Tolerance, WallClock, BENCH_SCHEMA_VERSION};
+use uvm_util::ToJson;
+
+/// A small but fully populated snapshot.
+fn sample(id: &str) -> BenchSnapshot {
+    BenchSnapshot {
+        schema: BENCH_SCHEMA_VERSION,
+        id: id.to_string(),
+        seed: 2019,
+        apps: vec!["STN".to_string(), "SGM".to_string()],
+        policies: vec![
+            PolicyPerf {
+                policy: "LRU".to_string(),
+                slowdown_75: 1.616,
+                slowdown_50: 1.398,
+            },
+            PolicyPerf {
+                policy: "HPE".to_string(),
+                slowdown_75: 1.277,
+                slowdown_50: 1.286,
+            },
+        ],
+        wall_clocks: vec![WallClock {
+            name: "run/STN/HPE/75%".to_string(),
+            median_ns: 6.3e6,
+        }],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_round_trips_byte_identically_through_json() {
+    let snap = sample("BENCH_0001");
+    let text = snap.to_json().to_string();
+    let back = BenchSnapshot::parse(&text).expect("parses and validates");
+    assert_eq!(back, snap);
+    // Serializing the parsed value reproduces the original bytes: the
+    // schema has no lossy or order-unstable fields.
+    assert_eq!(back.to_json().to_string(), text);
+    // The pretty form parses back to the same value too.
+    let pretty = snap.to_json().pretty();
+    assert_eq!(BenchSnapshot::parse(&pretty).unwrap(), snap);
+}
+
+#[test]
+fn parse_fills_defaults_for_optional_fields_but_validation_still_gates() {
+    // A sparse document parses (impl_json_struct defaults) but cannot
+    // validate: default schema 0 and empty metric sets are rejected.
+    let err = BenchSnapshot::parse("{}").expect_err("defaults must not validate");
+    assert!(err.contains("schema"), "unexpected error: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance math
+// ---------------------------------------------------------------------------
+
+#[test]
+fn verdict_boundaries_are_inclusive_at_warn_and_fail() {
+    let tol = Tolerance {
+        warn: 0.01,
+        fail: 0.10,
+    };
+    let eps = 1e-9;
+    // Improvements and flat results pass.
+    assert_eq!(verdict(0.5, 1.0, tol), Verdict::Pass);
+    assert_eq!(verdict(1.0, 1.0, tol), Verdict::Pass);
+    // Exactly 1 + warn still passes; just above warns.
+    assert_eq!(verdict(1.0 + tol.warn, 1.0, tol), Verdict::Pass);
+    assert_eq!(verdict(1.0 + tol.warn + eps, 1.0, tol), Verdict::Warn);
+    // Exactly 1 + fail still warns; just above fails.
+    assert_eq!(verdict(1.0 + tol.fail, 1.0, tol), Verdict::Warn);
+    assert_eq!(verdict(1.0 + tol.fail + eps, 1.0, tol), Verdict::Fail);
+}
+
+#[test]
+fn verdict_fails_closed_on_degenerate_numbers() {
+    let tol = SIM_TOLERANCE;
+    assert_eq!(verdict(f64::NAN, 1.0, tol), Verdict::Fail);
+    assert_eq!(verdict(1.0, f64::NAN, tol), Verdict::Fail);
+    assert_eq!(verdict(f64::INFINITY, 1.0, tol), Verdict::Fail);
+    assert_eq!(verdict(1.0, 0.0, tol), Verdict::Fail);
+    assert_eq!(verdict(-1.0, 1.0, tol), Verdict::Fail);
+}
+
+#[test]
+fn worst_orders_pass_warn_fail() {
+    let row = |v: Verdict| CompareRow {
+        metric: "m".to_string(),
+        baseline: 1.0,
+        current: 1.0,
+        verdict: v,
+    };
+    assert_eq!(worst(&[]), Verdict::Pass);
+    assert_eq!(worst(&[row(Verdict::Pass)]), Verdict::Pass);
+    assert_eq!(
+        worst(&[row(Verdict::Pass), row(Verdict::Warn)]),
+        Verdict::Warn
+    );
+    assert_eq!(
+        worst(&[row(Verdict::Warn), row(Verdict::Fail), row(Verdict::Pass)]),
+        Verdict::Fail
+    );
+}
+
+#[test]
+fn compare_applies_the_right_tolerance_per_metric_family() {
+    let baseline = sample("BENCH_0001");
+    let mut current = sample("BENCH_0002");
+    // +1% on a slowdown: over SIM warn (0.5%), under SIM fail (2%).
+    current.policies[0].slowdown_75 *= 1.01;
+    // +100% on the wall-clock: over WALL warn (50%), under WALL fail (300%).
+    current.wall_clocks[0].median_ns *= 2.0;
+    let rows = compare(&current, &baseline);
+    assert_eq!(
+        rows.len(),
+        2 * baseline.policies.len() + baseline.wall_clocks.len()
+    );
+    let by_name = |m: &str| {
+        rows.iter()
+            .find(|r| r.metric == m)
+            .unwrap_or_else(|| panic!("missing row {m}"))
+    };
+    assert_eq!(by_name("slowdown75/LRU").verdict, Verdict::Warn);
+    assert_eq!(by_name("slowdown50/LRU").verdict, Verdict::Pass);
+    assert_eq!(by_name("slowdown75/HPE").verdict, Verdict::Pass);
+    assert_eq!(by_name("wall/run/STN/HPE/75%").verdict, Verdict::Warn);
+    assert_eq!(worst(&rows), Verdict::Warn);
+    // Sanity: the same +100% under the SIM tolerance would fail.
+    assert_eq!(verdict(2.0, 1.0, SIM_TOLERANCE), Verdict::Fail);
+    assert_eq!(verdict(2.0, 1.0, WALL_TOLERANCE), Verdict::Warn);
+}
+
+#[test]
+fn compare_fails_metrics_missing_from_current_and_ignores_new_ones() {
+    let baseline = sample("BENCH_0001");
+    let mut current = sample("BENCH_0002");
+    // Drop LRU from the current collection and add a policy the
+    // baseline never measured.
+    current.policies.retain(|p| p.policy != "LRU");
+    current.policies.push(PolicyPerf {
+        policy: "CLOCK".to_string(),
+        slowdown_75: 1.5,
+        slowdown_50: 1.4,
+    });
+    let rows = compare(&current, &baseline);
+    // Baseline metrics only: 2 per baseline policy + baseline walls.
+    assert_eq!(rows.len(), 2 * baseline.policies.len() + 1);
+    assert!(rows
+        .iter()
+        .filter(|r| r.metric.ends_with("/LRU"))
+        .all(|r| r.verdict == Verdict::Fail && r.current.is_nan()));
+    assert!(!rows.iter().any(|r| r.metric.ends_with("/CLOCK")));
+    assert_eq!(worst(&rows), Verdict::Fail);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed snapshots
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_snapshots_are_rejected_with_readable_errors() {
+    // Not JSON at all.
+    assert!(BenchSnapshot::parse("nope").is_err());
+
+    // Wrong schema version.
+    let mut snap = sample("BENCH_0001");
+    snap.schema = 99;
+    let err = BenchSnapshot::parse(&snap.to_json().to_string()).unwrap_err();
+    assert!(err.contains("schema 99"), "unexpected error: {err}");
+
+    // Id without the BENCH_ prefix.
+    let snap = sample("SNAP_1");
+    let err = snap.validate().unwrap_err();
+    assert!(err.contains("BENCH_"), "unexpected error: {err}");
+
+    // Empty metric sets.
+    let mut snap = sample("BENCH_0001");
+    snap.apps.clear();
+    assert!(snap.validate().unwrap_err().contains("empty app set"));
+    let mut snap = sample("BENCH_0001");
+    snap.policies.clear();
+    assert!(snap.validate().unwrap_err().contains("empty policy set"));
+
+    // Non-finite and non-positive numbers.
+    for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+        let mut snap = sample("BENCH_0001");
+        snap.policies[0].slowdown_50 = bad;
+        assert!(snap.validate().is_err(), "slowdown {bad} must be rejected");
+        let mut snap = sample("BENCH_0001");
+        snap.wall_clocks[0].median_ns = bad;
+        assert!(
+            snap.validate().is_err(),
+            "wall-clock {bad} must be rejected"
+        );
+    }
+
+    // A field with the wrong JSON type fails at the FromJson layer.
+    let err = BenchSnapshot::parse(r#"{"schema": "one"}"#).unwrap_err();
+    assert!(!err.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory bookkeeping
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_repo_records_a_valid_first_snapshot() {
+    // Satellite acceptance: BENCH_0001.json exists in-repo and validates.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks");
+    let first = dir.join("BENCH_0001.json");
+    assert!(
+        first.exists(),
+        "benchmarks/BENCH_0001.json missing — record it with `hpe-lab bench-snapshot`"
+    );
+    let snap = BenchSnapshot::load(&first).expect("in-repo snapshot validates");
+    assert_eq!(snap.id, "BENCH_0001");
+    assert_eq!(snap.schema, BENCH_SCHEMA_VERSION);
+    assert_eq!(snap.apps.len(), 23, "snapshot covers the full app grid");
+    assert!(snap.policies.iter().any(|p| p.policy == "HPE"));
+    assert!(next_id(&dir).starts_with("BENCH_"));
+}

@@ -1,0 +1,148 @@
+//! Parallel-equivalence suite: the pooled campaign engine must produce a
+//! merged report byte-identical to the serial reference runner, for any
+//! worker count and any completion order.
+//!
+//! The grid here is a seeded sub-grid (2 apps x 3 policies x 1 rate x
+//! 3 plan columns = 18 cells) small enough for debug-mode CI but wide
+//! enough to cross apps, policies, and chaos plans.
+
+use hpe_bench::{
+    bench_config, campaign, chaos_plan_set, run_campaign, run_campaign_serial, CampaignSpec,
+    PolicyKind, PoolOptions,
+};
+use uvm_types::Oversubscription;
+
+/// The seeded sub-grid every test in this file runs.
+fn sub_grid() -> CampaignSpec {
+    let seed = 2019;
+    let plans = chaos_plan_set(seed)
+        .into_iter()
+        .filter(|p| matches!(p.name.as_str(), "clean" | "signal-chaos" | "victim-drop"))
+        .collect();
+    CampaignSpec {
+        apps: vec!["STN".to_string(), "SGM".to_string()],
+        policies: vec![PolicyKind::Lru, PolicyKind::Hpe, PolicyKind::ClockPro],
+        rates: vec![Oversubscription::Rate75],
+        plans,
+        recovery: Default::default(),
+        seed,
+    }
+}
+
+fn report_bytes(outcome: &campaign::CampaignOutcome) -> String {
+    outcome
+        .report()
+        .expect("campaign completed")
+        .to_json()
+        .to_string()
+}
+
+#[test]
+fn pool_is_byte_identical_to_serial_for_any_worker_count() {
+    let cfg = bench_config();
+    let spec = sub_grid();
+    let reference = report_bytes(&run_campaign_serial(&cfg, &spec).expect("serial runs"));
+    assert!(!reference.is_empty());
+
+    for workers in [1, 2, 8] {
+        let pool = PoolOptions {
+            workers,
+            ..PoolOptions::default()
+        };
+        let outcome = run_campaign(&cfg, &spec, &pool, None).expect("pooled runs");
+        assert_eq!(outcome.executed, spec.grid_len());
+        assert_eq!(
+            report_bytes(&outcome),
+            reference,
+            "merged report diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn pool_is_byte_identical_across_shuffled_completion_orders() {
+    let cfg = bench_config();
+    let spec = sub_grid();
+    let reference = report_bytes(&run_campaign_serial(&cfg, &spec).expect("serial runs"));
+
+    // Shuffling the injector queue permutes dispatch (and therefore
+    // completion) order without touching any cell's inputs; the merge is
+    // keyed by grid index, so the report must not move a byte.
+    for shuffle_seed in [1u64, 42, 0xdead_beef] {
+        for workers in [2, 8] {
+            let pool = PoolOptions {
+                workers,
+                shuffle: Some(shuffle_seed),
+                ..PoolOptions::default()
+            };
+            let outcome = run_campaign(&cfg, &spec, &pool, None).expect("pooled runs");
+            assert_eq!(
+                report_bytes(&outcome),
+                reference,
+                "merged report diverged at {workers} workers, shuffle seed {shuffle_seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn progress_stream_covers_the_grid_even_when_arrival_order_varies() {
+    let cfg = bench_config();
+    let spec = sub_grid();
+    let pool = PoolOptions {
+        workers: 4,
+        shuffle: Some(7),
+        ..PoolOptions::default()
+    };
+    let mut progress: Vec<u8> = Vec::new();
+    let outcome = run_campaign(&cfg, &spec, &pool, Some(&mut progress)).expect("pooled runs");
+    let text = String::from_utf8(progress).expect("progress stream is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), spec.grid_len());
+
+    // Every grid index appears exactly once, whatever the arrival order.
+    let mut seen: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            uvm_util::Json::parse(l)
+                .expect("each progress line is one JSON object")
+                .get("index")
+                .and_then(uvm_util::Json::as_u64)
+                .expect("progress line has an index")
+        })
+        .collect();
+    seen.sort_unstable();
+    let expected: Vec<u64> = (0..spec.grid_len() as u64).collect();
+    assert_eq!(seen, expected);
+
+    // The merged report itself stays in grid order.
+    let report = outcome.report().expect("campaign completed");
+    for (i, run) in report.runs.iter().enumerate() {
+        assert_eq!(run.index, i as u64);
+    }
+}
+
+#[test]
+fn serial_runner_and_engine_agree_on_fingerprints_and_totals() {
+    let cfg = bench_config();
+    let spec = sub_grid();
+    let serial = run_campaign_serial(&cfg, &spec).expect("serial runs");
+    let pooled = run_campaign(
+        &cfg,
+        &spec,
+        &PoolOptions {
+            workers: 8,
+            ..PoolOptions::default()
+        },
+        None,
+    )
+    .expect("pooled runs");
+    assert_eq!(serial.fingerprint, pooled.fingerprint);
+    assert_eq!(serial.fingerprint, spec.fingerprint());
+    let (a, b) = (
+        serial.report().unwrap().totals(),
+        pooled.report().unwrap().totals(),
+    );
+    assert_eq!(a, b);
+    assert!(a.runs == spec.grid_len() as u64 && a.failed == 0);
+}

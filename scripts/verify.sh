@@ -27,6 +27,12 @@ cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- smoke
 cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- livelock > /dev/null
 cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- livelock --retry > /dev/null
 
+echo "==> parallel campaign smoke (8 workers, deterministic merge)"
+# The chaos campaign fanned over 8 workers must exit 0; the
+# parallel-equivalence test suite proves the merged report is
+# byte-identical to a serial run, this smoke proves the CLI path works.
+cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- campaign --workers 8 > /dev/null
+
 echo "==> checkpoint/resume determinism smoke (STN, checkpoint mid-run)"
 # `resume` runs STN straight through, checkpoints a second run mid-flight,
 # resumes it in a fresh simulation, and exits nonzero unless the resumed
@@ -58,6 +64,16 @@ cargo clippy -q --offline --workspace --all-targets -- -D warnings
 if [ "${CHECK_FIGURES:-0}" = "1" ]; then
     echo "==> figure shape check (CHECK_FIGURES=1)"
     sh scripts/check_figures.sh
+fi
+
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+    echo "==> bench regression gate (CHECK_BENCH=1)"
+    # Collects a fresh perf snapshot and compares it against the
+    # highest-numbered benchmarks/BENCH_*.json under tolerance: the
+    # simulation metrics are deterministic (tight tolerance), the
+    # wall-clocks are noisy (loose tolerance, hence the env gate).
+    # Exit codes: 0 pass/warn, 1 regression, 2 usage.
+    cargo run -q --release --offline -p hpe-bench --bin hpe-lab -- bench-check --workers 8
 fi
 
 echo "verify: OK"
