@@ -28,12 +28,13 @@
 use std::process::ExitCode;
 
 use hpe_bench::{
-    bench_config, campaign, f2, run_policy, run_policy_recovering, save_json, PolicyKind,
-    RecoveryOptions, Table,
+    bench_config, campaign, f2, run_policy, run_policy_profiled, run_policy_recovering, save_json,
+    PolicyKind, RecoveryOptions, Table,
 };
 use hpe_core::{Hpe, HpeConfig};
 use uvm_sim::{
-    trace_for, FallbackVictim, FaultPlan, RetryPolicy, Simulation, DEFAULT_SANITIZER_CADENCE,
+    trace_for, FallbackVictim, FaultPlan, RetryPolicy, Simulation, DEFAULT_PROFILE_CADENCE,
+    DEFAULT_SANITIZER_CADENCE,
 };
 use uvm_types::{Oversubscription, SimError};
 use uvm_util::{json, Json, ToJson};
@@ -87,6 +88,11 @@ fn usage() -> ExitCode {
          \x20          run HPE with the invariant sanitizer on and off\n\
          \x20          (default apps STN SGM) and verify the sanitizer\n\
          \x20          leaves SimStats byte-identical\n\
+         \x20 profile  [APP ...] [--rate 75|50]\n\
+         \x20          run HPE with the cycle-attribution profiler on and\n\
+         \x20          off (default apps STN SGM) and verify the profiler\n\
+         \x20          leaves SimStats byte-identical and its timeline\n\
+         \x20          accounts conserve total cycles\n\
          \n\
          exit codes: 0 ok, 1 simulation failure, 2 usage error"
     );
@@ -119,6 +125,7 @@ impl Flags {
             retry: self.retry.then(RetryPolicy::default),
             fallback: self.fallback,
             sanitize: self.sanitize,
+            profile: None,
         }
     }
 }
@@ -722,6 +729,56 @@ fn cmd_sanitize(flags: &Flags) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// `profile`: prove the cycle-attribution profiler is observation-only.
+///
+/// Runs HPE with the profiler off, then on, and requires (a) byte-identical
+/// `SimStats` JSON and (b) the profiler's timeline accounts to sum exactly
+/// to the run's total cycles (the conservation law the breakdown rests on).
+fn cmd_profile(flags: &Flags) -> Result<(), CmdError> {
+    let cfg = bench_config();
+    let abbrs: Vec<&str> = if flags.positional.is_empty() {
+        vec!["STN", "SGM"]
+    } else {
+        flags.positional.iter().map(String::as_str).collect()
+    };
+    for abbr in abbrs {
+        let app = registry::by_abbr(abbr)
+            .ok_or_else(|| CmdError::Usage(format!("unknown app '{abbr}'")))?;
+        let off = run_policy(&cfg, app, flags.rate, PolicyKind::Hpe)?;
+        let (on, profile) = run_policy_profiled(
+            &cfg,
+            app,
+            flags.rate,
+            PolicyKind::Hpe,
+            DEFAULT_PROFILE_CADENCE,
+        )?;
+        let (a, b) = (
+            on.stats.to_json().to_string(),
+            off.stats.to_json().to_string(),
+        );
+        if a != b {
+            return Err(CmdError::Run(format!(
+                "profiler perturbed {abbr}: stats diverged\nprofiled: {a}\nplain:    {b}"
+            )));
+        }
+        if profile.timeline_sum() != profile.total_cycles {
+            return Err(CmdError::Run(format!(
+                "profiler accounts for {abbr} do not conserve: timeline sum {} vs {} total cycles",
+                profile.timeline_sum(),
+                profile.total_cycles
+            )));
+        }
+        println!(
+            "{abbr}: {} cycles, {} faults — profiler left SimStats byte-identical; \
+             timeline accounts conserve ({} driver-idle cycles skippable)",
+            on.stats.cycles,
+            on.stats.faults(),
+            profile.driver_idle()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -740,6 +797,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&flags),
         "smoke" => cmd_smoke(&flags),
         "sanitize" => cmd_sanitize(&flags),
+        "profile" => cmd_profile(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();

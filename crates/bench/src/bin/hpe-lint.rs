@@ -118,7 +118,10 @@ fn cmd_rules() -> ExitCode {
          \x20                  (crates/{{sim,core,policies,workloads}}/src)\n\
          hermeticity        external-import (every .rs file)\n\
          error-discipline   unwrap (.unwrap()/.expect(/panic! outside tests;\n\
-         \x20                  crates/{{sim,core,policies}}/src)\n\
+         \x20                  crates/{{sim,core,policies}}/src),\n\
+         \x20                  profile-guard (profiler accumulation outside\n\
+         \x20                  the opt-in guard; crates/sim/src except\n\
+         \x20                  profile.rs)\n\
          paper-constants    paper-constants (config constructors vs the\n\
          \x20                  declared manifest)\n\
          \n\

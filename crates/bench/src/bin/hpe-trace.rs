@@ -18,10 +18,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use hpe_bench::{bench_config, run_policy_traced, traces_dir, write_jsonl, PolicyKind, Table};
+use hpe_bench::{
+    bench_config, run_policy_profiled, run_policy_traced, traces_dir, write_jsonl, PolicyKind,
+    Table,
+};
 use uvm_sim::{
-    parse_jsonl, EventCounters, IntervalCollector, IntervalKey, SimEvent, SimObserver,
-    TraceHistograms,
+    parse_jsonl, EventCounters, IntervalCollector, IntervalKey, ProfileReport, SimEvent,
+    SimObserver, TraceHistograms, DEFAULT_PROFILE_CADENCE,
 };
 use uvm_types::Oversubscription;
 use uvm_util::{Json, ToJson};
@@ -47,6 +50,17 @@ fn usage() -> ExitCode {
          \x20           summarize a campaign progress stream (written by\n\
          \x20           `hpe-lab campaign --progress FILE`); exit 1 if any\n\
          \x20           recorded run failed\n\
+         \x20 profile   <APP> [--policy P] [--rate 75|50] [--cadence N] [--out FILE]\n\
+         \x20           cycle-attribution breakdown + metrics time series;\n\
+         \x20           --out writes the series (.csv/.jsonl) or the full\n\
+         \x20           report (.json); exit 1 if the timeline accounts\n\
+         \x20           fail to conserve total cycles\n\
+         \x20 spans     <APP> [--policy P] [--rate 75|50]\n\
+         \x20           fault-lifecycle span summary + stage latency\n\
+         \x20           percentiles (queue/service/total/retry)\n\
+         \x20 flame     <APP> [--policy P] [--rate 75|50] [--out FILE]\n\
+         \x20           folded-stack (component;account cycles) output for\n\
+         \x20           flamegraph tools\n\
          \n\
          policies: LRU, Random, LFU, RRIP, CLOCK-Pro, Ideal, HPE (default HPE)"
     );
@@ -67,12 +81,14 @@ fn parse_rate(text: &str) -> Option<Oversubscription> {
     }
 }
 
-/// Common `--policy` / `--rate` / `--out` / `--window` flags.
+/// Common `--policy` / `--rate` / `--out` / `--window` / `--cadence`
+/// flags.
 struct Flags {
     policy: PolicyKind,
     rate: Oversubscription,
     out: Option<PathBuf>,
     window: Option<u64>,
+    cadence: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -82,6 +98,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         rate: Oversubscription::Rate75,
         out: None,
         window: None,
+        cadence: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -108,6 +125,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     return Err("--window must be nonzero".into());
                 }
                 flags.window = Some(w);
+            }
+            "--cadence" => {
+                let v = value("--cadence")?;
+                let c: u64 = v.parse().map_err(|_| format!("bad --cadence '{v}'"))?;
+                if c == 0 {
+                    return Err("--cadence must be nonzero".into());
+                }
+                flags.cadence = Some(c);
             }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => flags.positional.push(other.to_string()),
@@ -456,6 +481,85 @@ fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
     Ok(true)
 }
 
+/// Runs `spec` live with the cycle-attribution profiler attached.
+fn profiled_run(spec: &str, flags: &Flags) -> Result<ProfileReport, String> {
+    let Some(app) = registry::by_abbr(spec) else {
+        return Err(format!("unknown app '{spec}'"));
+    };
+    let cadence = flags.cadence.unwrap_or(DEFAULT_PROFILE_CADENCE);
+    eprintln!(
+        "[profiling {} under {} at {} (cadence {cadence}) ...]",
+        app.abbr(),
+        flags.policy.label(),
+        flags.rate.label()
+    );
+    let (_, profile) = run_policy_profiled(&bench_config(), app, flags.rate, flags.policy, cadence)
+        .map_err(|e| e.to_string())?;
+    Ok(profile)
+}
+
+/// `profile`: per-account cycle breakdown plus the sampled metrics
+/// series. Exit 1 if the timeline accounts fail to conserve.
+fn cmd_profile(flags: &Flags) -> Result<bool, String> {
+    let [spec] = flags.positional.as_slice() else {
+        return Err("profile needs exactly one APP".into());
+    };
+    let profile = profiled_run(spec, flags)?;
+    println!("{}", profile.render_accounts());
+    println!(
+        "metrics series: {} samples every {} cycles",
+        profile.series.samples.len(),
+        profile.series.cadence
+    );
+    if let Some(path) = &flags.out {
+        let text = match path.extension().and_then(|e| e.to_str()) {
+            Some("csv") => profile.series.to_csv(),
+            Some("jsonl") => profile.series.to_jsonl(),
+            _ => profile.to_json().to_string(),
+        };
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    if profile.timeline_sum() != profile.total_cycles {
+        eprintln!(
+            "CONSERVATION VIOLATED: timeline accounts sum to {} but the run took {} cycles",
+            profile.timeline_sum(),
+            profile.total_cycles
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// `spans`: fault-lifecycle span summary and stage latency percentiles.
+fn cmd_spans(flags: &Flags) -> Result<(), String> {
+    let [spec] = flags.positional.as_slice() else {
+        return Err("spans needs exactly one APP".into());
+    };
+    let profile = profiled_run(spec, flags)?;
+    println!("{}", profile.render_spans());
+    Ok(())
+}
+
+/// `flame`: folded-stack output (`component;account cycles` per line) for
+/// standard flamegraph tooling.
+fn cmd_flame(flags: &Flags) -> Result<(), String> {
+    let [spec] = flags.positional.as_slice() else {
+        return Err("flame needs exactly one APP".into());
+    };
+    let profile = profiled_run(spec, flags)?;
+    let folded = profile.folded();
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, &folded)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        None => print!("{folded}"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -475,6 +579,9 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(&flags),
         "shape" => cmd_shape(&flags).map(|()| true),
         "campaign" => cmd_campaign(&flags),
+        "profile" => cmd_profile(&flags),
+        "spans" => cmd_spans(&flags).map(|()| true),
+        "flame" => cmd_flame(&flags).map(|()| true),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();

@@ -245,6 +245,7 @@ impl CampaignSpec {
             "retry": self.recovery.retry,
             "fallback": self.recovery.fallback.label(),
             "sanitize": self.recovery.sanitize,
+            "profile": self.recovery.profile,
         });
         json!({
             "apps": self.apps.clone(),

@@ -27,9 +27,9 @@ pub use campaign::{
 pub use perf::{BenchSnapshot, PolicyPerf, Tolerance, Verdict, WallClock, BENCH_SCHEMA_VERSION};
 pub use report::{f2, f3, geomean, mean, save_json, traces_dir, write_jsonl, Table};
 pub use runner::{
-    manual_strategy_for, rrip_config_for, run_hpe_with, run_policy, run_policy_recovering,
-    run_policy_traced, run_policy_with_plan, HpeReport, PolicyKind, RecoveryOptions, RunResult,
-    TraceCapture, TRACE_CYCLE_WINDOW,
+    manual_strategy_for, rrip_config_for, run_hpe_with, run_policy, run_policy_profiled,
+    run_policy_recovering, run_policy_traced, run_policy_with_plan, HpeReport, PolicyKind,
+    RecoveryOptions, RunResult, TraceCapture, TRACE_CYCLE_WINDOW,
 };
 
 use uvm_types::SimConfig;

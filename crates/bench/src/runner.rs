@@ -10,7 +10,8 @@ use uvm_policies::{
 };
 use uvm_sim::{
     ideal_for, trace_for, EventCounters, EventLog, FallbackVictim, FaultPlan, IntervalCollector,
-    IntervalKey, MultiObserver, RetryPolicy, Sanitizer, SimObserver, Simulation, TraceHistograms,
+    IntervalKey, MultiObserver, ProfileConfig, ProfileReport, Profiler, RetryPolicy, Sanitizer,
+    SimObserver, Simulation, TraceHistograms,
 };
 use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
 use uvm_util::{json, Json, ToJson};
@@ -130,6 +131,11 @@ pub struct RecoveryOptions {
     /// Runtime invariant sanitizer cadence (events between sweeps).
     /// `None` disables the sanitizer entirely (zero cost).
     pub sanitize: Option<u64>,
+    /// Cycle-attribution profiler metrics cadence (cycles between
+    /// time-series samples). `None` disables the profiler entirely (zero
+    /// cost); `Some` attaches it, which is observation-only — the run's
+    /// [`SimStats`] stay byte-identical.
+    pub profile: Option<u64>,
 }
 
 /// The RRIP configuration the paper assigns to `app` (Section V-B).
@@ -191,65 +197,110 @@ pub fn run_policy_recovering(
     plan: Option<&FaultPlan>,
     recovery: RecoveryOptions,
 ) -> Result<RunResult, SimError> {
+    run_policy_inner(cfg, app, rate, kind, plan, recovery).map(|(result, _)| result)
+}
+
+/// Runs `app` under `kind` at `rate` with the cycle-attribution profiler
+/// attached, returning both the (byte-identical) result and the
+/// [`ProfileReport`]: per-account cycle breakdown, fault-lifecycle span
+/// histograms, and the metrics time series sampled every `cadence`
+/// cycles.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if `cfg` is invalid or the run cannot complete
+/// soundly.
+pub fn run_policy_profiled(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    kind: PolicyKind,
+    cadence: u64,
+) -> Result<(RunResult, ProfileReport), SimError> {
+    let recovery = RecoveryOptions {
+        profile: Some(cadence),
+        ..RecoveryOptions::default()
+    };
+    let (result, profile) = run_policy_inner(cfg, app, rate, kind, None, recovery)?;
+    Ok((result, profile.expect("profiler was attached")))
+}
+
+fn run_policy_inner(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    kind: PolicyKind,
+    plan: Option<&FaultPlan>,
+    recovery: RecoveryOptions,
+) -> Result<(RunResult, Option<ProfileReport>), SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
     let rec = recovery;
-    let (stats, hpe) = match kind {
-        PolicyKind::Lru => (run_sim(cfg, &trace, Lru::new(), capacity, plan, rec)?, None),
-        PolicyKind::Random => (
-            run_sim(
+    let (stats, hpe, profile) = match kind {
+        PolicyKind::Lru => {
+            let (s, p) = run_sim(cfg, &trace, Lru::new(), capacity, plan, rec)?;
+            (s, None, p)
+        }
+        PolicyKind::Random => {
+            let (s, p) = run_sim(
                 cfg,
                 &trace,
                 RandomPolicy::seeded(app.seed()),
                 capacity,
                 plan,
                 rec,
-            )?,
-            None,
-        ),
-        PolicyKind::Lfu => (run_sim(cfg, &trace, Lfu::new(), capacity, plan, rec)?, None),
-        PolicyKind::Rrip => (
-            run_sim(
+            )?;
+            (s, None, p)
+        }
+        PolicyKind::Lfu => {
+            let (s, p) = run_sim(cfg, &trace, Lfu::new(), capacity, plan, rec)?;
+            (s, None, p)
+        }
+        PolicyKind::Rrip => {
+            let (s, p) = run_sim(
                 cfg,
                 &trace,
                 Rrip::new(rrip_config_for(app)),
                 capacity,
                 plan,
                 rec,
-            )?,
-            None,
-        ),
-        PolicyKind::ClockPro => (
-            run_sim(
+            )?;
+            (s, None, p)
+        }
+        PolicyKind::ClockPro => {
+            let (s, p) = run_sim(
                 cfg,
                 &trace,
                 ClockPro::new(ClockProConfig::default()),
                 capacity,
                 plan,
                 rec,
-            )?,
-            None,
-        ),
-        PolicyKind::Ideal => (
-            run_sim(cfg, &trace, ideal_for(&trace), capacity, plan, rec)?,
-            None,
-        ),
+            )?;
+            (s, None, p)
+        }
+        PolicyKind::Ideal => {
+            let (s, p) = run_sim(cfg, &trace, ideal_for(&trace), capacity, plan, rec)?;
+            (s, None, p)
+        }
         PolicyKind::Hpe => {
             let hpe = Hpe::new(HpeConfig::from_sim(cfg))?;
             let mut sim = Simulation::new(cfg.clone(), &trace, hpe, capacity)?;
             configure(&mut sim, plan, rec)?;
             let outcome = sim.run()?;
             let report = HpeReport::from_policy(&outcome.policy);
-            (outcome.stats, Some(report))
+            (outcome.stats, Some(report), outcome.profile)
         }
     };
-    Ok(RunResult {
-        app: app.abbr(),
-        policy: kind.label(),
-        rate,
-        stats,
-        hpe,
-    })
+    Ok((
+        RunResult {
+            app: app.abbr(),
+            policy: kind.label(),
+            rate,
+            stats,
+            hpe,
+        },
+        profile,
+    ))
 }
 
 fn configure<P: EvictionPolicy>(
@@ -266,6 +317,9 @@ fn configure<P: EvictionPolicy>(
     sim.set_fallback_victim(recovery.fallback);
     if let Some(cadence) = recovery.sanitize {
         sim.set_sanitizer(Sanitizer::new(cadence));
+    }
+    if let Some(cadence) = recovery.profile {
+        sim.set_profiler(Profiler::new(ProfileConfig::new(cadence)));
     }
     Ok(())
 }
@@ -429,10 +483,11 @@ fn run_sim<P: EvictionPolicy>(
     capacity: u64,
     plan: Option<&FaultPlan>,
     recovery: RecoveryOptions,
-) -> Result<SimStats, SimError> {
+) -> Result<(SimStats, Option<ProfileReport>), SimError> {
     let mut sim = Simulation::new(cfg.clone(), trace, policy, capacity)?;
     configure(&mut sim, plan, recovery)?;
-    Ok(sim.run()?.stats)
+    let outcome = sim.run()?;
+    Ok((outcome.stats, outcome.profile))
 }
 
 /// The strategy the paper manually assigns per application for the

@@ -1,0 +1,111 @@
+//! `hpe-trace` CLI exit-code contract, driven through the real binary
+//! (`CARGO_BIN_EXE_hpe-trace`): diff exits 1 on divergence and 0 on
+//! identical streams, and the profiler subcommands hold their promises
+//! (conservation check, folded-stack shape).
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn hpe_trace(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hpe-trace"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn write(dir: &Path, name: &str, text: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+const EVENTS_A: &str = "{\"kind\":\"FaultRaised\",\"time\":10,\"page\":1}\n\
+                        {\"kind\":\"FaultServiced\",\"time\":40,\"page\":1}\n\
+                        {\"kind\":\"MemoryFull\",\"time\":50}\n";
+
+#[test]
+fn diff_exits_zero_on_identical_and_one_on_mismatch() {
+    let dir = std::env::temp_dir().join("hpe-trace-cli-diff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = write(&dir, "a.jsonl", EVENTS_A);
+    let same = write(&dir, "same.jsonl", EVENTS_A);
+    // Same stream content: identical, exit 0.
+    let out = hpe_trace(&["diff", &a, &same], &dir);
+    assert_eq!(out.status.code(), Some(0), "stderr: {:?}", out.stderr);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("identical"), "stdout: {stdout}");
+
+    // One event differs: exit 1 and the divergence is localized.
+    let b = write(
+        &dir,
+        "b.jsonl",
+        &EVENTS_A.replace("\"time\":40", "\"time\":41"),
+    );
+    let out = hpe_trace(&["diff", &a, &b], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("first divergence at event 1"), "{stdout}");
+
+    // A prefix stream (truncated file): counts differ, exit 1.
+    let prefix = write(&dir, "prefix.jsonl", EVENTS_A.rsplit_once('{').unwrap().0);
+    let out = hpe_trace(&["diff", &a, &prefix], &dir);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn diff_rejects_garbage_input_as_usage_error() {
+    let dir = std::env::temp_dir().join("hpe-trace-cli-garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = write(&dir, "a.jsonl", EVENTS_A);
+    let garbage = write(&dir, "garbage.jsonl", "not json at all\n");
+    let out = hpe_trace(&["diff", &a, &garbage], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 1"), "stderr: {stderr}");
+}
+
+#[test]
+fn profile_subcommand_reports_conserved_breakdown() {
+    let dir = std::env::temp_dir().join("hpe-trace-cli-profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hpe_trace(&["profile", "STN"], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("conserved"), "stdout: {stdout}");
+    assert!(stdout.contains("driver_idle"), "stdout: {stdout}");
+    assert!(stdout.contains("metrics series"), "stdout: {stdout}");
+}
+
+#[test]
+fn flame_subcommand_emits_folded_stacks() {
+    let dir = std::env::temp_dir().join("hpe-trace-cli-flame");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hpe_trace(&["flame", "STN"], &dir);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Folded-stack format: `frames;separated;by;semicolons <count>`.
+    assert!(!stdout.trim().is_empty());
+    for line in stdout.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack<space>count");
+        assert!(stack.contains(';'), "line: {line}");
+        count.parse::<u64>().expect("numeric sample count");
+    }
+    assert!(stdout.lines().any(|l| l.starts_with("driver;")));
+}
+
+#[test]
+fn spans_subcommand_prints_stage_percentiles() {
+    let dir = std::env::temp_dir().join("hpe-trace-cli-spans");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hpe_trace(&["spans", "STN"], &dir);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("p99"), "stdout: {stdout}");
+    assert!(stdout.contains("spans"), "stdout: {stdout}");
+}

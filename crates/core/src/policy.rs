@@ -613,6 +613,14 @@ impl EvictionPolicy for Hpe {
         }
     }
 
+    fn hir_fill(&self) -> u64 {
+        self.hir.as_ref().map_or(0, |h| h.touched_len() as u64)
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     fn check_invariants(&self) -> Result<(), String> {
         let (old, middle, new, len) = (
             self.chain.old_len(),

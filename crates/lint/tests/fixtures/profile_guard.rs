@@ -1,0 +1,26 @@
+//! Seeded profile-guard violation (lint fixture — never compiled).
+//!
+//! Impersonates engine code under `crates/sim/src/`: profiler
+//! accumulation methods must sit behind the opt-in attachment guard.
+
+pub struct Engine {
+    profiler: Option<Profiler>,
+    cycles: u64,
+}
+
+impl Engine {
+    pub fn unguarded(&mut self, prof: &mut Profiler) {
+        prof.charge(Account::SmStall, self.cycles);
+    }
+
+    pub fn guarded(&mut self) {
+        if let Some(prof) = self.profiler.as_mut() {
+            let walk = self.cycles / 2;
+            prof.charge(Account::PageWalk, walk);
+        }
+    }
+
+    pub fn annotated(&mut self, prof: &mut Profiler) {
+        prof.open_span(1, 2); // lint:allow(profile-guard) — fixture: annotated sites exempt
+    }
+}

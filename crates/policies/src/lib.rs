@@ -159,6 +159,22 @@ pub trait EvictionPolicy {
     /// drains nothing.
     fn drain_events(&mut self, _sink: &mut dyn FnMut(PolicyEvent)) {}
 
+    /// Current fill of the policy's GPU-side hit-information buffer
+    /// (HIR), in touched records; policies without one report 0.
+    ///
+    /// Read-only: the profiler's metrics registry samples this on a
+    /// cycle cadence, so it must not change any decision or statistic.
+    fn hir_fill(&self) -> u64 {
+        0
+    }
+
+    /// Whether the policy is currently running in a degraded fallback
+    /// mode (driver signals lost or undefined). Read-only, sampled by
+    /// the profiler's metrics registry; the default never degrades.
+    fn is_degraded(&self) -> bool {
+        false
+    }
+
     /// Validates the policy's internal structural invariants.
     ///
     /// Called by the simulator's opt-in sanitizer between events; it must
@@ -202,6 +218,12 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
     fn drain_events(&mut self, sink: &mut dyn FnMut(PolicyEvent)) {
         (**self).drain_events(sink);
+    }
+    fn hir_fill(&self) -> u64 {
+        (**self).hir_fill()
+    }
+    fn is_degraded(&self) -> bool {
+        (**self).is_degraded()
     }
     fn check_invariants(&self) -> Result<(), String> {
         (**self).check_invariants()

@@ -144,6 +144,14 @@ impl<P: EvictionPolicy> EvictionPolicy for Traced<P> {
         self.inner.drain_events(sink);
     }
 
+    fn hir_fill(&self) -> u64 {
+        self.inner.hir_fill()
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.inner.is_degraded()
+    }
+
     fn check_invariants(&self) -> Result<(), String> {
         self.inner.check_invariants()
     }

@@ -7,7 +7,9 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use uvm_policies::EvictionPolicy;
-use uvm_types::{ConfigError, PageId, SignalDisruption, SimConfig, SimError, SimStats};
+use uvm_types::{
+    ConfigError, CycleAccount, PageId, SignalDisruption, SimConfig, SimError, SimStats,
+};
 use uvm_workloads::{Op, Trace};
 
 use uvm_util::ToJson;
@@ -16,6 +18,7 @@ use crate::checkpoint::Checkpoint;
 use crate::faults::{FaultPlan, FaultState};
 use crate::memory::GpuMemory;
 use crate::observer::{EventLog, SimEvent, SimObserver};
+use crate::profile::{MetricsSample, ProfileReport, Profiler};
 use crate::recovery::{CircuitBreaker, FallbackVictim, LruShadow, RetryPolicy};
 use crate::sanitizer::Sanitizer;
 use crate::tlb::Tlb;
@@ -91,6 +94,9 @@ pub struct SimOutcome<P> {
     pub stats: SimStats,
     /// The policy, returned for post-run inspection.
     pub policy: P,
+    /// The finalized profile when a profiler was installed (see
+    /// [`Simulation::set_profiler`]); `None` on unprofiled runs.
+    pub profile: Option<ProfileReport>,
 }
 
 /// A configured simulation, consumed by [`Simulation::run`].
@@ -146,6 +152,10 @@ pub struct Simulation<P> {
     /// Opt-in runtime invariant checker; `None` (the default) costs one
     /// branch per event and nothing else.
     sanitizer: Option<Sanitizer>,
+    /// Opt-in cycle-attribution profiler; `None` (the default) costs one
+    /// branch per event and nothing else. Observation-only: a profiled
+    /// run's `SimStats` are byte-identical to an unprofiled run's.
+    profiler: Option<Profiler>,
 }
 
 impl<P: EvictionPolicy> Simulation<P> {
@@ -224,6 +234,7 @@ impl<P: EvictionPolicy> Simulation<P> {
             shadow: LruShadow::default(),
             paused_at: None,
             sanitizer: None,
+            profiler: None,
         };
         for w in 0..sim.warps.len() {
             if !sim.warps[w].ops.is_empty() {
@@ -287,6 +298,27 @@ impl<P: EvictionPolicy> Simulation<P> {
         self.sanitizer.as_ref()
     }
 
+    /// Installs the opt-in cycle-attribution profiler (see
+    /// [`Profiler`]): every simulated cycle is charged to a
+    /// component×phase account, page faults get lifecycle spans, and the
+    /// metrics registry samples engine state on the profiler's cadence.
+    /// Observation-only: a profiled run's [`SimStats`] are byte-identical
+    /// to an unprofiled run's, and the finalized [`ProfileReport`] comes
+    /// back in [`SimOutcome::profile`].
+    ///
+    /// Profiler state is not captured by [`Self::checkpoint`]: a resumed
+    /// run profiles only the cycles it executed itself.
+    pub fn set_profiler(&mut self, mut profiler: Profiler) {
+        profiler.set_capacity(self.memory.capacity());
+        self.profiler = Some(profiler);
+    }
+
+    /// The installed profiler, if any (for inspecting span counts
+    /// mid-run, between [`Self::run_until`] calls).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors
@@ -333,6 +365,15 @@ impl<P: EvictionPolicy> Simulation<P> {
                     in_flight: self.in_flight.len() as u64,
                 });
             }
+            // Metrics registry: engine state is constant between events,
+            // so crossed cadence boundaries sample the pre-event state.
+            let profile_sample_due = self
+                .profiler
+                .as_ref()
+                .is_some_and(|p| p.sample_due(self.now));
+            if profile_sample_due {
+                self.record_profile_sample();
+            }
             match ev.kind {
                 EventKind::WarpReady(w) => self.step_warp(w)?,
                 EventKind::DriverDone(page) => self.driver_done(page)?,
@@ -374,9 +415,17 @@ impl<P: EvictionPolicy> Simulation<P> {
                     let delay = rp.delay_for(self.completion_attempts);
                     self.stats.resilience.retry_attempts += 1;
                     self.stats.resilience.retry_backoff_cycles += delay;
+                    if let Some(prof) = self.profiler.as_mut() {
+                        prof.note_retry(page, delay);
+                    }
                     self.schedule(self.now + delay, EventKind::DriverDone(page));
                 }
-                None => self.schedule(self.now + plan_delay, EventKind::DriverDone(page)),
+                None => {
+                    if let Some(prof) = self.profiler.as_mut() {
+                        prof.note_retry(page, plan_delay);
+                    }
+                    self.schedule(self.now + plan_delay, EventKind::DriverDone(page));
+                }
             },
             None => {
                 self.completion_attempts = 0;
@@ -408,10 +457,36 @@ impl<P: EvictionPolicy> Simulation<P> {
             self.sanitize_check()?;
         }
         self.stats.policy = self.policy.stats();
+        // Finalize the profile last: `stats.cycles` is now the run's
+        // total, which seeds the driver-idle residual (conservation).
+        let profile = self
+            .profiler
+            .take()
+            .map(|prof| prof.finalize(self.stats.cycles));
         Ok(SimOutcome {
             stats: self.stats,
             policy: self.policy,
+            profile,
         })
+    }
+
+    /// Feeds the metrics registry one snapshot of engine state for every
+    /// cadence boundary at or before `now`. Read-only on engine state.
+    fn record_profile_sample(&mut self) {
+        let snapshot = MetricsSample {
+            cycle: 0, // stamped per boundary by the profiler
+            resident_pages: self.memory.len(),
+            fault_backlog: self.fault_queue.len() as u64 + u64::from(self.in_service.is_some()),
+            in_flight: self.in_flight.len() as u64,
+            live_warps: self.live_warps as u64,
+            hir_fill: self.policy.hir_fill(),
+            degraded: self.policy.is_degraded(),
+            faults_serviced: self.stats.driver.faults_serviced,
+            evictions: self.stats.driver.evictions,
+        };
+        if let Some(prof) = self.profiler.as_mut() {
+            prof.record_samples(self.now, snapshot);
+        }
     }
 
     /// Snapshots the paused run (see [`Checkpoint`] for what is captured
@@ -517,9 +592,14 @@ impl<P: EvictionPolicy> Simulation<P> {
         if first_issue {
             self.warps[w].issued = true;
             self.policy.on_access(op.page);
+        } else if let Some(prof) = self.profiler.as_mut() {
+            // Replay after a fault: the warp's stall ends at this step
+            // (and may immediately re-begin if the page was re-evicted).
+            prof.warp_resumed(w, self.now);
         }
 
         // Address translation.
+        let mut walked = false;
         let mut latency = u64::from(self.l1[sm].latency());
         let translated = if self.l1[sm].lookup(op.page) {
             self.stats.tlb.l1_hits += 1;
@@ -540,6 +620,7 @@ impl<P: EvictionPolicy> Simulation<P> {
             } else {
                 self.stats.tlb.l2_misses += 1;
                 latency += u64::from(self.cfg.page_walk_cycles);
+                walked = true;
                 self.stats.walks += 1;
                 self.emit(SimEvent::PageWalk {
                     time: self.now,
@@ -558,6 +639,21 @@ impl<P: EvictionPolicy> Simulation<P> {
             }
         };
 
+        // SM-side overlay accounting: translation latency split into TLB
+        // lookups and the page walk. Charged for faulting accesses too —
+        // the walk is what discovered the fault.
+        if let Some(prof) = self.profiler.as_mut() {
+            let walk = if walked {
+                u64::from(self.cfg.page_walk_cycles)
+            } else {
+                0
+            };
+            prof.charge(CycleAccount::SmTlb, latency - walk);
+            if walked {
+                prof.charge(CycleAccount::PageWalk, walk);
+            }
+        }
+
         if !translated {
             // Page fault: suspend this warp until the driver migrates the
             // page (replayable far-fault); other warps keep running.
@@ -573,6 +669,10 @@ impl<P: EvictionPolicy> Simulation<P> {
         self.warps[w].cursor += 1;
         self.stats.mem_accesses += 1;
         self.stats.instructions += 1 + u64::from(op.compute);
+        if let Some(prof) = self.profiler.as_mut() {
+            prof.charge(CycleAccount::SmMem, u64::from(self.cfg.mem_access_cycles));
+            prof.charge(CycleAccount::SmCompute, u64::from(op.compute));
+        }
         let done_at =
             self.now + latency + u64::from(self.cfg.mem_access_cycles) + u64::from(op.compute);
         if self.warps[w].cursor < self.warps[w].ops.len() {
@@ -591,15 +691,26 @@ impl<P: EvictionPolicy> Simulation<P> {
             Entry::Occupied(mut e) => {
                 // Fault already pending: coalesce.
                 e.get_mut().push(warp);
+                if let Some(prof) = self.profiler.as_mut() {
+                    prof.note_coalesce(page);
+                    prof.warp_stalled(warp, self.now);
+                }
             }
             Entry::Vacant(e) => {
                 e.insert(vec![warp]);
+                if let Some(prof) = self.profiler.as_mut() {
+                    prof.open_span(page, self.now);
+                    prof.warp_stalled(warp, self.now);
+                }
                 self.emit(SimEvent::FaultRaised {
                     time: self.now,
                     page,
                 });
                 if self.recent_counts.contains_key(&page) {
                     self.stats.driver.wrong_evictions += 1;
+                    if let Some(prof) = self.profiler.as_mut() {
+                        prof.mark_wrong_eviction(page);
+                    }
                     if self.observer.is_some() {
                         // 1 = the most recent eviction. The linear scan
                         // only runs with an observer attached.
@@ -655,6 +766,12 @@ impl<P: EvictionPolicy> Simulation<P> {
             }
         }
         let demand_count = self.in_flight.len() as u64;
+        // Every demand page in this batch leaves the queue stage now.
+        if let Some(prof) = self.profiler.as_mut() {
+            for &demand in &self.in_flight {
+                prof.begin_service(demand, self.now);
+            }
+        }
 
         // Sequential prefetch: pull following contiguous pages (within the
         // workload's footprint) that are neither resident nor already
@@ -815,6 +932,22 @@ impl<P: EvictionPolicy> Simulation<P> {
                 fs.perturb_service(service, transfer, self.now, &mut self.stats.resilience);
         }
         let duration = service + transfer;
+        // Timeline attribution: the whole service window [now, now +
+        // duration] splits exactly into the (possibly jittered) service
+        // time, HIR flush transfer at the base PCIe rate, and the rest
+        // of the (possibly congested) transfer — so the timeline
+        // accounts conserve total cycles. Host-side eviction-decision
+        // work overlaps the window (Section V-C) and goes to overlay.
+        if let Some(prof) = self.profiler.as_mut() {
+            let flush = self
+                .cfg
+                .pcie_transfer_cycles(outcome.transfer_bytes + outcome.wasted_transfer_bytes)
+                .min(transfer);
+            prof.charge(CycleAccount::FaultService, service);
+            prof.charge(CycleAccount::HirFlush, flush);
+            prof.charge(CycleAccount::PcieTransfer, transfer - flush);
+            prof.charge(CycleAccount::EvictionDecision, outcome.driver_busy_cycles);
+        }
         self.stats.driver.busy_cycles += duration + outcome.driver_busy_cycles;
         self.stats.driver.hit_transfer_cycles +=
             self.cfg.pcie_transfer_cycles(outcome.transfer_bytes);
@@ -835,6 +968,9 @@ impl<P: EvictionPolicy> Simulation<P> {
             }
             if self.fallback == FallbackVictim::LruShadow {
                 self.shadow.touch(p);
+            }
+            if let Some(prof) = self.profiler.as_mut() {
+                prof.close_span(p, self.now);
             }
             self.emit(SimEvent::FaultServiced {
                 time: self.now,
@@ -985,7 +1121,7 @@ impl<P: EvictionPolicy> Simulation<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ideal_for, trace_for};
+    use crate::{ideal_for, trace_for, ProfileConfig};
     use uvm_policies::{Lru, RandomPolicy};
     use uvm_types::Oversubscription;
     use uvm_workloads::registry;
@@ -1643,6 +1779,69 @@ mod tests {
         sim.set_sanitizer(Sanitizer::new(1));
         let stats = sim.run().unwrap().stats;
         assert!(stats.faults() > 0);
+    }
+
+    #[test]
+    fn profiler_timeline_conserves_total_cycles() {
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 2, 2, 4);
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_profiler(Profiler::new(ProfileConfig::new(50_000)));
+        let outcome = sim.run().unwrap();
+        let profile = outcome.profile.expect("profiler attached");
+        assert_eq!(profile.total_cycles, outcome.stats.cycles);
+        assert_eq!(
+            profile.timeline_sum(),
+            outcome.stats.cycles,
+            "timeline accounts must partition the run exactly"
+        );
+        assert!(profile.account(CycleAccount::FaultService) > 0);
+        // LRU moves no HIR bytes, and single-page demand batches carry no
+        // prefetch transfer: both PCIe accounts stay empty here (HPE runs
+        // populate them; see the bench-level conservation test).
+        assert_eq!(profile.account(CycleAccount::PcieTransfer), 0);
+        assert_eq!(profile.account(CycleAccount::HirFlush), 0);
+        assert!(
+            profile.driver_idle() > 0,
+            "SM-side work between batches leaves the driver idle"
+        );
+        // Overlay accounts observe concurrent work without entering the sum.
+        assert!(profile.account(CycleAccount::SmStall) > 0);
+        assert!(profile.account(CycleAccount::SmTlb) > 0);
+        assert!(profile.account(CycleAccount::PageWalk) > 0);
+        // Span lifecycle: every raised fault opened a span and every span
+        // closed; wrong evictions classify spans as re-faults.
+        assert!(profile.spans.opened > 0);
+        assert_eq!(profile.spans.completed, profile.spans.opened);
+        assert_eq!(
+            profile.spans.refault_spans, outcome.stats.driver.wrong_evictions,
+            "span refault classification must match the engine's"
+        );
+        // The metrics registry sampled on cadence.
+        assert!(!profile.series.samples.is_empty());
+        assert_eq!(profile.series.cadence, 50_000);
+    }
+
+    #[test]
+    fn profiler_on_leaves_stats_byte_identical() {
+        let global: Vec<u64> = (0..40u64).cycle().take(160).collect();
+        let cfg = tiny_cfg(2, 1);
+        let trace = Trace::from_global(&global, 40, 2, 2, 4);
+        let plain = Simulation::new(cfg.clone(), &trace, Lru::new(), 30)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(plain.profile.is_none(), "no profiler unless attached");
+        let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+        sim.set_profiler(Profiler::new(ProfileConfig::new(1)));
+        let profiled = sim.run().unwrap();
+        assert!(profiled.profile.is_some());
+        assert_eq!(
+            profiled.stats.to_json().to_string(),
+            plain.stats.to_json().to_string(),
+            "profiler must be observation-only"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //! * an opt-in runtime [`Sanitizer`] validating structural invariants
 //!   (residency conservation, HIR/chain layout, recovery state machines)
 //!   at a configurable cadence, reporting violations as typed
-//!   [`uvm_types::SimError::InvariantViolated`] instead of panicking.
+//!   [`uvm_types::SimError::InvariantViolated`] instead of panicking,
+//! * an opt-in observation-only [`Profiler`] attributing every simulated
+//!   cycle to a component x phase account, threading a span through each
+//!   fault's lifecycle, and sampling a metrics time series on a cycle
+//!   cadence (see [`ProfileReport`]); with the profiler attached the
+//!   engine's [`uvm_types::SimStats`] stay byte-identical.
 //!
 //! # Examples
 //!
@@ -48,6 +53,7 @@ mod engine;
 mod faults;
 mod memory;
 mod observer;
+mod profile;
 mod recovery;
 mod sanitizer;
 mod tlb;
@@ -58,6 +64,10 @@ pub use engine::{SimOutcome, Simulation};
 pub use faults::FaultPlan;
 pub use memory::GpuMemory;
 pub use observer::{EventLog, SimEvent, SimObserver};
+pub use profile::{
+    MetricsSample, MetricsSeries, ProfileConfig, ProfileReport, Profiler, SpanRecord, SpanSummary,
+    DEFAULT_PROFILE_CADENCE,
+};
 pub use recovery::{FallbackVictim, RetryPolicy};
 pub use sanitizer::{Sanitizer, DEFAULT_SANITIZER_CADENCE};
 pub use tlb::Tlb;

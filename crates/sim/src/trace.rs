@@ -739,4 +739,60 @@ mod tests {
         let err = parse_jsonl("{\"kind\":\"MemoryFull\",\"time\":1}\nnot json\n").unwrap_err();
         assert!(err.to_string().contains("line 2"));
     }
+
+    #[test]
+    fn empty_run_histograms_are_well_formed() {
+        // A run that raises no events must still summarize and export
+        // cleanly: zero counts, no quantiles, valid JSON and rendering.
+        let h = TraceHistograms::new();
+        assert_eq!(h.inter_fault().count(), 0);
+        assert_eq!(h.residency().count(), 0);
+        assert_eq!(h.victim_age().quantile(0.99), None);
+        for hist in [
+            h.inter_fault(),
+            h.residency(),
+            h.victim_age(),
+            h.search_comparisons(),
+            h.hir_flush_entries(),
+        ] {
+            let rendered = hist.render();
+            assert!(rendered.contains("0 samples"), "rendered: {rendered}");
+            assert!(rendered.contains("min -"), "rendered: {rendered}");
+        }
+        let j = h.to_json();
+        assert_eq!(j["inter_fault_cycles"]["count"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn parse_jsonl_accepts_empty_and_blank_input() {
+        assert_eq!(parse_jsonl("").unwrap(), Vec::new());
+        assert_eq!(parse_jsonl("\n  \n\n").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_truncated_line() {
+        // A stream cut off mid-object (crashed writer) names the line.
+        let good = "{\"kind\":\"MemoryFull\",\"time\":1}\n";
+        let truncated = format!("{good}{}", &good[..good.len() / 2]);
+        let err = parse_jsonl(&truncated).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "error: {err}");
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_valid_json_of_the_wrong_shape() {
+        // Structurally valid JSON lines that are not events: unknown
+        // kind, missing fields, and a non-object. Each names its line.
+        for (line, lineno) in [
+            ("{\"kind\":\"NotAnEvent\",\"time\":1}", "line 1"),
+            ("{\"kind\":\"FaultRaised\"}", "line 1"),
+            ("[1,2,3]", "line 1"),
+        ] {
+            let err = parse_jsonl(line).unwrap_err();
+            assert!(err.to_string().contains(lineno), "error: {err}");
+        }
+        // And after a good line, the bad line number advances.
+        let err =
+            parse_jsonl("{\"kind\":\"MemoryFull\",\"time\":1}\n{\"kind\":\"Nope\"}").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "error: {err}");
+    }
 }

@@ -28,9 +28,11 @@ mod config;
 mod error;
 mod event;
 mod metrics;
+mod profile;
 
 pub use addr::{PageId, PageSetId, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use config::{HirGeometry, Oversubscription, SimConfig, SimConfigBuilder, TlbConfig};
 pub use error::{ConfigError, SimError};
 pub use event::{PolicyEvent, SignalDisruption, StrategyTag};
 pub use metrics::{DriverStats, PolicyStats, ResilienceStats, SimStats, TlbStats};
+pub use profile::{CycleAccount, SpanStage};

@@ -123,6 +123,41 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0..=1.0`), or `None` with no samples.
+    ///
+    /// The estimate walks the cumulative bucket counts and returns the
+    /// *upper bound* of the bucket containing the `ceil(q * count)`-th
+    /// sample — exact to within one `bucket_width`. When the quantile
+    /// falls in the overflow bucket the exact recorded maximum is
+    /// returned instead, so the tail is never under-reported; `q <= 0`
+    /// likewise returns the exact minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is NaN.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(!q.is_nan(), "quantile must not be NaN");
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        let rank = ((q.min(1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let hi = (i as u64 + 1) * self.bucket_width - 1;
+                // Never report past the exact maximum (e.g. a single
+                // sample of 3 in a width-64 bucket is p99 = 3, not 63).
+                return Some(hi.min(self.max));
+            }
+        }
+        // The rank lands in the overflow bucket.
+        self.max()
+    }
+
     /// Renders a one-line-per-bucket text view (for CLI output). Empty
     /// trailing buckets are elided.
     pub fn render(&self) -> String {
@@ -264,5 +299,30 @@ mod tests {
     #[should_panic(expected = "bucket_width must be nonzero")]
     fn zero_width_rejected() {
         Histogram::new("x", 0, 4);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let mut h = Histogram::new("q", 10, 10);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(49)); // 50th sample is 49, bucket [40..49]
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(99));
+    }
+
+    #[test]
+    fn quantile_clamps_to_exact_extrema() {
+        let mut h = Histogram::new("q", 64, 4);
+        h.record(3);
+        // One sample: every quantile is that sample, not its bucket bound.
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.99), Some(3));
+        // Overflow samples report the exact maximum.
+        h.record(10_000);
+        assert_eq!(h.quantile(1.0), Some(10_000));
+        assert_eq!(Histogram::new("none", 1, 1).quantile(0.5), None);
     }
 }

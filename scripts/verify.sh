@@ -58,6 +58,12 @@ echo "==> invariant sanitizer zero-perturbation proof (STN + SGM, on vs off)"
 # exits nonzero unless SimStats are byte-identical.
 cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- sanitize > /dev/null
 
+echo "==> profiler smoke (one traced+profiled run, conservation checked)"
+# `hpe-trace profile` attaches the cycle-attribution profiler to one
+# run and exits 1 if the driver-timeline accounts fail to sum exactly
+# to the run's total cycles. See DESIGN.md §12.
+cargo run -q --release --offline -p hpe-bench --bin hpe-trace -- profile STN > /dev/null
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -74,6 +80,14 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
     # wall-clocks are noisy (loose tolerance, hence the env gate).
     # Exit codes: 0 pass/warn, 1 regression, 2 usage.
     cargo run -q --release --offline -p hpe-bench --bin hpe-lab -- bench-check --workers 8
+fi
+
+if [ "${CHECK_PROFILE:-0}" = "1" ]; then
+    echo "==> profiler byte-identity gate (CHECK_PROFILE=1)"
+    # Runs STN and SGM with the profiler attached and detached and
+    # exits nonzero unless SimStats are byte-identical and the
+    # timeline accounts conserve — the observation-only contract.
+    cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- profile
 fi
 
 echo "verify: OK"
