@@ -16,6 +16,10 @@
 //! hpe-chaos resume                         # checkpoint mid-run, resume, verify equality
 //! hpe-chaos smoke                          # fast panic-free subset for CI (sanitizer on)
 //! hpe-chaos sanitize                       # invariant sanitizer zero-perturbation proof
+//! hpe-chaos explore spec.json --workers 4  # fault-space exploration: enumerate fault
+//!                                          # windows + seed batches, check invariants,
+//!                                          # shrink failures to minimal repro files
+//! hpe-chaos replay repro.json              # one-command deterministic counterexample replay
 //! ```
 //!
 //! Campaign results are saved as JSON under `target/paper-results/`
@@ -28,16 +32,16 @@
 use std::process::ExitCode;
 
 use hpe_bench::{
-    bench_config, campaign, f2, run_policy, run_policy_profiled, run_policy_recovering, save_json,
-    PolicyKind, RecoveryOptions, Table,
+    bench_config, campaign, f2, replay_repro, repro_for, run_explore, run_policy,
+    run_policy_profiled, run_policy_recovering, save_json, PolicyKind, RecoveryOptions, Table,
 };
 use hpe_core::{Hpe, HpeConfig};
 use uvm_sim::{
-    trace_for, FallbackVictim, FaultPlan, RetryPolicy, Simulation, DEFAULT_PROFILE_CADENCE,
-    DEFAULT_SANITIZER_CADENCE,
+    trace_for, ExploreSpec, FallbackVictim, FaultPlan, ReproCase, RetryPolicy, Simulation,
+    DEFAULT_PROFILE_CADENCE, DEFAULT_SANITIZER_CADENCE,
 };
 use uvm_types::{Oversubscription, SimError};
-use uvm_util::{json, Json, ToJson};
+use uvm_util::{json, FromJson, Json, ToJson};
 use uvm_workloads::{registry, App};
 
 /// Default campaign seed (the paper's publication year, for no deeper
@@ -93,6 +97,20 @@ fn usage() -> ExitCode {
          \x20          off (default apps STN SGM) and verify the profiler\n\
          \x20          leaves SimStats byte-identical and its timeline\n\
          \x20          accounts conserve total cycles\n\
+         \x20 explore  SPEC.json [--workers N]\n\
+         \x20          fault-space exploration: enumerate fault-window\n\
+         \x20          placements and seeded plan batches from the spec,\n\
+         \x20          check every invariant on every run, shrink failures\n\
+         \x20          to minimal counterexamples and save replayable repro\n\
+         \x20          files; the merged coverage report is byte-identical\n\
+         \x20          for any worker count (exit 1 if counterexamples)\n\
+         \x20 replay   REPRO.json\n\
+         \x20          re-run a shrunk counterexample deterministically and\n\
+         \x20          verify it reproduces the recorded violation verbatim\n\
+         \n\
+         common flags: --adaptive makes --retry use the loss-adaptive\n\
+         backoff policy (tunes delay online from the observed\n\
+         completion-loss rate) instead of fixed exponential backoff\n\
          \n\
          exit codes: 0 ok, 1 simulation failure, 2 usage error"
     );
@@ -111,6 +129,7 @@ struct Flags {
     seed: u64,
     rate: Oversubscription,
     retry: bool,
+    adaptive: bool,
     fallback: FallbackVictim,
     plan: Option<String>,
     at: u64,
@@ -120,9 +139,17 @@ struct Flags {
 }
 
 impl Flags {
+    fn retry_policy(&self) -> RetryPolicy {
+        if self.adaptive {
+            RetryPolicy::adaptive()
+        } else {
+            RetryPolicy::default()
+        }
+    }
+
     fn recovery(&self) -> RecoveryOptions {
         RecoveryOptions {
-            retry: self.retry.then(RetryPolicy::default),
+            retry: self.retry.then(|| self.retry_policy()),
             fallback: self.fallback,
             sanitize: self.sanitize,
             profile: None,
@@ -135,6 +162,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         seed: DEFAULT_SEED,
         rate: Oversubscription::Rate75,
         retry: false,
+        adaptive: false,
         fallback: FallbackVictim::MinPage,
         plan: None,
         at: DEFAULT_RESUME_AT,
@@ -159,6 +187,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.rate = parse_rate(&v).ok_or_else(|| format!("unknown rate '{v}'"))?;
             }
             "--retry" => flags.retry = true,
+            // --adaptive implies --retry: there is no backoff to adapt
+            // without the retry machinery on.
+            "--adaptive" => {
+                flags.retry = true;
+                flags.adaptive = true;
+            }
             "--fallback" => {
                 let v = value("--fallback")?;
                 flags.fallback = FallbackVictim::parse(&v).ok_or_else(|| {
@@ -779,6 +813,105 @@ fn cmd_profile(flags: &Flags) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// Loads and parses a JSON document from `path`.
+fn load_json<T: FromJson>(path: &str, what: &str) -> Result<T, CmdError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CmdError::Usage(format!("cannot read {what} '{path}': {e}")))?;
+    let json = Json::parse(&text)
+        .map_err(|e| CmdError::Usage(format!("{what} '{path}' is not valid JSON: {e}")))?;
+    T::from_json(&json).map_err(|e| CmdError::Usage(format!("bad {what} '{path}': {e}")))
+}
+
+/// `explore`: run the fault-space exploration engine over a spec file,
+/// shrink any failures, and save the coverage report plus one replayable
+/// repro file per counterexample.
+fn cmd_explore(flags: &Flags) -> Result<(), CmdError> {
+    let Some(path) = flags.positional.first() else {
+        return Err(CmdError::Usage("explore needs a SPEC.json path".into()));
+    };
+    let spec: ExploreSpec = load_json(path, "explore spec")?;
+    eprintln!(
+        "[explore: {} under {} at {}%, invariants [{}], {} worker(s)]",
+        spec.app,
+        spec.policy,
+        spec.rate,
+        spec.invariant_set().join(", "),
+        flags.workers.max(1),
+    );
+    let mut progress = std::io::stderr();
+    let report = run_explore(
+        &bench_config(),
+        &spec,
+        flags.workers,
+        Some(&mut progress as &mut dyn std::io::Write),
+    )
+    .map_err(|e| CmdError::Run(e.to_string()))?;
+    save_json("explore-report", &report);
+    println!(
+        "explored {} case(s) ({} fixture, {} window, {} batch; {} invalid placements \
+         skipped) with {} run(s), {} invariant check(s), {} shrink probe(s)",
+        report.cases,
+        report.fixture_cases,
+        report.window_cases,
+        report.batch_cases,
+        report.skipped_invalid,
+        report.runs,
+        report.invariant_checks,
+        report.shrink_probes,
+    );
+    if report.counterexamples.is_empty() {
+        println!("no counterexamples: every run upheld every selected invariant");
+        return Ok(());
+    }
+    for (i, cx) in report.counterexamples.iter().enumerate() {
+        let repro = repro_for(&spec, cx);
+        let name = format!("explore-repro-{i}");
+        save_json(&name, &repro);
+        println!(
+            "counterexample {i} ({}): invariant `{}` violated — {}\n\
+             \x20 shrunk to {} window(s) in {} probe(s); replay with:\n\
+             \x20   hpe-chaos replay target/paper-results/{name}.json",
+            cx.label,
+            cx.invariant,
+            cx.error,
+            cx.plan.windows.len(),
+            cx.probes,
+        );
+    }
+    Err(CmdError::Run(format!(
+        "{} counterexample(s) found",
+        report.counterexamples.len()
+    )))
+}
+
+/// `replay`: re-run a shrunk counterexample and verify it reproduces the
+/// recorded violation byte-for-byte.
+fn cmd_replay(flags: &Flags) -> Result<(), CmdError> {
+    let Some(path) = flags.positional.first() else {
+        return Err(CmdError::Usage("replay needs a REPRO.json path".into()));
+    };
+    let repro: ReproCase = load_json(path, "repro case")?;
+    eprintln!(
+        "[replay: {} under {} at {}%, expecting `{}` violation]",
+        repro.app, repro.policy, repro.rate, repro.invariant
+    );
+    match replay_repro(&bench_config(), &repro).map_err(|e| CmdError::Run(e.to_string()))? {
+        Some((invariant, error)) if invariant == repro.invariant && error == repro.error => {
+            println!("reproduced: invariant `{invariant}` violated — {error}");
+            Ok(())
+        }
+        Some((invariant, error)) => Err(CmdError::Run(format!(
+            "violation differs from the recorded one\ngot:      `{invariant}`: {error}\n\
+             recorded: `{}`: {}",
+            repro.invariant, repro.error
+        ))),
+        None => Err(CmdError::Run(format!(
+            "the run came back clean; recorded `{}` violation did not reproduce",
+            repro.invariant
+        ))),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -798,6 +931,8 @@ fn main() -> ExitCode {
         "smoke" => cmd_smoke(&flags),
         "sanitize" => cmd_sanitize(&flags),
         "profile" => cmd_profile(&flags),
+        "explore" => cmd_explore(&flags),
+        "replay" => cmd_replay(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();

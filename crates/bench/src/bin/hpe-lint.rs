@@ -20,7 +20,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use uvm_lint::{check_workspace, report_json, RuleFamily};
+use uvm_lint::{check_workspace, report_json, Diagnostic, RuleFamily};
+use uvm_sim::ExploreSpec;
+use uvm_util::{FromJson, Json};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -31,7 +33,7 @@ fn usage() -> ExitCode {
          \x20       lint the workspace at ROOT (default: the enclosing\n\
          \x20       checkout) with the selected rule families\n\
          \x20       (default: all of determinism, hermeticity,\n\
-         \x20       error-discipline, paper-constants)\n\
+         \x20       error-discipline, paper-constants, explore-specs)\n\
          \x20 rules list rule families and the rules they contain\n\
          \n\
          exit codes: 0 clean, 1 violations, 2 usage/internal error"
@@ -49,23 +51,88 @@ fn default_root() -> PathBuf {
     PathBuf::from(".")
 }
 
-fn parse_families(text: &str) -> Result<Vec<RuleFamily>, String> {
-    let mut families = Vec::new();
-    for part in text.split(',') {
-        let part = part.trim();
-        let fam = RuleFamily::parse(part).ok_or_else(|| format!("unknown rule family `{part}`"))?;
-        if !families.contains(&fam) {
-            families.push(fam);
+/// The selected rule families: the source-tree families `uvm-lint`
+/// knows, plus the binary-level `explore-specs` pseudo-family (it needs
+/// the simulator's `ExploreSpec` parser, which `uvm-lint` cannot depend
+/// on).
+struct Selection {
+    families: Vec<RuleFamily>,
+    explore_specs: bool,
+}
+
+impl Selection {
+    fn all() -> Self {
+        Selection {
+            families: RuleFamily::ALL.to_vec(),
+            explore_specs: true,
         }
     }
-    if families.is_empty() {
+
+    fn labels(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self.families.iter().map(|f| f.label()).collect();
+        if self.explore_specs {
+            labels.push("explore-specs");
+        }
+        labels
+    }
+}
+
+fn parse_families(text: &str) -> Result<Selection, String> {
+    let mut sel = Selection {
+        families: Vec::new(),
+        explore_specs: false,
+    };
+    for part in text.split(',') {
+        let part = part.trim();
+        if part == "explore-specs" {
+            sel.explore_specs = true;
+            continue;
+        }
+        let fam = RuleFamily::parse(part).ok_or_else(|| format!("unknown rule family `{part}`"))?;
+        if !sel.families.contains(&fam) {
+            sel.families.push(fam);
+        }
+    }
+    if sel.families.is_empty() && !sel.explore_specs {
         return Err("empty --rules list".to_string());
     }
-    Ok(families)
+    Ok(sel)
+}
+
+/// `explore-specs` rule: every JSON fixture under `fixtures/explore/`
+/// must parse as an [`ExploreSpec`] and pass its validation — a broken
+/// fixture would otherwise only surface when someone runs it.
+fn check_explore_specs(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let dir = root.join("fixtures/explore");
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut diags = Vec::new();
+    for path in paths {
+        let rel = format!(
+            "fixtures/explore/{}",
+            path.file_name().unwrap_or_default().to_string_lossy()
+        );
+        let problem = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+            .and_then(|json| ExploreSpec::from_json(&json).map_err(|e| e.to_string()))
+            .and_then(|spec| spec.validate().map_err(|e| e.to_string()));
+        if let Err(msg) = problem {
+            diags.push(Diagnostic::new(rel, 1, "explore-spec", msg));
+        }
+    }
+    Ok(diags)
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let mut families: Vec<RuleFamily> = RuleFamily::ALL.to_vec();
+    let mut sel = Selection::all();
     let mut json_out = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
@@ -73,7 +140,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         match arg.as_str() {
             "--rules" => {
                 let spec = it.next().ok_or("--rules needs a value")?;
-                families = parse_families(spec)?;
+                sel = parse_families(spec)?;
             }
             "--json" => json_out = true,
             flag if flag.starts_with("--") => {
@@ -90,18 +157,24 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     if !root.join("Cargo.toml").is_file() {
         return Err(format!("{} is not a workspace root", root.display()));
     }
-    let diags = check_workspace(&root, &families).map_err(|e| e.to_string())?;
+    let mut diags = if sel.explore_specs {
+        check_explore_specs(&root)?
+    } else {
+        Vec::new()
+    };
+    if !sel.families.is_empty() {
+        diags.extend(check_workspace(&root, &sel.families).map_err(|e| e.to_string())?);
+    }
     if json_out {
         println!("{}", report_json(&diags).pretty());
     } else {
         for d in &diags {
             println!("{d}");
         }
-        let labels: Vec<&str> = families.iter().map(|f| f.label()).collect();
         eprintln!(
             "hpe-lint: {} violation(s) [{}] under {}",
             diags.len(),
-            labels.join(","),
+            sel.labels().join(","),
             root.display()
         );
     }
@@ -124,6 +197,8 @@ fn cmd_rules() -> ExitCode {
          \x20                  profile.rs)\n\
          paper-constants    paper-constants (config constructors vs the\n\
          \x20                  declared manifest)\n\
+         explore-specs      explore-spec (fixtures/explore/*.json must\n\
+         \x20                  parse as ExploreSpec and validate)\n\
          \n\
          suppress a single line with: // lint:allow(rule-id)"
     );

@@ -13,6 +13,7 @@
 //! hpe-trace diff a.jsonl b.jsonl           # first divergence of two streams
 //! hpe-trace shape fig13.json               # stable shape of a figure series
 //! hpe-trace campaign progress.jsonl        # summarize a campaign progress stream
+//! hpe-trace explore explore-report.json    # fault-space exploration coverage report
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -27,7 +28,7 @@ use uvm_sim::{
     SimObserver, TraceHistograms, DEFAULT_PROFILE_CADENCE,
 };
 use uvm_types::Oversubscription;
-use uvm_util::{Json, ToJson};
+use uvm_util::{FromJson, Json, ToJson};
 use uvm_workloads::registry;
 
 fn usage() -> ExitCode {
@@ -61,6 +62,10 @@ fn usage() -> ExitCode {
          \x20 flame     <APP> [--policy P] [--rate 75|50] [--out FILE]\n\
          \x20           folded-stack (component;account cycles) output for\n\
          \x20           flamegraph tools\n\
+         \x20 explore   <REPORT.json>\n\
+         \x20           summarize a fault-space exploration coverage report\n\
+         \x20           (written by `hpe-chaos explore`); exit 1 if it\n\
+         \x20           recorded any counterexample\n\
          \n\
          policies: LRU, Random, LFU, RRIP, CLOCK-Pro, Ideal, HPE (default HPE)"
     );
@@ -68,9 +73,7 @@ fn usage() -> ExitCode {
 }
 
 fn parse_policy(name: &str) -> Option<PolicyKind> {
-    PolicyKind::ALL
-        .into_iter()
-        .find(|k| k.label().eq_ignore_ascii_case(name))
+    PolicyKind::parse(name)
 }
 
 fn parse_rate(text: &str) -> Option<Oversubscription> {
@@ -481,6 +484,60 @@ fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
     Ok(true)
 }
 
+/// `explore`: summarize a fault-space exploration coverage report written
+/// by `hpe-chaos explore`. Returns `Ok(false)` when the report recorded
+/// any counterexample.
+fn cmd_explore(flags: &Flags) -> Result<bool, String> {
+    let [file] = flags.positional.as_slice() else {
+        return Err("explore needs exactly one REPORT.json".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let report =
+        uvm_sim::ExploreReport::from_json(&json).map_err(|e| format!("{file}: bad report: {e}"))?;
+    println!(
+        "{}: {} under {} at {}%, invariants [{}]",
+        file,
+        report.app,
+        report.policy,
+        report.rate,
+        report.invariants.join(", ")
+    );
+    let mut t = Table::new(format!("coverage ({file})"), &["metric", "value"]);
+    for (name, n) in [
+        ("cases", report.cases),
+        ("  fixture", report.fixture_cases),
+        ("  window", report.window_cases),
+        ("  batch", report.batch_cases),
+        ("skipped invalid", report.skipped_invalid),
+        ("distinct placements", report.distinct_placements),
+        ("simulation runs", report.runs),
+        ("invariant checks", report.invariant_checks),
+        ("shrink probes", report.shrink_probes),
+        ("counterexamples", report.counterexamples.len() as u64),
+    ] {
+        t.row(vec![name.to_string(), n.to_string()]);
+    }
+    t.print();
+    if report.counterexamples.is_empty() {
+        println!("clean: every run upheld every selected invariant");
+        return Ok(true);
+    }
+    println!("\ncounterexamples:");
+    for cx in &report.counterexamples {
+        println!(
+            "  case {} ({}): `{}` — {} [{} window(s), {} probe(s)]",
+            cx.case,
+            cx.label,
+            cx.invariant,
+            cx.error,
+            cx.plan.windows.len(),
+            cx.probes
+        );
+    }
+    Ok(false)
+}
+
 /// Runs `spec` live with the cycle-attribution profiler attached.
 fn profiled_run(spec: &str, flags: &Flags) -> Result<ProfileReport, String> {
     let Some(app) = registry::by_abbr(spec) else {
@@ -579,6 +636,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(&flags),
         "shape" => cmd_shape(&flags).map(|()| true),
         "campaign" => cmd_campaign(&flags),
+        "explore" => cmd_explore(&flags),
         "profile" => cmd_profile(&flags),
         "spans" => cmd_spans(&flags).map(|()| true),
         "flame" => cmd_flame(&flags).map(|()| true),

@@ -1,0 +1,704 @@
+//! Execution side of the fault-space exploration engine (`hpe-chaos
+//! explore`).
+//!
+//! `uvm_sim::ExploreSpec` owns the pure bookkeeping — case enumeration,
+//! shrinking control flow, report types. This module owns everything
+//! that needs the policy zoo and a thread pool:
+//!
+//! * building the simulation for a case (any [`PolicyKind`], boxed
+//!   behind [`Traced`] except HPE, which is run concretely so its
+//!   degraded-mode state stays inspectable),
+//! * evaluating the spec's invariant set on a case — one sanitized run
+//!   shared by `completes`/`sanitizer`/`conservation`/`recovery`, plus
+//!   one extra run each for `replay` and `checkpoint`,
+//! * fanning the case list over a scoped worker pool (the campaign
+//!   engine's injector/collector pattern: an atomic cursor over the
+//!   enumeration order, results merged by case id, so the report is
+//!   **byte-identical for any worker count**),
+//! * shrinking failing cases serially, in enumeration order, with
+//!   [`uvm_sim::shrink_plan`] — the serial phase is what keeps the
+//!   counterexample bytes independent of worker count,
+//! * packaging counterexamples as replayable [`ReproCase`] documents and
+//!   re-executing them (`hpe-chaos replay`).
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use hpe_core::{Hpe, HpeConfig};
+use uvm_policies::{
+    ClockPro, ClockProConfig, EvictionPolicy, Lfu, Lru, RandomPolicy, Rrip, Traced,
+};
+use uvm_sim::{
+    ideal_for, shrink_plan, trace_for, Counterexample, ExploreReport, ExploreSpec, FaultPlan,
+    ReproCase, RetryPolicy, Sanitizer, SimOutcome, Simulation, ALL_INVARIANTS,
+};
+use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
+use uvm_util::json;
+use uvm_workloads::{registry, App, Trace};
+
+use crate::runner::{rrip_config_for, PolicyKind};
+
+/// Clean-fault headroom after which a still-degraded HPE run counts as a
+/// `recovery` violation: the policy re-checks its exit conditions on
+/// every fault while the HIR channel is up, so a generous multiple of
+/// the circuit breaker's re-arm horizon is more than enough legitimate
+/// lag.
+pub const RECOVERY_STREAK_FAULTS: u64 = 256;
+
+/// Why an exploration could not run (as opposed to running and finding
+/// counterexamples, which is a successful exploration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The spec failed `ExploreSpec::validate`.
+    InvalidSpec(String),
+    /// The spec's app abbreviation is not in the workload registry.
+    UnknownApp(String),
+    /// The spec's policy label is not in the policy zoo.
+    UnknownPolicy(String),
+    /// The spec enumerated no cases (empty grid, no fixtures, no batch).
+    EmptyCaseList,
+    /// The progress stream could not be written.
+    Io(String),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::InvalidSpec(m) => write!(f, "invalid explore spec: {m}"),
+            ExploreError::UnknownApp(a) => write!(f, "unknown app '{a}'"),
+            ExploreError::UnknownPolicy(p) => write!(f, "unknown policy '{p}'"),
+            ExploreError::EmptyCaseList => write!(f, "spec enumerates no cases"),
+            ExploreError::Io(m) => write!(f, "explore i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// What one probe run observed (enough state for every invariant).
+struct ProbeResult {
+    stats: SimStats,
+    hir_down: bool,
+    clean_streak: u64,
+    /// `Some` only for HPE (the one policy with a degraded mode).
+    degraded: Option<bool>,
+}
+
+/// One case's invariant evaluation.
+#[derive(Debug, Clone)]
+struct Verdict {
+    /// Simulation runs this evaluation cost (1–3).
+    runs: u64,
+    /// Selected invariants actually evaluated.
+    checks: u64,
+    /// First violated invariant + its error text, in check order.
+    violation: Option<(String, String)>,
+}
+
+/// Everything shared by every run of one exploration. Built once,
+/// borrowed by all workers (all fields are `Sync` plain data).
+struct Ctx<'a> {
+    cfg: &'a SimConfig,
+    app: &'static App,
+    trace: Trace,
+    capacity: u64,
+    kind: PolicyKind,
+    retry: Option<RetryPolicy>,
+    /// The spec's invariant selection, in [`ALL_INVARIANTS`] order.
+    invariants: Vec<String>,
+    sanitize_cadence: u64,
+    checkpoint_at: u64,
+}
+
+/// Runs a built simulation to completion — straight through, or
+/// interrupted at `interrupt` with a checkpoint taken and a *fresh*
+/// simulation resumed from it (the `checkpoint` invariant's subject).
+fn drive<P: EvictionPolicy>(
+    build: &dyn Fn() -> Result<Simulation<P>, SimError>,
+    interrupt: Option<u64>,
+) -> Result<SimOutcome<P>, SimError> {
+    match interrupt {
+        None => build()?.run(),
+        Some(at) => {
+            let mut first = build()?;
+            if first.run_until(at)? {
+                return first.finish();
+            }
+            let ckpt = first.checkpoint();
+            let mut resumed = build()?;
+            resumed.resume(&ckpt)?;
+            resumed.finish()
+        }
+    }
+}
+
+impl Ctx<'_> {
+    fn want(&self, invariant: &str) -> bool {
+        self.invariants.iter().any(|i| i == invariant)
+    }
+
+    fn boxed_policy(&self) -> Box<dyn EvictionPolicy> {
+        match self.kind {
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Random => Box::new(RandomPolicy::seeded(self.app.seed())),
+            PolicyKind::Lfu => Box::new(Lfu::new()),
+            PolicyKind::Rrip => Box::new(Rrip::new(rrip_config_for(self.app))),
+            PolicyKind::ClockPro => Box::new(ClockPro::new(ClockProConfig::default())),
+            // Hpe is handled concretely in `probe`; Ideal is the only
+            // other policy needing per-run construction inputs.
+            PolicyKind::Ideal | PolicyKind::Hpe => Box::new(ideal_for(&self.trace)),
+        }
+    }
+
+    fn configure<P: EvictionPolicy>(
+        &self,
+        sim: &mut Simulation<P>,
+        plan: &FaultPlan,
+        sanitize: Option<u64>,
+    ) -> Result<(), SimError> {
+        sim.set_fault_plan(plan.clone())?;
+        if let Some(rp) = self.retry {
+            sim.set_retry_policy(rp)?;
+        }
+        if let Some(cadence) = sanitize {
+            sim.set_sanitizer(Sanitizer::new(cadence));
+        }
+        Ok(())
+    }
+
+    /// One simulation run of `plan` under this context.
+    fn probe(
+        &self,
+        plan: &FaultPlan,
+        sanitize: Option<u64>,
+        interrupt: Option<u64>,
+    ) -> Result<ProbeResult, SimError> {
+        if self.kind == PolicyKind::Hpe {
+            let build = || -> Result<Simulation<Hpe>, SimError> {
+                let hpe = Hpe::new(HpeConfig::from_sim(self.cfg))?;
+                let mut sim = Simulation::new(self.cfg.clone(), &self.trace, hpe, self.capacity)?;
+                self.configure(&mut sim, plan, sanitize)?;
+                Ok(sim)
+            };
+            let out = drive(&build, interrupt)?;
+            Ok(ProbeResult {
+                stats: out.stats,
+                hir_down: out.hir_down,
+                clean_streak: out.hir_clean_streak_faults,
+                degraded: Some(out.policy.is_degraded()),
+            })
+        } else {
+            let build = || -> Result<Simulation<Traced<Box<dyn EvictionPolicy>>>, SimError> {
+                let policy = Traced::new(self.boxed_policy());
+                let mut sim =
+                    Simulation::new(self.cfg.clone(), &self.trace, policy, self.capacity)?;
+                self.configure(&mut sim, plan, sanitize)?;
+                Ok(sim)
+            };
+            let out = drive(&build, interrupt)?;
+            Ok(ProbeResult {
+                stats: out.stats,
+                hir_down: out.hir_down,
+                clean_streak: out.hir_clean_streak_faults,
+                degraded: None,
+            })
+        }
+    }
+
+    fn check_conservation(&self, base: &ProbeResult) -> Option<String> {
+        let s = &base.stats;
+        if s.mem_accesses != self.trace.total_ops() {
+            return Some(format!(
+                "executed {} memory accesses but the trace has {} ops",
+                s.mem_accesses,
+                self.trace.total_ops()
+            ));
+        }
+        let inflow = s.driver.faults_serviced + s.driver.prefetched_pages;
+        if s.driver.evictions > inflow {
+            return Some(format!(
+                "{} evictions exceed {} migrated pages",
+                s.driver.evictions, inflow
+            ));
+        }
+        if inflow - s.driver.evictions > self.capacity {
+            return Some(format!(
+                "{} pages resident at end exceed capacity {}",
+                inflow - s.driver.evictions,
+                self.capacity
+            ));
+        }
+        if s.walk_hits > s.walks {
+            return Some(format!(
+                "{} walk hits exceed {} walks",
+                s.walk_hits, s.walks
+            ));
+        }
+        None
+    }
+
+    fn check_recovery(&self, base: &ProbeResult) -> Option<String> {
+        if base.degraded == Some(true)
+            && !base.hir_down
+            && base.clean_streak > RECOVERY_STREAK_FAULTS
+        {
+            return Some(format!(
+                "HPE still degraded after {} clean faults with the HIR channel up",
+                base.clean_streak
+            ));
+        }
+        None
+    }
+
+    fn check_replay(
+        &self,
+        plan: &FaultPlan,
+        sanitize: Option<u64>,
+        base: &ProbeResult,
+    ) -> Option<String> {
+        match self.probe(plan, sanitize, None) {
+            Err(e) => Some(format!("second identical run failed: {e}")),
+            Ok(again) if again.stats != base.stats => {
+                Some("two identical runs produced different statistics".to_string())
+            }
+            Ok(_) => None,
+        }
+    }
+
+    fn check_checkpoint(
+        &self,
+        plan: &FaultPlan,
+        sanitize: Option<u64>,
+        base: &ProbeResult,
+    ) -> Option<String> {
+        match self.probe(plan, sanitize, Some(self.checkpoint_at)) {
+            Err(e) => Some(format!(
+                "interrupted-and-resumed run failed at cycle {}: {e}",
+                self.checkpoint_at
+            )),
+            Ok(resumed) if resumed.stats != base.stats => Some(format!(
+                "run resumed from a cycle-{} checkpoint diverged from the straight run",
+                self.checkpoint_at
+            )),
+            Ok(_) => None,
+        }
+    }
+
+    /// Evaluates the selected invariants on `plan`, stopping at the
+    /// first violation (in [`ALL_INVARIANTS`] order).
+    ///
+    /// A run that cannot finish is always surfaced — as `sanitizer` for
+    /// a mid-run invariant report, else as `completes` — even when those
+    /// invariants are deselected, because nothing else is evaluable
+    /// without a finished run.
+    fn verdict(&self, plan: &FaultPlan) -> Verdict {
+        let sanitize = self.want("sanitizer").then_some(self.sanitize_cadence);
+        let mut runs = 1u64;
+        let mut checks = 0u64;
+        let (base, broke) = match self.probe(plan, sanitize, None) {
+            Ok(r) => (Some(r), None),
+            Err(e) => {
+                let invariant = if matches!(e, SimError::InvariantViolated { .. }) {
+                    "sanitizer"
+                } else {
+                    "completes"
+                };
+                (None, Some((invariant.to_string(), e.to_string())))
+            }
+        };
+        for inv in &self.invariants {
+            let violation: Option<String> = match (inv.as_str(), &base) {
+                ("completes" | "sanitizer", _) => {
+                    checks += 1;
+                    match &broke {
+                        Some((i, e)) if i == inv => Some(e.clone()),
+                        _ => None,
+                    }
+                }
+                // The base run did not finish: later invariants are not
+                // evaluable (the break is surfaced below regardless).
+                (_, None) => continue,
+                ("conservation", Some(b)) => {
+                    checks += 1;
+                    self.check_conservation(b)
+                }
+                ("replay", Some(b)) => {
+                    checks += 1;
+                    runs += 1;
+                    self.check_replay(plan, sanitize, b)
+                }
+                ("checkpoint", Some(b)) => {
+                    if self.checkpoint_at == 0 {
+                        continue;
+                    }
+                    checks += 1;
+                    runs += 1;
+                    self.check_checkpoint(plan, sanitize, b)
+                }
+                ("recovery", Some(b)) => {
+                    if self.kind != PolicyKind::Hpe {
+                        continue;
+                    }
+                    checks += 1;
+                    self.check_recovery(b)
+                }
+                _ => None,
+            };
+            if let Some(error) = violation {
+                return Verdict {
+                    runs,
+                    checks,
+                    violation: Some((inv.clone(), error)),
+                };
+            }
+        }
+        if let Some(broke) = broke {
+            return Verdict {
+                runs,
+                checks,
+                violation: Some(broke),
+            };
+        }
+        Verdict {
+            runs,
+            checks,
+            violation: None,
+        }
+    }
+}
+
+/// The run-context inputs shared by a spec and a repro case.
+struct CtxParams<'s> {
+    app: &'s str,
+    policy: &'s str,
+    rate: u64,
+    retry: Option<RetryPolicy>,
+    invariants: &'s [String],
+    sanitize_cadence: u64,
+    checkpoint_at: u64,
+}
+
+/// Builds the shared run context, resolving the app, policy and rate.
+fn context<'a>(cfg: &'a SimConfig, p: CtxParams<'_>) -> Result<Ctx<'a>, ExploreError> {
+    let CtxParams {
+        app,
+        policy,
+        rate,
+        retry,
+        invariants,
+        sanitize_cadence,
+        checkpoint_at,
+    } = p;
+    let app = registry::by_abbr(app).ok_or_else(|| ExploreError::UnknownApp(app.to_string()))?;
+    let kind =
+        PolicyKind::parse(policy).ok_or_else(|| ExploreError::UnknownPolicy(policy.to_string()))?;
+    let rate = match rate {
+        50 => Oversubscription::Rate50,
+        75 => Oversubscription::Rate75,
+        other => {
+            return Err(ExploreError::InvalidSpec(format!(
+                "rate must be 50 or 75, got {other}"
+            )))
+        }
+    };
+    // Normalize the invariant selection into ALL_INVARIANTS order so
+    // evaluation (and `checks` accounting) is canonical.
+    let ordered: Vec<String> = ALL_INVARIANTS
+        .iter()
+        .filter(|known| invariants.iter().any(|i| i == *known))
+        .map(|s| s.to_string())
+        .collect();
+    if ordered.is_empty() {
+        return Err(ExploreError::InvalidSpec(format!(
+            "no known invariant selected (known: {})",
+            ALL_INVARIANTS.join(", ")
+        )));
+    }
+    Ok(Ctx {
+        cfg,
+        app,
+        trace: trace_for(cfg, app),
+        capacity: rate.capacity_pages(app.footprint_pages()),
+        kind,
+        retry,
+        invariants: ordered,
+        sanitize_cadence,
+        checkpoint_at,
+    })
+}
+
+/// Runs the exploration: enumerates the spec's cases, fans them over
+/// `workers` scoped threads, shrinks every failing case to a minimal
+/// counterexample, and returns the merged coverage report.
+///
+/// The report is **byte-identical for any worker count**: verdicts are
+/// pure per-case functions merged by enumeration id, and shrinking runs
+/// serially in id order after the parallel phase.
+///
+/// `progress`, when given, receives one compact JSON line per completed
+/// case in arrival order (observability only — explicitly outside the
+/// determinism contract).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the spec is invalid or names an unknown
+/// app/policy, enumerates no cases, or the progress stream cannot be
+/// written. Invariant violations are *results*, not errors — they come
+/// back as counterexamples on the report.
+pub fn run_explore(
+    cfg: &SimConfig,
+    spec: &ExploreSpec,
+    workers: usize,
+    mut progress: Option<&mut dyn io::Write>,
+) -> Result<ExploreReport, ExploreError> {
+    spec.validate()
+        .map_err(|e| ExploreError::InvalidSpec(e.to_string()))?;
+    let ctx = context(
+        cfg,
+        CtxParams {
+            app: &spec.app,
+            policy: &spec.policy,
+            rate: spec.rate,
+            retry: spec.retry,
+            invariants: &spec.invariant_set(),
+            sanitize_cadence: spec.sanitize_cadence,
+            checkpoint_at: spec.checkpoint_at,
+        },
+    )?;
+    let (cases, skipped) = spec.cases();
+    if cases.is_empty() {
+        return Err(ExploreError::EmptyCaseList);
+    }
+
+    // Parallel verdict phase: injector cursor over enumeration order,
+    // collector merges by case id (the campaign pool pattern).
+    let workers = workers.max(1).min(cases.len());
+    let cursor = AtomicUsize::new(0);
+    let mut verdicts: Vec<Option<Verdict>> = vec![None; cases.len()];
+    let mut io_error: Option<ExploreError> = None;
+    thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, Verdict)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (cursor, ctx, cases) = (&cursor, &ctx, &cases);
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(case) = cases.get(i) else {
+                    break;
+                };
+                let verdict = ctx.verdict(&case.plan);
+                if tx.send((i, verdict)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, verdict) in rx.iter() {
+            if let Some(w) = progress.as_deref_mut() {
+                let line = json!({
+                    "id": cases[i].id,
+                    "label": cases[i].label.clone(),
+                    "ok": verdict.violation.is_none(),
+                    "invariant": verdict.violation.as_ref().map(|(inv, _)| inv.clone()),
+                })
+                .to_string();
+                if let Err(e) = writeln!(w, "{line}") {
+                    io_error.get_or_insert(ExploreError::Io(e.to_string()));
+                }
+            }
+            verdicts[i] = Some(verdict);
+        }
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+
+    let mut runs = 0u64;
+    let mut invariant_checks = 0u64;
+    let mut shrink_probes = 0u64;
+    let mut counterexamples = Vec::new();
+    // Serial shrink phase, in enumeration order: the probe sequence (and
+    // therefore the shrunk plan bytes) must not depend on worker count.
+    for (case, slot) in cases.iter().zip(&verdicts) {
+        let Some(verdict) = slot else { continue };
+        runs += verdict.runs;
+        invariant_checks += verdict.checks;
+        let Some((target, first_error)) = verdict.violation.clone() else {
+            continue;
+        };
+        let mut fails = |candidate: &FaultPlan| -> bool {
+            let v = ctx.verdict(candidate);
+            matches!(&v.violation, Some((inv, _)) if *inv == target)
+        };
+        let (plan, probes) = shrink_plan(&case.plan, spec.shrink_budget, &mut fails);
+        // One confirming run on the shrunk plan pins the exact error the
+        // minimal counterexample reproduces.
+        let confirm = ctx.verdict(&plan);
+        shrink_probes += probes + 1;
+        let error = match confirm.violation {
+            Some((_, e)) => e,
+            None => first_error,
+        };
+        counterexamples.push(Counterexample {
+            case: case.id,
+            label: case.label.clone(),
+            invariant: target,
+            error,
+            probes: probes + 1,
+            plan,
+        });
+    }
+
+    let count_of =
+        |prefix: &str| cases.iter().filter(|c| c.label.starts_with(prefix)).count() as u64;
+    Ok(ExploreReport {
+        app: spec.app.clone(),
+        policy: ctx.kind.label().to_string(),
+        rate: spec.rate,
+        cases: cases.len() as u64,
+        fixture_cases: count_of("fixture:"),
+        window_cases: count_of("window:"),
+        batch_cases: count_of("batch:"),
+        skipped_invalid: skipped,
+        distinct_placements: spec.distinct_placements(),
+        invariants: ctx.invariants.clone(),
+        runs,
+        invariant_checks,
+        shrink_probes,
+        counterexamples,
+    })
+}
+
+/// Packages a counterexample as a self-contained replayable repro.
+pub fn repro_for(spec: &ExploreSpec, cx: &Counterexample) -> ReproCase {
+    ReproCase {
+        app: spec.app.clone(),
+        policy: spec.policy.clone(),
+        rate: spec.rate,
+        invariant: cx.invariant.clone(),
+        error: cx.error.clone(),
+        retry: spec.retry,
+        sanitize_cadence: spec.sanitize_cadence,
+        checkpoint_at: spec.checkpoint_at,
+        plan: cx.plan.clone(),
+    }
+}
+
+/// Re-executes a repro deterministically and returns the violation it
+/// reproduced — `(invariant, error)` — or `None` if the run came back
+/// clean (the recorded bug did not reproduce).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the repro names an unknown app, policy or
+/// invariant, or carries an invalid plan.
+pub fn replay_repro(
+    cfg: &SimConfig,
+    repro: &ReproCase,
+) -> Result<Option<(String, String)>, ExploreError> {
+    if !ALL_INVARIANTS.contains(&repro.invariant.as_str()) {
+        return Err(ExploreError::InvalidSpec(format!(
+            "unknown invariant `{}` (known: {})",
+            repro.invariant,
+            ALL_INVARIANTS.join(", ")
+        )));
+    }
+    repro
+        .plan
+        .validate()
+        .map_err(|e| ExploreError::InvalidSpec(e.to_string()))?;
+    let ctx = context(
+        cfg,
+        CtxParams {
+            app: &repro.app,
+            policy: &repro.policy,
+            rate: repro.rate,
+            retry: repro.retry,
+            invariants: std::slice::from_ref(&repro.invariant),
+            sanitize_cadence: repro.sanitize_cadence,
+            checkpoint_at: repro.checkpoint_at,
+        },
+    )?;
+    Ok(ctx.verdict(&repro.plan).violation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_config;
+
+    /// A minimal clean spec: one fixture plan, no grid, no batch, the
+    /// cheap single-run invariants only.
+    fn tiny_clean_spec() -> ExploreSpec {
+        ExploreSpec {
+            policy: "lru".to_string(),
+            grid_limit: 0,
+            fixtures: vec![FaultPlan::latency_storm(5)],
+            invariants: vec!["completes".to_string(), "conservation".to_string()],
+            ..ExploreSpec::default()
+        }
+    }
+
+    #[test]
+    fn clean_fixture_reports_zero_counterexamples() {
+        let report = run_explore(&bench_config(), &tiny_clean_spec(), 1, None).unwrap();
+        assert_eq!(report.cases, 1);
+        assert_eq!(report.fixture_cases, 1);
+        assert_eq!(report.window_cases, 0);
+        assert_eq!(report.runs, 1, "both invariants share the base run");
+        assert_eq!(report.invariant_checks, 2);
+        assert!(
+            report.counterexamples.is_empty(),
+            "{:?}",
+            report.counterexamples
+        );
+        assert_eq!(report.shrink_probes, 0);
+        assert_eq!(report.policy, "LRU", "label normalized");
+        assert_eq!(
+            report.invariants,
+            vec!["completes".to_string(), "conservation".to_string()]
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let cfg = bench_config();
+        let mut spec = tiny_clean_spec();
+        spec.app = "XXX".to_string();
+        assert_eq!(
+            run_explore(&cfg, &spec, 1, None).unwrap_err(),
+            ExploreError::UnknownApp("XXX".to_string())
+        );
+        let mut spec = tiny_clean_spec();
+        spec.policy = "belady2".to_string();
+        assert_eq!(
+            run_explore(&cfg, &spec, 1, None).unwrap_err(),
+            ExploreError::UnknownPolicy("belady2".to_string())
+        );
+        let mut spec = tiny_clean_spec();
+        spec.fixtures.clear();
+        assert_eq!(
+            run_explore(&cfg, &spec, 1, None).unwrap_err(),
+            ExploreError::EmptyCaseList
+        );
+    }
+
+    #[test]
+    fn progress_stream_gets_one_line_per_case() {
+        let mut buf = Vec::new();
+        let report = run_explore(
+            &bench_config(),
+            &tiny_clean_spec(),
+            1,
+            Some(&mut buf as &mut dyn io::Write),
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count() as u64, report.cases);
+        assert!(text.contains("\"label\":\"fixture:0\""), "{text}");
+        assert!(text.contains("\"ok\":true"), "{text}");
+    }
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod explore;
 pub mod perf;
 pub mod report;
 pub mod runner;
@@ -24,6 +25,7 @@ pub use campaign::{
     CampaignReport, CampaignRun, CampaignSnapshot, CampaignSpec, CampaignTotals, PlanSpec,
     PoolOptions, DEFAULT_SNAPSHOT_EVERY,
 };
+pub use explore::{replay_repro, repro_for, run_explore, ExploreError, RECOVERY_STREAK_FAULTS};
 pub use perf::{BenchSnapshot, PolicyPerf, Tolerance, Verdict, WallClock, BENCH_SCHEMA_VERSION};
 pub use report::{f2, f3, geomean, mean, save_json, traces_dir, write_jsonl, Table};
 pub use runner::{

@@ -51,6 +51,13 @@ impl PolicyKind {
         PolicyKind::Hpe,
     ];
 
+    /// Parses a display label case-insensitively ("hpe", "CLOCK-Pro", …).
+    pub fn parse(text: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(text))
+    }
+
     /// Short display label.
     pub fn label(self) -> &'static str {
         match self {

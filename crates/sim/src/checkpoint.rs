@@ -77,6 +77,11 @@ pub struct Checkpoint {
     pub shadow_pages: u64,
     /// Logical clock of the LRU fallback shadow.
     pub shadow_clock: u64,
+    /// Outcome bits of the adaptive-retry loss estimator (0 unless
+    /// `RetryPolicy::Adaptive` is installed).
+    pub loss_bits: u64,
+    /// Outcomes the adaptive-retry loss estimator has observed.
+    pub loss_len: u32,
 }
 
 impl_json_struct!(Checkpoint {
@@ -96,6 +101,8 @@ impl_json_struct!(Checkpoint {
     queue_len = 0,
     shadow_pages = 0,
     shadow_clock = 0,
+    loss_bits = 0,
+    loss_len = 0,
 });
 
 #[cfg(test)]
@@ -126,6 +133,8 @@ mod tests {
             queue_len: 4,
             shadow_pages: 576,
             shadow_clock: 4_000,
+            loss_bits: 0b1011,
+            loss_len: 4,
         };
         let text = ckpt.to_json().to_string();
         let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();

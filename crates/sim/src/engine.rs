@@ -19,7 +19,7 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::memory::GpuMemory;
 use crate::observer::{EventLog, SimEvent, SimObserver};
 use crate::profile::{MetricsSample, ProfileReport, Profiler};
-use crate::recovery::{CircuitBreaker, FallbackVictim, LruShadow, RetryPolicy};
+use crate::recovery::{CircuitBreaker, FallbackVictim, LossEstimator, LruShadow, RetryPolicy};
 use crate::sanitizer::Sanitizer;
 use crate::tlb::Tlb;
 
@@ -97,6 +97,13 @@ pub struct SimOutcome<P> {
     /// The finalized profile when a profiler was installed (see
     /// [`Simulation::set_profiler`]); `None` on unprofiled runs.
     pub profile: Option<ProfileReport>,
+    /// Whether the injected HIR channel outage was still active when the
+    /// run ended (cross-run recovery checks need to distinguish "degraded
+    /// because the channel is down" from "stuck degraded").
+    pub hir_down: bool,
+    /// Demand faults serviced since the HIR channel last came (or was)
+    /// up — the recovery headroom a policy had to leave degraded mode.
+    pub hir_clean_streak_faults: u64,
 }
 
 /// A configured simulation, consumed by [`Simulation::run`].
@@ -139,6 +146,12 @@ pub struct Simulation<P> {
     retry: Option<RetryPolicy>,
     /// Backoff attempts made for the in-service fault's completion.
     completion_attempts: u32,
+    /// Windowed completion-loss estimator, present only under
+    /// [`RetryPolicy::Adaptive`]; fed one outcome per completion event.
+    loss: Option<LossEstimator>,
+    /// Demand faults serviced since the HIR channel last came (or was)
+    /// up; resets while an injected outage holds the channel down.
+    hir_clean_streak_faults: u64,
     /// Circuit breaker on the HIR channel (armed only under fault plans
     /// that lose flushes; otherwise it never records a failure).
     breaker: CircuitBreaker,
@@ -229,6 +242,8 @@ impl<P: EvictionPolicy> Simulation<P> {
             watchdog_limit,
             retry: None,
             completion_attempts: 0,
+            loss: None,
+            hir_clean_streak_faults: 0,
             breaker: CircuitBreaker::new(HIR_BREAKER_THRESHOLD),
             fallback: FallbackVictim::default(),
             shadow: LruShadow::default(),
@@ -271,6 +286,7 @@ impl<P: EvictionPolicy> Simulation<P> {
     /// Returns [`ConfigError`] if the policy is invalid.
     pub fn set_retry_policy(&mut self, rp: RetryPolicy) -> Result<(), ConfigError> {
         rp.validate()?;
+        self.loss = rp.loss_window().map(LossEstimator::new);
         self.retry = Some(rp);
         Ok(())
     }
@@ -398,21 +414,32 @@ impl<P: EvictionPolicy> Simulation<P> {
         // driver retries until it gets through — or, without a retry
         // policy, never does, and the watchdog reports the livelock.
         let lost = match &mut self.faults {
-            Some(fs) => fs.completion_lost(&mut self.stats.resilience),
+            Some(fs) => fs.completion_lost(self.now, &mut self.stats.resilience),
             None => None,
         };
+        // The adaptive estimator observes every completion outcome —
+        // delivered or lost — so its loss rate tracks the channel, not
+        // just the retries.
+        if let Some(est) = self.loss.as_mut() {
+            est.record(lost.is_some());
+        }
         match lost {
             Some(plan_delay) => match self.retry {
                 Some(rp) => {
                     self.completion_attempts += 1;
-                    if self.completion_attempts >= rp.max_attempts {
+                    if self.completion_attempts >= rp.max_attempts() {
                         return Err(SimError::RetriesExhausted {
                             page,
                             cycle: self.now,
                             attempts: self.completion_attempts,
                         });
                     }
-                    let delay = rp.delay_for(self.completion_attempts);
+                    let delay = match (rp, &self.loss) {
+                        (RetryPolicy::Adaptive(a), Some(est)) => {
+                            a.delay_for(self.completion_attempts, est.lost(), est.observed())
+                        }
+                        _ => rp.delay_for(self.completion_attempts),
+                    };
                     self.stats.resilience.retry_attempts += 1;
                     self.stats.resilience.retry_backoff_cycles += delay;
                     if let Some(prof) = self.profiler.as_mut() {
@@ -467,6 +494,8 @@ impl<P: EvictionPolicy> Simulation<P> {
             stats: self.stats,
             policy: self.policy,
             profile,
+            hir_down: self.faults.as_ref().is_some_and(|fs| fs.hir_down),
+            hir_clean_streak_faults: self.hir_clean_streak_faults,
         })
     }
 
@@ -502,6 +531,7 @@ impl<P: EvictionPolicy> Simulation<P> {
         };
         let (breaker_failures, breaker_open) = self.breaker.fingerprint();
         let (shadow_pages, shadow_clock) = self.shadow.fingerprint();
+        let (loss_bits, loss_len) = self.loss.map_or((0, 0), |est| est.fingerprint());
         Checkpoint {
             cycle: self.paused_at.unwrap_or(self.now),
             now: self.now,
@@ -519,6 +549,8 @@ impl<P: EvictionPolicy> Simulation<P> {
             queue_len: self.fault_queue.len() as u64,
             shadow_pages,
             shadow_clock,
+            loss_bits,
+            loss_len,
         }
     }
 
@@ -801,7 +833,7 @@ impl<P: EvictionPolicy> Simulation<P> {
         // Injected GPU→driver channel outage: tell the policy when the
         // square wave flips, and count faults serviced while it is down.
         if let Some(fs) = &mut self.faults {
-            if let Some(down) = fs.hir_transition(fault_num) {
+            if let Some(down) = fs.hir_transition(fault_num, self.now) {
                 self.policy.on_disruption(if down {
                     SignalDisruption::HirChannelDown
                 } else {
@@ -820,10 +852,18 @@ impl<P: EvictionPolicy> Simulation<P> {
             // Injected partial outage: this window's HIR flush will arrive
             // late. Announced before faults are serviced so the policy can
             // divert the flush instead of applying it inline.
-            if let Some(delay) = fs.flush_delay(&mut self.stats.resilience) {
+            if let Some(delay) = fs.flush_delay(self.now, &mut self.stats.resilience) {
                 self.policy
                     .on_disruption(SignalDisruption::HirFlushDelayed { faults: delay });
             }
+        }
+        // Recovery headroom: faults serviced with the channel up are the
+        // opportunity a degraded policy had to recover (see
+        // [`SimOutcome::hir_clean_streak_faults`]).
+        if self.faults.as_ref().is_some_and(|fs| fs.hir_down) {
+            self.hir_clean_streak_faults = 0;
+        } else {
+            self.hir_clean_streak_faults += demand_count;
         }
 
         // Free enough frames for every migrating page.
@@ -833,7 +873,7 @@ impl<P: EvictionPolicy> Simulation<P> {
             // Injected victim-notification drop: the policy's answer is
             // lost in transit, so the driver acts as if none was offered.
             let dropped = match &mut self.faults {
-                Some(fs) => fs.victim_dropped(&mut self.stats.resilience),
+                Some(fs) => fs.victim_dropped(self.now, &mut self.stats.resilience),
                 None => false,
             };
             let victim = match self.policy.select_victim() {
@@ -913,7 +953,7 @@ impl<P: EvictionPolicy> Simulation<P> {
         // Injected corrupted fault report: a spurious wrong-eviction signal
         // reaches the policy's adjustment machinery.
         if let Some(fs) = &mut self.faults {
-            if fs.spurious_wrong_eviction(&mut self.stats.resilience) {
+            if fs.spurious_wrong_eviction(self.now, &mut self.stats.resilience) {
                 self.policy
                     .on_disruption(SignalDisruption::SpuriousWrongEviction { fault_num });
                 self.drain_policy_events();
@@ -1096,6 +1136,10 @@ impl<P: EvictionPolicy> Simulation<P> {
         self.breaker
             .check_invariants()
             .map_err(|detail| fail("circuit-breaker", detail))?;
+        if let Some(est) = &self.loss {
+            est.check_invariants()
+                .map_err(|detail| fail("loss-estimator", detail))?;
+        }
         self.policy
             .check_invariants()
             .map_err(|detail| fail("policy-structure", detail))?;
@@ -1121,6 +1165,7 @@ impl<P: EvictionPolicy> Simulation<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::Backoff;
     use crate::{ideal_for, trace_for, ProfileConfig};
     use uvm_policies::{Lru, RandomPolicy};
     use uvm_types::Oversubscription;
@@ -1562,10 +1607,10 @@ mod tests {
         let trace = Trace::from_global(&global, 10, 0, 1, 1);
         let mut sim = Simulation::new(cfg, &trace, Lru::new(), 16).unwrap();
         sim.set_fault_plan(crate::FaultPlan::livelock(1)).unwrap();
-        let rp = RetryPolicy {
+        let rp = RetryPolicy::Fixed(Backoff {
             max_attempts: 5,
-            ..RetryPolicy::default()
-        };
+            ..Backoff::default()
+        });
         sim.set_retry_policy(rp).unwrap();
         match sim.run() {
             Err(SimError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 5),
@@ -1596,11 +1641,41 @@ mod tests {
         let cfg = tiny_cfg(1, 1);
         let trace = Trace::from_global(&[0], 1, 0, 1, 1);
         let mut sim = Simulation::new(cfg, &trace, Lru::new(), 4).unwrap();
-        let bad = RetryPolicy {
+        let bad = RetryPolicy::Fixed(Backoff {
             max_attempts: 0,
-            ..RetryPolicy::default()
-        };
+            ..Backoff::default()
+        });
         assert!(sim.set_retry_policy(bad).is_err());
+    }
+
+    #[test]
+    fn adaptive_retry_backs_off_harder_under_loss() {
+        let global: Vec<u64> = (0..40u64).cycle().take(120).collect();
+        let run = |rp: RetryPolicy| {
+            let cfg = tiny_cfg(2, 1);
+            let trace = Trace::from_global(&global, 40, 0, 2, 3);
+            let mut sim = Simulation::new(cfg, &trace, Lru::new(), 30).unwrap();
+            sim.set_fault_plan(crate::FaultPlan::completion_loss(7))
+                .unwrap();
+            sim.set_retry_policy(rp).unwrap();
+            sim.run().expect("bounded loss still completes").stats
+        };
+        let fixed = run(RetryPolicy::default());
+        let adaptive = run(RetryPolicy::adaptive());
+        assert!(fixed.resilience.completions_lost > 0);
+        assert!(adaptive.resilience.completions_lost > 0);
+        // Observed loss raises the adaptive base, so the mean backoff per
+        // retry must exceed the fixed schedule's (both start at the same
+        // base and cap).
+        let mean = |s: &SimStats| s.resilience.retry_backoff_cycles / s.resilience.retry_attempts;
+        assert!(
+            mean(&adaptive) > mean(&fixed),
+            "adaptive mean backoff {} !> fixed mean backoff {}",
+            mean(&adaptive),
+            mean(&fixed)
+        );
+        // Identical inputs replay identically under the adaptive estimator.
+        assert_eq!(run(RetryPolicy::adaptive()), adaptive);
     }
 
     #[test]

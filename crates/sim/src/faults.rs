@@ -25,7 +25,106 @@
 //! ```
 
 use uvm_types::{ConfigError, ResilienceStats};
-use uvm_util::{impl_json_struct, Rng};
+use uvm_util::{impl_json_enum, impl_json_struct, Rng};
+
+/// The fault mechanism a deterministic [`FaultWindow`] activates.
+///
+/// Each family maps onto one of the plan's probabilistic knobs, but a
+/// window fires the effect *unconditionally* while the simulation clock
+/// is inside it — no RNG draw — so window placements can be enumerated
+/// exhaustively by the exploration engine and two runs with the same
+/// windows perturb identically regardless of seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultFamily {
+    /// HIR-flush transfer cycles are multiplied by `congestion_factor`.
+    Congestion,
+    /// Every fault-completion signal is lost and re-queued after
+    /// `retry_cycles` (or routed through the driver's retry policy).
+    CompletionLoss,
+    /// The GPU→driver HIR channel is down.
+    HirOutage,
+    /// Every serviced fault delivers a spurious wrong-eviction report.
+    SpuriousSignal,
+    /// Every service window delays the next HIR flush by
+    /// `hir_delay_faults` in transit.
+    FlushDelay,
+    /// Every victim response from the policy is dropped in transit.
+    VictimDrop,
+    /// Every fault service is stretched by `tail_multiplier`.
+    LatencyTail,
+}
+
+impl_json_enum!(FaultFamily {
+    Congestion,
+    CompletionLoss,
+    HirOutage,
+    SpuriousSignal,
+    FlushDelay,
+    VictimDrop,
+    LatencyTail,
+});
+
+impl FaultFamily {
+    /// All families in canonical (enumeration) order.
+    pub const ALL: [FaultFamily; 7] = [
+        FaultFamily::Congestion,
+        FaultFamily::CompletionLoss,
+        FaultFamily::HirOutage,
+        FaultFamily::SpuriousSignal,
+        FaultFamily::FlushDelay,
+        FaultFamily::VictimDrop,
+        FaultFamily::LatencyTail,
+    ];
+
+    /// Short kebab-case label for CLI flags and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultFamily::Congestion => "congestion",
+            FaultFamily::CompletionLoss => "completion-loss",
+            FaultFamily::HirOutage => "hir-outage",
+            FaultFamily::SpuriousSignal => "spurious-signal",
+            FaultFamily::FlushDelay => "flush-delay",
+            FaultFamily::VictimDrop => "victim-drop",
+            FaultFamily::LatencyTail => "latency-tail",
+        }
+    }
+
+    /// Parses a CLI label (inverse of [`Self::label`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        FaultFamily::ALL.into_iter().find(|f| f.label() == s)
+    }
+}
+
+/// A deterministic fault window on the simulation cycle axis: the
+/// family's effect is active for every event with `start <= cycle <
+/// start + width`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Which fault mechanism the window activates.
+    pub family: FaultFamily,
+    /// First active cycle.
+    pub start: u64,
+    /// Width in cycles (must be nonzero; `start + width` is exclusive).
+    pub width: u64,
+}
+
+impl_json_struct!(FaultWindow {
+    family,
+    start,
+    width
+});
+
+impl FaultWindow {
+    /// Whether `cycle` falls inside this window.
+    pub fn contains(&self, cycle: u64) -> bool {
+        cycle >= self.start && cycle - self.start < self.width
+    }
+
+    /// Exclusive end cycle (saturating).
+    pub fn end(&self) -> u64 {
+        self.start.saturating_add(self.width)
+    }
+}
 
 /// A replayable fault-injection plan (all perturbations off by default).
 ///
@@ -75,6 +174,12 @@ pub struct FaultPlan {
     /// in transit: the engine discards the answer and evicts via its
     /// fallback victim instead.
     pub victim_drop_probability: f64,
+    /// Deterministic fault windows on the cycle axis. Inside a window the
+    /// family's effect fires unconditionally (no RNG draw), so window
+    /// placements can be enumerated exhaustively. Windows of the *same*
+    /// family must not overlap ([`Self::validate`] rejects them — they
+    /// would silently compound); windows of different families may.
+    pub windows: Vec<FaultWindow>,
 }
 
 impl_json_struct!(FaultPlan {
@@ -94,6 +199,7 @@ impl_json_struct!(FaultPlan {
     hir_delay_probability = 0.0,
     hir_delay_faults = 0,
     victim_drop_probability = 0.0,
+    windows = Vec::new(),
 });
 
 impl Default for FaultPlan {
@@ -122,6 +228,7 @@ impl FaultPlan {
             hir_delay_probability: 0.0,
             hir_delay_faults: 0,
             victim_drop_probability: 0.0,
+            windows: Vec::new(),
         }
     }
 
@@ -220,6 +327,27 @@ impl FaultPlan {
             && self.spurious_wrong_eviction_probability == 0.0
             && self.hir_delay_probability == 0.0
             && self.victim_drop_probability == 0.0
+            && self.windows.is_empty()
+    }
+
+    /// Whether any window of `family` is configured.
+    pub fn has_window(&self, family: FaultFamily) -> bool {
+        self.windows.iter().any(|w| w.family == family)
+    }
+
+    /// Whether `cycle` falls inside a window of `family`.
+    pub fn in_family_window(&self, family: FaultFamily, cycle: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.family == family && w.contains(cycle))
+    }
+
+    /// Whether the HIR channel is injected-down at fault number
+    /// `fault_num` and cycle `now` (square wave OR any
+    /// [`FaultFamily::HirOutage`] window).
+    pub fn hir_down_at(&self, fault_num: u64, now: u64) -> bool {
+        in_window(fault_num, self.hir_outage_period, self.hir_outage_duty)
+            || self.in_family_window(FaultFamily::HirOutage, now)
     }
 
     /// Validates the plan.
@@ -298,6 +426,82 @@ impl FaultPlan {
                  zero-fault delay would be indistinguishable from no delay)",
             ));
         }
+        self.validate_windows()
+    }
+
+    /// Window-specific validation: nonzero widths, knobs the windowed
+    /// effect depends on, and no same-family overlap.
+    fn validate_windows(&self) -> Result<(), ConfigError> {
+        for (i, w) in self.windows.iter().enumerate() {
+            if w.width == 0 {
+                return Err(ConfigError::invalid(
+                    "windows",
+                    format!(
+                        "window {i} ({}) has zero width; a window must cover at \
+                         least one cycle or be removed",
+                        w.family.label()
+                    ),
+                ));
+            }
+        }
+        if self.has_window(FaultFamily::Congestion) && self.congestion_factor < 2 {
+            return Err(ConfigError::invalid(
+                "congestion_factor",
+                "must be at least 2 when a congestion window is configured",
+            ));
+        }
+        if self.has_window(FaultFamily::LatencyTail) && self.tail_multiplier < 2 {
+            return Err(ConfigError::invalid(
+                "tail_multiplier",
+                "must be at least 2 when a latency-tail window is configured",
+            ));
+        }
+        if self.has_window(FaultFamily::CompletionLoss) && self.retry_cycles == 0 {
+            return Err(ConfigError::invalid(
+                "retry_cycles",
+                "must be nonzero when a completion-loss window is configured \
+                 (lost completions are re-queued after retry_cycles)",
+            ));
+        }
+        if self.has_window(FaultFamily::FlushDelay) && self.hir_delay_faults == 0 {
+            return Err(ConfigError::invalid(
+                "hir_delay_faults",
+                "must be nonzero when a flush-delay window is configured",
+            ));
+        }
+        // Same-family windows must not overlap: inside an overlap the
+        // effect would silently compound (e.g. congestion applied twice),
+        // which makes exhaustive enumeration and shrinking unsound.
+        // Touching windows (end == start) are fine.
+        for family in FaultFamily::ALL {
+            let mut spans: Vec<(usize, &FaultWindow)> = self
+                .windows
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.family == family)
+                .collect();
+            spans.sort_by_key(|(_, w)| (w.start, w.width));
+            for pair in spans.windows(2) {
+                let (i, a) = pair[0];
+                let (j, b) = pair[1];
+                if a.end() > b.start {
+                    return Err(ConfigError::invalid(
+                        "windows",
+                        format!(
+                            "windows {i} and {j} of family {} overlap \
+                             ([{}, {}) vs [{}, {})): their effects would \
+                             silently compound; merge them into one window \
+                             or separate their cycle ranges",
+                            family.label(),
+                            a.start,
+                            a.end(),
+                            b.start,
+                            b.end()
+                        ),
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -355,8 +559,15 @@ impl FaultState {
         if self.plan.tail_probability > 0.0 && self.rng.gen_bool(self.plan.tail_probability) {
             service = service.saturating_mul(self.plan.tail_multiplier);
             res.tail_latency_events += 1;
+        } else if self.plan.in_family_window(FaultFamily::LatencyTail, now) {
+            // Deterministic tail window: fires unconditionally, but never
+            // stacks on top of a probabilistic tail already drawn.
+            service = service.saturating_mul(self.plan.tail_multiplier);
+            res.tail_latency_events += 1;
         }
-        if in_window(now, self.plan.congestion_period, self.plan.congestion_duty) {
+        if in_window(now, self.plan.congestion_period, self.plan.congestion_duty)
+            || self.plan.in_family_window(FaultFamily::Congestion, now)
+        {
             out_transfer = out_transfer.saturating_mul(self.plan.congestion_factor);
             res.congested_services += 1;
         }
@@ -366,14 +577,11 @@ impl FaultState {
         (service, out_transfer)
     }
 
-    /// Steps the HIR-outage square wave at fault number `fault_count`;
-    /// returns `Some(down)` when the channel state just changed.
-    pub(crate) fn hir_transition(&mut self, fault_count: u64) -> Option<bool> {
-        let down = in_window(
-            fault_count,
-            self.plan.hir_outage_period,
-            self.plan.hir_outage_duty,
-        );
+    /// Steps the HIR-outage state at fault number `fault_count` and cycle
+    /// `now` (square wave OR outage window); returns `Some(down)` when
+    /// the channel state just changed.
+    pub(crate) fn hir_transition(&mut self, fault_count: u64, now: u64) -> Option<bool> {
+        let down = self.plan.hir_down_at(fault_count, now);
         if down == self.hir_down {
             return None;
         }
@@ -383,7 +591,11 @@ impl FaultState {
 
     /// Whether this serviced fault also delivers a spurious wrong-eviction
     /// report.
-    pub(crate) fn spurious_wrong_eviction(&mut self, res: &mut ResilienceStats) -> bool {
+    pub(crate) fn spurious_wrong_eviction(&mut self, now: u64, res: &mut ResilienceStats) -> bool {
+        if self.plan.in_family_window(FaultFamily::SpuriousSignal, now) {
+            res.spurious_wrong_evictions += 1;
+            return true;
+        }
         let p = self.plan.spurious_wrong_eviction_probability;
         if p > 0.0 && self.rng.gen_bool(p) {
             res.spurious_wrong_evictions += 1;
@@ -394,7 +606,11 @@ impl FaultState {
 
     /// Whether this fault-service window delays the policy's next HIR
     /// flush in transit (partial outage); returns the delay in faults.
-    pub(crate) fn flush_delay(&mut self, res: &mut ResilienceStats) -> Option<u64> {
+    pub(crate) fn flush_delay(&mut self, now: u64, res: &mut ResilienceStats) -> Option<u64> {
+        if self.plan.in_family_window(FaultFamily::FlushDelay, now) {
+            res.delayed_hir_flushes += 1;
+            return Some(self.plan.hir_delay_faults);
+        }
         let p = self.plan.hir_delay_probability;
         if p > 0.0 && self.rng.gen_bool(p) {
             res.delayed_hir_flushes += 1;
@@ -405,7 +621,11 @@ impl FaultState {
 
     /// Whether one victim response from the policy is corrupted in
     /// transit, forcing the engine onto its fallback victim.
-    pub(crate) fn victim_dropped(&mut self, res: &mut ResilienceStats) -> bool {
+    pub(crate) fn victim_dropped(&mut self, now: u64, res: &mut ResilienceStats) -> bool {
+        if self.plan.in_family_window(FaultFamily::VictimDrop, now) {
+            res.victims_dropped += 1;
+            return true;
+        }
         let p = self.plan.victim_drop_probability;
         if p > 0.0 && self.rng.gen_bool(p) {
             res.victims_dropped += 1;
@@ -419,7 +639,7 @@ impl FaultState {
     /// expected after-effect of a drop — instead of treating them as a
     /// policy bug.
     pub(crate) fn drops_victims(&self) -> bool {
-        self.plan.victim_drop_probability > 0.0
+        self.plan.victim_drop_probability > 0.0 || self.plan.has_window(FaultFamily::VictimDrop)
     }
 
     /// Checkpoint fingerprint: the RNG words and the loss streak. Both
@@ -429,10 +649,18 @@ impl FaultState {
         (self.rng.state(), self.lost_in_row)
     }
 
-    /// Decides the fate of a fault-completion signal. Returns
-    /// `Some(retry_delay)` when the signal was lost and the driver must
-    /// retry after that many cycles; `None` delivers it.
-    pub(crate) fn completion_lost(&mut self, res: &mut ResilienceStats) -> Option<u64> {
+    /// Decides the fate of a fault-completion signal at cycle `now`.
+    /// Returns `Some(retry_delay)` when the signal was lost and the
+    /// driver must retry after that many cycles; `None` delivers it.
+    pub(crate) fn completion_lost(&mut self, now: u64, res: &mut ResilienceStats) -> Option<u64> {
+        // A completion-loss window is absolute: every signal inside it is
+        // lost (no RNG draw, `max_completion_retries` does not apply).
+        // The driver escapes once its cumulative backoff carries the
+        // retry past the window's end — or its retry policy gives up.
+        if self.plan.in_family_window(FaultFamily::CompletionLoss, now) {
+            res.completions_lost += 1;
+            return Some(self.plan.retry_cycles);
+        }
         let p = self.plan.completion_loss_probability;
         if p == 0.0 {
             return None;
@@ -467,9 +695,9 @@ mod tests {
                 st.perturb_service(28_000, 512, now, &mut res),
                 (28_000, 512)
             );
-            assert_eq!(st.hir_transition(now), None);
-            assert!(!st.spurious_wrong_eviction(&mut res));
-            assert_eq!(st.completion_lost(&mut res), None);
+            assert_eq!(st.hir_transition(now, now), None);
+            assert!(!st.spurious_wrong_eviction(now, &mut res));
+            assert_eq!(st.completion_lost(now, &mut res), None);
         }
         assert!(!res.any());
     }
@@ -521,11 +749,11 @@ mod tests {
     fn outage_wave_reports_transitions_once() {
         let mut st = FaultState::new(FaultPlan::signal_chaos(2));
         // Period 512, duty 0.4: faults 0..204 down, 205..511 up.
-        assert_eq!(st.hir_transition(0), Some(true));
-        assert_eq!(st.hir_transition(100), None);
-        assert_eq!(st.hir_transition(204), Some(false));
-        assert_eq!(st.hir_transition(400), None);
-        assert_eq!(st.hir_transition(512), Some(true));
+        assert_eq!(st.hir_transition(0, 0), Some(true));
+        assert_eq!(st.hir_transition(100, 0), None);
+        assert_eq!(st.hir_transition(204, 0), Some(false));
+        assert_eq!(st.hir_transition(400, 0), None);
+        assert_eq!(st.hir_transition(512, 0), Some(true));
     }
 
     #[test]
@@ -542,7 +770,7 @@ mod tests {
         let mut attempts = 0;
         while delivered < 5 {
             attempts += 1;
-            if st.completion_lost(&mut res).is_none() {
+            if st.completion_lost(0, &mut res).is_none() {
                 delivered += 1;
             }
             assert!(attempts <= 5 * 4, "must deliver every 4th attempt");
@@ -555,7 +783,7 @@ mod tests {
         let mut st = FaultState::new(FaultPlan::livelock(4));
         let mut res = ResilienceStats::default();
         for _ in 0..100 {
-            assert_eq!(st.completion_lost(&mut res), Some(10_000));
+            assert_eq!(st.completion_lost(0, &mut res), Some(10_000));
         }
         assert_eq!(res.completions_lost, 100);
     }
@@ -585,7 +813,7 @@ mod tests {
         let mut st = FaultState::new(FaultPlan::none());
         let mut res = ResilienceStats::default();
         for _ in 0..100 {
-            assert_eq!(st.flush_delay(&mut res), None);
+            assert_eq!(st.flush_delay(0, &mut res), None);
         }
         assert!(!st.drops_victims());
 
@@ -596,7 +824,7 @@ mod tests {
             ..FaultPlan::none()
         });
         for _ in 0..10 {
-            assert_eq!(st.flush_delay(&mut res), Some(24));
+            assert_eq!(st.flush_delay(0, &mut res), Some(24));
         }
         assert_eq!(res.delayed_hir_flushes, 10);
     }
@@ -606,7 +834,9 @@ mod tests {
         let mut st = FaultState::new(FaultPlan::victim_drop(8));
         assert!(st.drops_victims());
         let mut res = ResilienceStats::default();
-        let drops = (0..2_000).filter(|_| st.victim_dropped(&mut res)).count() as u64;
+        let drops = (0..2_000)
+            .filter(|_| st.victim_dropped(0, &mut res))
+            .count() as u64;
         // 5% of 2000 draws: far from zero, far from certain.
         assert!(drops > 0, "p=0.05 over 2000 draws must drop something");
         assert!(drops < 500, "p=0.05 cannot drop a quarter of responses");
@@ -669,6 +899,180 @@ mod tests {
         let msg = p.validate().unwrap_err().to_string();
         assert!(msg.contains("hir_outage_duty"), "{msg}");
         assert!(msg.contains("rounds to zero"), "{msg}");
+    }
+
+    fn window(family: FaultFamily, start: u64, width: u64) -> FaultWindow {
+        FaultWindow {
+            family,
+            start,
+            width,
+        }
+    }
+
+    #[test]
+    fn family_labels_roundtrip() {
+        for f in FaultFamily::ALL {
+            assert_eq!(FaultFamily::parse(f.label()), Some(f));
+        }
+        assert_eq!(FaultFamily::parse("nope"), None);
+    }
+
+    #[test]
+    fn windowed_effects_fire_inside_window_only_without_rng_draws() {
+        let plan = FaultPlan {
+            tail_multiplier: 4,
+            congestion_factor: 8,
+            retry_cycles: 500,
+            hir_delay_faults: 24,
+            windows: vec![
+                window(FaultFamily::Congestion, 1_000, 100),
+                window(FaultFamily::LatencyTail, 2_000, 100),
+                window(FaultFamily::CompletionLoss, 3_000, 100),
+                window(FaultFamily::SpuriousSignal, 4_000, 100),
+                window(FaultFamily::FlushDelay, 5_000, 100),
+                window(FaultFamily::VictimDrop, 6_000, 100),
+                window(FaultFamily::HirOutage, 7_000, 100),
+            ],
+            ..FaultPlan::none()
+        };
+        plan.validate().unwrap();
+        assert!(!plan.is_noop());
+        let mut st = FaultState::new(plan);
+        assert!(st.drops_victims());
+        let mut res = ResilienceStats::default();
+
+        // Congestion: transfer x8 inside [1000, 1100), untouched outside.
+        assert_eq!(st.perturb_service(100, 10, 1_050, &mut res), (100, 80));
+        assert_eq!(st.perturb_service(100, 10, 1_100, &mut res), (100, 10));
+        // Latency tail: service x4 inside [2000, 2100).
+        assert_eq!(st.perturb_service(100, 10, 2_000, &mut res), (400, 10));
+        // Completion loss: absolute inside the window.
+        assert_eq!(st.completion_lost(3_050, &mut res), Some(500));
+        assert_eq!(st.completion_lost(3_100, &mut res), None);
+        // Spurious signal / flush delay / victim drop.
+        assert!(st.spurious_wrong_eviction(4_000, &mut res));
+        assert!(!st.spurious_wrong_eviction(4_100, &mut res));
+        assert_eq!(st.flush_delay(5_099, &mut res), Some(24));
+        assert_eq!(st.flush_delay(5_100, &mut res), None);
+        assert!(st.victim_dropped(6_000, &mut res));
+        assert!(!st.victim_dropped(6_100, &mut res));
+        // HIR outage window flips the channel on the cycle axis.
+        assert_eq!(st.hir_transition(0, 7_000), Some(true));
+        assert_eq!(st.hir_transition(0, 7_099), None);
+        assert_eq!(st.hir_transition(0, 7_100), Some(false));
+
+        // Deterministic windows draw nothing: the RNG stream is untouched,
+        // so a replay perturbs identically.
+        let (rng_state, _) = st.fingerprint();
+        assert_eq!(rng_state, Rng::seed_from_u64(0).state());
+        assert_eq!(res.completions_lost, 1);
+        assert_eq!(res.congested_services, 1);
+        assert_eq!(res.tail_latency_events, 1);
+        assert_eq!(res.spurious_wrong_evictions, 1);
+        assert_eq!(res.delayed_hir_flushes, 1);
+        assert_eq!(res.victims_dropped, 1);
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_same_family_windows() {
+        // Plain overlap.
+        let mut p = FaultPlan::none();
+        p.congestion_factor = 4;
+        p.windows = vec![
+            window(FaultFamily::Congestion, 100, 50),
+            window(FaultFamily::Congestion, 120, 50),
+        ];
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("overlap"), "{msg}");
+        assert!(msg.contains("congestion"), "{msg}");
+        assert!(msg.contains("windows 0 and 1"), "{msg}");
+        assert!(msg.contains("[100, 150)"), "{msg}");
+
+        // One-cycle overlap at the boundary (end > start by exactly 1).
+        p.windows = vec![
+            window(FaultFamily::Congestion, 100, 51),
+            window(FaultFamily::Congestion, 150, 10),
+        ];
+        assert!(p.validate().is_err(), "end 151 > start 150 must overlap");
+
+        // Touching windows (end == start) are legal.
+        p.windows = vec![
+            window(FaultFamily::Congestion, 100, 50),
+            window(FaultFamily::Congestion, 150, 10),
+        ];
+        p.validate().unwrap();
+
+        // Identical spans of the same family overlap.
+        p.windows = vec![
+            window(FaultFamily::Congestion, 100, 50),
+            window(FaultFamily::Congestion, 100, 50),
+        ];
+        assert!(p.validate().is_err(), "identical windows must be rejected");
+
+        // A window nested inside another overlaps even though it starts
+        // later and ends earlier.
+        p.windows = vec![
+            window(FaultFamily::Congestion, 100, 100),
+            window(FaultFamily::Congestion, 130, 10),
+        ];
+        assert!(p.validate().is_err(), "nested windows must be rejected");
+
+        // Unsorted declaration order is still caught (validation sorts).
+        p.windows = vec![
+            window(FaultFamily::Congestion, 120, 50),
+            window(FaultFamily::Congestion, 100, 50),
+        ];
+        assert!(p.validate().is_err(), "overlap found regardless of order");
+
+        // Same spans across *different* families are legal.
+        p.retry_cycles = 500;
+        p.windows = vec![
+            window(FaultFamily::Congestion, 100, 50),
+            window(FaultFamily::CompletionLoss, 100, 50),
+        ];
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_window_knob_couplings() {
+        let mut p = FaultPlan::none();
+        p.windows = vec![window(FaultFamily::Congestion, 0, 0)];
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("zero width"), "{msg}");
+
+        let mut p = FaultPlan::none();
+        p.windows = vec![window(FaultFamily::Congestion, 0, 10)];
+        assert!(p.validate().is_err(), "factor 1 congestion window");
+
+        let mut p = FaultPlan::none();
+        p.windows = vec![window(FaultFamily::LatencyTail, 0, 10)];
+        assert!(p.validate().is_err(), "multiplier 1 tail window");
+
+        let mut p = FaultPlan::none();
+        p.windows = vec![window(FaultFamily::CompletionLoss, 0, 10)];
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("retry_cycles"), "{msg}");
+
+        let mut p = FaultPlan::none();
+        p.windows = vec![window(FaultFamily::FlushDelay, 0, 10)];
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("hir_delay_faults"), "{msg}");
+    }
+
+    #[test]
+    fn windowed_plan_json_roundtrip() {
+        let plan = FaultPlan {
+            retry_cycles: 500,
+            windows: vec![
+                window(FaultFamily::CompletionLoss, 1_000_000, 400_000),
+                window(FaultFamily::HirOutage, 0, 65_536),
+            ],
+            ..FaultPlan::none()
+        };
+        let text = plan.to_json().to_string();
+        let back = FaultPlan::from_json(&uvm_util::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json().to_string(), text);
     }
 
     #[test]

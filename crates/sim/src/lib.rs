@@ -50,6 +50,7 @@
 
 mod checkpoint;
 mod engine;
+mod explore;
 mod faults;
 mod memory;
 mod observer;
@@ -61,14 +62,17 @@ mod trace;
 
 pub use checkpoint::Checkpoint;
 pub use engine::{SimOutcome, Simulation};
-pub use faults::FaultPlan;
+pub use explore::{
+    shrink_plan, Counterexample, ExploreCase, ExploreReport, ExploreSpec, ReproCase, ALL_INVARIANTS,
+};
+pub use faults::{FaultFamily, FaultPlan, FaultWindow};
 pub use memory::GpuMemory;
 pub use observer::{EventLog, SimEvent, SimObserver};
 pub use profile::{
     MetricsSample, MetricsSeries, ProfileConfig, ProfileReport, Profiler, SpanRecord, SpanSummary,
     DEFAULT_PROFILE_CADENCE,
 };
-pub use recovery::{FallbackVictim, RetryPolicy};
+pub use recovery::{AdaptiveBackoff, Backoff, FallbackVictim, RetryPolicy};
 pub use sanitizer::{Sanitizer, DEFAULT_SANITIZER_CADENCE};
 pub use tlb::Tlb;
 pub use trace::{

@@ -9,7 +9,10 @@
 //!   fault completions with a bounded exponential-backoff schedule; when
 //!   the attempt cap is hit the engine reports
 //!   [`uvm_types::SimError::RetriesExhausted`] instead of spinning until
-//!   the watchdog fires.
+//!   the watchdog fires. The [`RetryPolicy::Adaptive`] mode additionally
+//!   tunes the backoff base online from the observed completion-loss
+//!   rate (a windowed [`LossEstimator`] the engine feeds with every
+//!   completion outcome).
 //! * [`CircuitBreaker`] counts HIR flushes lost in transit during a
 //!   channel outage and trips once the loss is clearly not transient, so
 //!   the GPU side can stop paying PCIe cycles for flushes that never
@@ -26,22 +29,17 @@
 //! let rp = RetryPolicy::default();
 //! rp.validate().unwrap();
 //! assert!(rp.delay_for(1) < rp.delay_for(3));
-//! assert!(rp.delay_for(60) <= rp.max_delay_cycles);
+//! assert!(rp.delay_for(60) <= rp.backoff().max_delay_cycles);
 //! ```
 
 use std::collections::HashMap;
 
 use uvm_types::{ConfigError, PageId};
-use uvm_util::impl_json_struct;
+use uvm_util::{impl_json_struct, json, FromJson, Json, JsonError, ToJson};
 
-/// How the driver retries a lost fault-completion signal.
-///
-/// Installed with `Simulation::set_retry_policy`. Without one, a lost
-/// completion is re-queued after the fault plan's flat `retry_cycles`
-/// forever (the pre-recovery behavior, where an unbounded loss becomes a
-/// watchdog [`uvm_types::SimError::Stalled`]).
+/// The exponential-backoff schedule shared by both retry modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
+pub struct Backoff {
     /// Delay before the first retry, in cycles.
     pub base_delay_cycles: u64,
     /// Multiplier applied to the delay after each consecutive loss.
@@ -53,16 +51,16 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
 }
 
-impl_json_struct!(RetryPolicy {
+impl_json_struct!(Backoff {
     base_delay_cycles = 2_000,
     multiplier = 2,
     max_delay_cycles = 64_000,
     max_attempts = 8,
 });
 
-impl Default for RetryPolicy {
+impl Default for Backoff {
     fn default() -> Self {
-        RetryPolicy {
+        Backoff {
             base_delay_cycles: 2_000,
             multiplier: 2,
             max_delay_cycles: 64_000,
@@ -71,12 +69,19 @@ impl Default for RetryPolicy {
     }
 }
 
-impl RetryPolicy {
+impl Backoff {
     /// The backoff delay before retry number `attempt` (1-based):
     /// `base * multiplier^(attempt-1)`, saturating, capped at
-    /// [`RetryPolicy::max_delay_cycles`].
+    /// [`Backoff::max_delay_cycles`].
     pub fn delay_for(&self, attempt: u32) -> u64 {
-        let mut delay = self.base_delay_cycles;
+        self.delay_from(self.base_delay_cycles, attempt)
+    }
+
+    /// The same schedule but starting from an elevated `base` (the
+    /// adaptive mode raises the base toward the cap as observed loss
+    /// grows).
+    fn delay_from(&self, base: u64, attempt: u32) -> u64 {
+        let mut delay = base;
         for _ in 1..attempt {
             delay = delay.saturating_mul(self.multiplier);
             if delay >= self.max_delay_cycles {
@@ -86,7 +91,7 @@ impl RetryPolicy {
         delay.min(self.max_delay_cycles)
     }
 
-    /// Validates the policy.
+    /// Validates the schedule.
     ///
     /// # Errors
     ///
@@ -114,6 +119,257 @@ impl RetryPolicy {
             return Err(ConfigError::invalid(
                 "max_attempts",
                 "must be nonzero (zero attempts could never deliver a completion)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Loss-adaptive backoff: the schedule's base delay is raised online in
+/// proportion to the completion-loss rate observed over the last
+/// [`AdaptiveBackoff::loss_window`] completions.
+///
+/// With `lost` of `observed` recent completions lost in transit, the
+/// effective base is `base + (max - base) * lost / observed` (integer
+/// math, no floats), so a loss-free channel retries as eagerly as
+/// [`RetryPolicy::Fixed`] while a lossy one backs off toward the cap
+/// immediately instead of climbing there one attempt at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBackoff {
+    /// The underlying schedule (bounds and attempt cap).
+    pub backoff: Backoff,
+    /// How many recent completion outcomes feed the loss estimate
+    /// (1..=64: the estimator keeps them in a 64-bit ring).
+    pub loss_window: u32,
+}
+
+impl Default for AdaptiveBackoff {
+    fn default() -> Self {
+        AdaptiveBackoff {
+            backoff: Backoff::default(),
+            loss_window: 32,
+        }
+    }
+}
+
+impl AdaptiveBackoff {
+    /// The delay before retry number `attempt` (1-based) given `lost`
+    /// losses among the last `observed` completion outcomes.
+    pub fn delay_for(&self, attempt: u32, lost: u32, observed: u32) -> u64 {
+        let b = &self.backoff;
+        let base = if observed == 0 {
+            b.base_delay_cycles
+        } else {
+            let span = b.max_delay_cycles.saturating_sub(b.base_delay_cycles);
+            let lost = u64::from(lost.min(observed));
+            b.base_delay_cycles + span.saturating_mul(lost) / u64::from(observed)
+        };
+        b.delay_from(base, attempt)
+    }
+
+    /// Validates the schedule and the estimator window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.backoff.validate()?;
+        if self.loss_window == 0 || self.loss_window > 64 {
+            return Err(ConfigError::invalid(
+                "loss_window",
+                "must be in 1..=64 (the loss estimator keeps outcomes in a 64-bit ring)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How the driver retries a lost fault-completion signal.
+///
+/// Installed with `Simulation::set_retry_policy`. Without one, a lost
+/// completion is re-queued after the fault plan's flat `retry_cycles`
+/// forever (the pre-recovery behavior, where an unbounded loss becomes a
+/// watchdog [`uvm_types::SimError::Stalled`]).
+///
+/// JSON carries a `"mode"` tag (`"fixed"` / `"adaptive"`) next to the
+/// flat [`Backoff`] fields; documents without the tag (pre-adaptive
+/// snapshots) parse as [`RetryPolicy::Fixed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// A static exponential-backoff schedule.
+    Fixed(Backoff),
+    /// Backoff whose base tracks the observed completion-loss rate.
+    Adaptive(AdaptiveBackoff),
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::Fixed(Backoff::default())
+    }
+}
+
+impl RetryPolicy {
+    /// The default loss-adaptive policy.
+    pub fn adaptive() -> Self {
+        RetryPolicy::Adaptive(AdaptiveBackoff::default())
+    }
+
+    /// The underlying backoff schedule of either mode.
+    pub fn backoff(&self) -> Backoff {
+        match self {
+            RetryPolicy::Fixed(b) => *b,
+            RetryPolicy::Adaptive(a) => a.backoff,
+        }
+    }
+
+    /// Consecutive losses tolerated before
+    /// [`uvm_types::SimError::RetriesExhausted`].
+    pub fn max_attempts(&self) -> u32 {
+        self.backoff().max_attempts
+    }
+
+    /// The estimator window, when the policy is adaptive.
+    pub fn loss_window(&self) -> Option<u32> {
+        match self {
+            RetryPolicy::Fixed(_) => None,
+            RetryPolicy::Adaptive(a) => Some(a.loss_window),
+        }
+    }
+
+    /// Short mode label for reports and CLI flags.
+    pub fn mode_label(&self) -> &'static str {
+        match self {
+            RetryPolicy::Fixed(_) => "fixed",
+            RetryPolicy::Adaptive(_) => "adaptive",
+        }
+    }
+
+    /// The static schedule's delay before retry number `attempt`
+    /// (1-based) — the zero-observed-loss delay for the adaptive mode.
+    pub fn delay_for(&self, attempt: u32) -> u64 {
+        self.backoff().delay_for(attempt)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            RetryPolicy::Fixed(b) => b.validate(),
+            RetryPolicy::Adaptive(a) => a.validate(),
+        }
+    }
+}
+
+impl ToJson for RetryPolicy {
+    fn to_json(&self) -> Json {
+        let b = self.backoff();
+        match self {
+            RetryPolicy::Fixed(_) => json!({
+                "mode": "fixed",
+                "base_delay_cycles": b.base_delay_cycles,
+                "multiplier": b.multiplier,
+                "max_delay_cycles": b.max_delay_cycles,
+                "max_attempts": b.max_attempts,
+            }),
+            RetryPolicy::Adaptive(a) => json!({
+                "mode": "adaptive",
+                "base_delay_cycles": b.base_delay_cycles,
+                "multiplier": b.multiplier,
+                "max_delay_cycles": b.max_delay_cycles,
+                "max_attempts": b.max_attempts,
+                "loss_window": a.loss_window,
+            }),
+        }
+    }
+}
+
+impl FromJson for RetryPolicy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let backoff = Backoff::from_json(v)?;
+        match v.get("mode").map(Json::as_str) {
+            // Pre-adaptive documents carried no tag: they were all fixed.
+            None | Some(Some("fixed")) => Ok(RetryPolicy::Fixed(backoff)),
+            Some(Some("adaptive")) => {
+                let loss_window = match v.get("loss_window") {
+                    Some(x) => u32::from_json(x)?,
+                    None => AdaptiveBackoff::default().loss_window,
+                };
+                Ok(RetryPolicy::Adaptive(AdaptiveBackoff {
+                    backoff,
+                    loss_window,
+                }))
+            }
+            Some(_) => Err(JsonError::new(
+                "retry `mode` must be \"fixed\" or \"adaptive\"",
+            )),
+        }
+    }
+}
+
+/// Windowed completion-loss estimator feeding [`RetryPolicy::Adaptive`].
+///
+/// A shift register of the last `window` completion outcomes (bit set =
+/// lost in transit), recorded by the engine on every completion event.
+/// Integer-only, branch-free math so the estimate — and therefore the
+/// whole simulation — stays bit-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LossEstimator {
+    window: u32,
+    bits: u64,
+    len: u32,
+}
+
+impl LossEstimator {
+    pub(crate) fn new(window: u32) -> Self {
+        LossEstimator {
+            window: window.clamp(1, 64),
+            bits: 0,
+            len: 0,
+        }
+    }
+
+    /// Records one completion outcome (`true` = lost in transit).
+    pub(crate) fn record(&mut self, lost: bool) {
+        let mask = if self.window == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.window) - 1
+        };
+        self.bits = ((self.bits << 1) | u64::from(lost)) & mask;
+        self.len = (self.len + 1).min(self.window);
+    }
+
+    /// Losses among the observed outcomes.
+    pub(crate) fn lost(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Outcomes observed so far (saturates at the window).
+    pub(crate) fn observed(&self) -> u32 {
+        self.len
+    }
+
+    /// Fingerprint for checkpoint verification.
+    pub(crate) fn fingerprint(&self) -> (u64, u32) {
+        (self.bits, self.len)
+    }
+
+    /// Validates the ring (sanitizer hook): the observation count never
+    /// exceeds the window and no bits live beyond it.
+    pub(crate) fn check_invariants(&self) -> Result<(), String> {
+        if self.len > self.window {
+            return Err(format!(
+                "loss estimator observed {} outcomes against a window of {}",
+                self.len, self.window
+            ));
+        }
+        if self.window < 64 && self.bits >> self.window != 0 {
+            return Err(format!(
+                "loss estimator has outcome bits beyond its {}-wide window",
+                self.window
             ));
         }
         Ok(())
@@ -306,12 +562,12 @@ mod tests {
 
     #[test]
     fn backoff_grows_and_caps() {
-        let rp = RetryPolicy {
+        let rp = RetryPolicy::Fixed(Backoff {
             base_delay_cycles: 1_000,
             multiplier: 2,
             max_delay_cycles: 10_000,
             max_attempts: 8,
-        };
+        });
         assert_eq!(rp.delay_for(1), 1_000);
         assert_eq!(rp.delay_for(2), 2_000);
         assert_eq!(rp.delay_for(3), 4_000);
@@ -323,45 +579,131 @@ mod tests {
     #[test]
     fn retry_policy_validates() {
         RetryPolicy::default().validate().unwrap();
+        RetryPolicy::adaptive().validate().unwrap();
         for bad in [
-            RetryPolicy {
+            Backoff {
                 base_delay_cycles: 0,
-                ..RetryPolicy::default()
+                ..Backoff::default()
             },
-            RetryPolicy {
+            Backoff {
                 multiplier: 1,
-                ..RetryPolicy::default()
+                ..Backoff::default()
             },
-            RetryPolicy {
+            Backoff {
                 max_delay_cycles: 1,
-                ..RetryPolicy::default()
+                ..Backoff::default()
             },
-            RetryPolicy {
+            Backoff {
                 max_attempts: 0,
-                ..RetryPolicy::default()
+                ..Backoff::default()
             },
         ] {
-            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+            assert!(
+                RetryPolicy::Fixed(bad).validate().is_err(),
+                "{bad:?} must be rejected"
+            );
+            let adaptive = RetryPolicy::Adaptive(AdaptiveBackoff {
+                backoff: bad,
+                loss_window: 32,
+            });
+            assert!(adaptive.validate().is_err(), "adaptive {bad:?} rejected");
+        }
+        for window in [0, 65] {
+            let bad = RetryPolicy::Adaptive(AdaptiveBackoff {
+                backoff: Backoff::default(),
+                loss_window: window,
+            });
+            let msg = bad.validate().unwrap_err().to_string();
+            assert!(msg.contains("loss_window"), "{msg}");
         }
     }
 
     #[test]
+    fn adaptive_base_tracks_loss_rate() {
+        let a = AdaptiveBackoff {
+            backoff: Backoff {
+                base_delay_cycles: 1_000,
+                multiplier: 2,
+                max_delay_cycles: 9_000,
+                max_attempts: 8,
+            },
+            loss_window: 16,
+        };
+        // No observations yet: identical to the fixed schedule.
+        assert_eq!(a.delay_for(1, 0, 0), 1_000);
+        assert_eq!(a.delay_for(2, 0, 0), 2_000);
+        // Loss-free channel: still the fixed schedule.
+        assert_eq!(a.delay_for(1, 0, 16), 1_000);
+        // Half the window lost: base jumps halfway to the cap.
+        assert_eq!(a.delay_for(1, 8, 16), 5_000);
+        // Everything lost: first retry already waits the cap.
+        assert_eq!(a.delay_for(1, 16, 16), 9_000);
+        assert_eq!(a.delay_for(8, 16, 16), 9_000, "still capped");
+        // An elevated base still grows exponentially under the cap.
+        assert_eq!(a.delay_for(2, 4, 16), 6_000);
+    }
+
+    #[test]
     fn retry_policy_json_roundtrip_with_defaults() {
-        let rp = RetryPolicy {
+        let rp = RetryPolicy::Fixed(Backoff {
             base_delay_cycles: 500,
             multiplier: 3,
             max_delay_cycles: 9_000,
             max_attempts: 4,
-        };
+        });
         let back = RetryPolicy::from_json(&rp.to_json()).unwrap();
         assert_eq!(back, rp);
+
+        // Pre-adaptive documents carry no mode tag and parse as Fixed.
         let sparse = Json::parse(r#"{"max_attempts": 2}"#).unwrap();
         let p = RetryPolicy::from_json(&sparse).unwrap();
-        assert_eq!(p.max_attempts, 2);
+        assert_eq!(p.max_attempts(), 2);
+        assert_eq!(p.mode_label(), "fixed");
         assert_eq!(
-            p.base_delay_cycles,
-            RetryPolicy::default().base_delay_cycles
+            p.backoff().base_delay_cycles,
+            Backoff::default().base_delay_cycles
         );
+
+        let adaptive = RetryPolicy::Adaptive(AdaptiveBackoff {
+            backoff: Backoff::default(),
+            loss_window: 48,
+        });
+        let text = adaptive.to_json().to_string();
+        assert!(text.contains("\"mode\":\"adaptive\""), "{text}");
+        let back = RetryPolicy::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, adaptive);
+
+        let sparse_adaptive = Json::parse(r#"{"mode": "adaptive"}"#).unwrap();
+        let p = RetryPolicy::from_json(&sparse_adaptive).unwrap();
+        assert_eq!(p.loss_window(), Some(32), "window defaults");
+
+        let bad_mode = Json::parse(r#"{"mode": "frantic"}"#).unwrap();
+        assert!(RetryPolicy::from_json(&bad_mode).is_err());
+    }
+
+    #[test]
+    fn loss_estimator_windows_and_counts() {
+        let mut e = LossEstimator::new(4);
+        assert_eq!((e.lost(), e.observed()), (0, 0));
+        e.record(true);
+        e.record(false);
+        e.record(true);
+        assert_eq!((e.lost(), e.observed()), (2, 3));
+        e.record(true);
+        assert_eq!((e.lost(), e.observed()), (3, 4));
+        // The window slides: the oldest (lost) outcome falls off.
+        e.record(false);
+        assert_eq!((e.lost(), e.observed()), (2, 4));
+        e.check_invariants().unwrap();
+        // Degenerate windows clamp instead of shifting out of range.
+        let mut wide = LossEstimator::new(1_000);
+        for _ in 0..100 {
+            wide.record(true);
+        }
+        assert_eq!((wide.lost(), wide.observed()), (64, 64));
+        wide.check_invariants().unwrap();
+        let fp = wide.fingerprint();
+        assert_eq!(fp, (u64::MAX, 64));
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn random_plan(rng: &mut Rng) -> FaultPlan {
         hir_delay_probability: rng.gen_f64() * 0.3,
         hir_delay_faults: rng.gen_range(1u64..64),
         victim_drop_probability: rng.gen_f64() * 0.1,
+        windows: Vec::new(),
     }
 }
 
@@ -279,6 +280,43 @@ fn checkpoint_json_roundtrip_is_byte_identical() {
             assert_eq!(back, ckpt);
             assert_eq!(back.to_json().to_string(), text);
         },
+    );
+}
+
+/// Sanitizer cadence boundaries: a cadence of 1 checks after every event
+/// and a cadence far beyond the run's event count still gets exactly the
+/// final end-of-run pass — both leave stats byte-identical to no
+/// sanitizer at all.
+#[test]
+fn sanitizer_cadence_boundaries_check_and_stay_observation_only() {
+    let global: Vec<u64> = (0..30u64).cycle().take(120).collect();
+    let trace = Trace::from_global(&global, 30, 2, 3, 3);
+    let run = |sanitize: Option<u64>| {
+        let mut sim = Simulation::new(small_cfg(3), &trace, Lru::new(), 20).expect("valid sim");
+        sim.set_fault_plan(FaultPlan::latency_storm(11))
+            .expect("valid plan");
+        if let Some(c) = sanitize {
+            sim.set_sanitizer(Sanitizer::new(c));
+        }
+        assert!(sim.run_until(u64::MAX).expect("run completes"));
+        let checks = sim.sanitizer().map(|s| s.checks_run());
+        (sim.finish().expect("finish").stats, checks)
+    };
+    let (plain, _) = run(None);
+
+    // Cadence 1: one check per event plus the final pass.
+    let (tight, tight_checks) = run(Some(1));
+    assert_eq!(tight.to_json().to_string(), plain.to_json().to_string());
+    assert!(tight_checks.expect("sanitizer attached") > 1);
+
+    // Cadence longer than the whole run: run_until itself never hits a
+    // cadence boundary; finish() still runs the final pass.
+    let (sparse, sparse_checks) = run(Some(u64::MAX));
+    assert_eq!(sparse.to_json().to_string(), plain.to_json().to_string());
+    assert_eq!(
+        sparse_checks.expect("sanitizer attached"),
+        0,
+        "cadence beyond run length must not fire mid-run"
     );
 }
 

@@ -18,14 +18,17 @@ use crate::PageId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
     parameter: &'static str,
-    reason: &'static str,
+    reason: String,
 }
 
 impl ConfigError {
     /// Creates an error naming the offending `parameter` and why it is
     /// invalid.
-    pub fn invalid(parameter: &'static str, reason: &'static str) -> Self {
-        ConfigError { parameter, reason }
+    pub fn invalid(parameter: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            parameter,
+            reason: reason.into(),
+        }
     }
 
     /// The name of the offending parameter.

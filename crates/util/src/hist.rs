@@ -314,6 +314,36 @@ mod tests {
     }
 
     #[test]
+    fn quantile_all_equal_and_saturating_bucket() {
+        // All-equal samples: every quantile (including clamped q > 1) is
+        // the common value, never a bucket bound.
+        let mut h = Histogram::new("eq", 8, 4);
+        for _ in 0..32 {
+            h.record(17);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), Some(17), "q={q}");
+        }
+        // Every sample past the last bucket: the cumulative walk finds
+        // nothing and lands in the (saturated) overflow bucket, which
+        // reports the exact recorded max — except q <= 0, the exact min.
+        let mut o = Histogram::new("ovf", 4, 2);
+        for v in [100, 200, 300] {
+            o.record(v);
+        }
+        assert_eq!(o.overflow(), 3);
+        assert_eq!(o.quantile(0.0), Some(100));
+        assert_eq!(o.quantile(0.5), Some(300));
+        assert_eq!(o.quantile(1.0), Some(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must not be NaN")]
+    fn quantile_rejects_nan() {
+        let _ = Histogram::new("n", 1, 1).quantile(f64::NAN);
+    }
+
+    #[test]
     fn quantile_clamps_to_exact_extrema() {
         let mut h = Histogram::new("q", 64, 4);
         h.record(3);

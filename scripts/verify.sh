@@ -82,6 +82,23 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
     cargo run -q --release --offline -p hpe-bench --bin hpe-lab -- bench-check --workers 8
 fi
 
+if [ "${CHECK_EXPLORE:-0}" = "1" ]; then
+    echo "==> fault-space exploration smoke (CHECK_EXPLORE=1)"
+    # The clean smoke spec must come back counterexample-free (exit 0);
+    # the seeded-bad fixture must be found and shrunk (exit 1) and its
+    # emitted repro must replay byte-identically (exit 0). See
+    # DESIGN.md §13.
+    cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- \
+        explore fixtures/explore/smoke.json --workers 4 2> /dev/null > /dev/null
+    if cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- \
+        explore fixtures/explore/seeded-bad.json 2> /dev/null > /dev/null; then
+        echo "CHECK_EXPLORE: seeded-bad spec unexpectedly came back clean" >&2
+        exit 1
+    fi
+    cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- \
+        replay target/paper-results/explore-repro-0.json > /dev/null
+fi
+
 if [ "${CHECK_PROFILE:-0}" = "1" ]; then
     echo "==> profiler byte-identity gate (CHECK_PROFILE=1)"
     # Runs STN and SGM with the profiler attached and detached and
