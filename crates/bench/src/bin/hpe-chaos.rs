@@ -20,6 +20,8 @@
 //!                                          # windows + seed batches, check invariants,
 //!                                          # shrink failures to minimal repro files
 //! hpe-chaos replay repro.json              # one-command deterministic counterexample replay
+//! hpe-chaos tenants --tenants 4 --workers 2 # multi-tenant mix: quotas, admission control,
+//!                                          # and (with --plan) fault blast-radius containment
 //! ```
 //!
 //! Campaign results are saved as JSON under `target/paper-results/`
@@ -32,16 +34,17 @@
 use std::process::ExitCode;
 
 use hpe_bench::{
-    bench_config, campaign, f2, replay_repro, repro_for, run_explore, run_policy,
-    run_policy_profiled, run_policy_recovering, save_json, PolicyKind, RecoveryOptions, Table,
+    bench_config, campaign, check_containment, f2, replay_repro, repro_for, run_explore, run_mix,
+    run_policy, run_policy_profiled, run_policy_recovering, save_json, MixOptions, PolicyKind,
+    RecoveryOptions, Table, CONTAINMENT_APPS,
 };
 use hpe_core::{Hpe, HpeConfig};
 use uvm_sim::{
-    trace_for, ExploreSpec, FallbackVictim, FaultPlan, ReproCase, RetryPolicy, Simulation,
-    DEFAULT_PROFILE_CADENCE, DEFAULT_SANITIZER_CADENCE,
+    trace_for, ExploreSpec, FallbackVictim, FaultPlan, HirMode, ReproCase, RetryPolicy, Simulation,
+    TenantMix, DEFAULT_PROFILE_CADENCE, DEFAULT_SANITIZER_CADENCE,
 };
 use uvm_types::{Oversubscription, SimError};
-use uvm_util::{json, FromJson, Json, ToJson};
+use uvm_util::{json, Json, JsonError, ToJson};
 use uvm_workloads::{registry, App};
 
 /// Default campaign seed (the paper's publication year, for no deeper
@@ -107,6 +110,16 @@ fn usage() -> ExitCode {
          \x20 replay   REPRO.json\n\
          \x20          re-run a shrunk counterexample deterministically and\n\
          \x20          verify it reproduces the recorded violation verbatim\n\
+         \x20 tenants  [APP ...] [--tenants N] [--quota PCT] [--hir per-tenant|shared]\n\
+         \x20          [--policy NAME] [--seed N] [--workers N]\n\
+         \x20          [--plan NAME [--target TENANT]]\n\
+         \x20          run N tenants (cycling the listed apps; default\n\
+         \x20          STN/MVT/CUT) through admission control against a\n\
+         \x20          shared residency pool and print per-tenant outcomes\n\
+         \x20          and fairness metrics; with --plan, scope the fault\n\
+         \x20          plan to --target (default tenant 0) and verify the\n\
+         \x20          blast radius: every other tenant's stats must be\n\
+         \x20          byte-identical to the fault-free mix (exit 1 on leak)\n\
          \n\
          common flags: --adaptive makes --retry use the loss-adaptive\n\
          backoff policy (tunes delay online from the observed\n\
@@ -135,6 +148,11 @@ struct Flags {
     at: u64,
     sanitize: Option<u64>,
     workers: usize,
+    tenants: u64,
+    quota: u64,
+    hir: HirMode,
+    policy: Option<String>,
+    target: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -168,6 +186,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         at: DEFAULT_RESUME_AT,
         sanitize: None,
         workers: 1,
+        tenants: 4,
+        quota: 75,
+        hir: HirMode::PerTenant,
+        policy: None,
+        target: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -212,6 +235,27 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--workers" => {
                 let v = value("--workers")?;
                 flags.workers = v.parse().map_err(|_| format!("bad --workers '{v}'"))?;
+            }
+            "--tenants" => {
+                let v = value("--tenants")?;
+                flags.tenants = v.parse().map_err(|_| format!("bad --tenants '{v}'"))?;
+            }
+            "--quota" => {
+                let v = value("--quota")?;
+                flags.quota = v
+                    .trim_end_matches('%')
+                    .parse()
+                    .map_err(|_| format!("bad --quota '{v}'"))?;
+            }
+            "--hir" => {
+                let v = value("--hir")?;
+                flags.hir = HirMode::parse(&v)
+                    .ok_or_else(|| format!("unknown HIR mode '{v}' (per-tenant or shared)"))?;
+            }
+            "--policy" => flags.policy = Some(value("--policy")?),
+            "--target" => {
+                let v = value("--target")?;
+                flags.target = Some(v.parse().map_err(|_| format!("bad --target '{v}'"))?);
             }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => flags.positional.push(other.to_string()),
@@ -813,13 +857,19 @@ fn cmd_profile(flags: &Flags) -> Result<(), CmdError> {
     Ok(())
 }
 
-/// Loads and parses a JSON document from `path`.
-fn load_json<T: FromJson>(path: &str, what: &str) -> Result<T, CmdError> {
+/// Loads a JSON document from `path` through a strict decoder — unknown
+/// or misspelled fields come back as actionable usage errors, never as
+/// silently-ignored keys.
+fn load_json<T>(
+    path: &str,
+    what: &str,
+    parse: impl FnOnce(&Json) -> Result<T, JsonError>,
+) -> Result<T, CmdError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CmdError::Usage(format!("cannot read {what} '{path}': {e}")))?;
     let json = Json::parse(&text)
         .map_err(|e| CmdError::Usage(format!("{what} '{path}' is not valid JSON: {e}")))?;
-    T::from_json(&json).map_err(|e| CmdError::Usage(format!("bad {what} '{path}': {e}")))
+    parse(&json).map_err(|e| CmdError::Usage(format!("bad {what} '{path}': {e}")))
 }
 
 /// `explore`: run the fault-space exploration engine over a spec file,
@@ -829,7 +879,7 @@ fn cmd_explore(flags: &Flags) -> Result<(), CmdError> {
     let Some(path) = flags.positional.first() else {
         return Err(CmdError::Usage("explore needs a SPEC.json path".into()));
     };
-    let spec: ExploreSpec = load_json(path, "explore spec")?;
+    let spec: ExploreSpec = load_json(path, "explore spec", ExploreSpec::from_json_strict)?;
     eprintln!(
         "[explore: {} under {} at {}%, invariants [{}], {} worker(s)]",
         spec.app,
@@ -890,7 +940,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), CmdError> {
     let Some(path) = flags.positional.first() else {
         return Err(CmdError::Usage("replay needs a REPRO.json path".into()));
     };
-    let repro: ReproCase = load_json(path, "repro case")?;
+    let repro: ReproCase = load_json(path, "repro case", ReproCase::from_json_strict)?;
     eprintln!(
         "[replay: {} under {} at {}%, expecting `{}` violation]",
         repro.app, repro.policy, repro.rate, repro.invariant
@@ -910,6 +960,154 @@ fn cmd_replay(flags: &Flags) -> Result<(), CmdError> {
             repro.invariant
         ))),
     }
+}
+
+/// `tenants`: run a multi-tenant mix through admission control and print
+/// per-tenant outcomes plus fairness metrics. With `--plan`, the fault
+/// plan is scoped to `--target` and the blast radius is verified: every
+/// non-target tenant's stats must be byte-identical to the fault-free mix.
+fn cmd_tenants(flags: &Flags) -> Result<(), CmdError> {
+    let pool: Vec<&str> = if flags.positional.is_empty() {
+        CONTAINMENT_APPS.to_vec()
+    } else {
+        flags.positional.iter().map(String::as_str).collect()
+    };
+    for abbr in &pool {
+        registry::by_abbr(abbr).ok_or_else(|| CmdError::Usage(format!("unknown app '{abbr}'")))?;
+    }
+    let apps: Vec<&str> = (0..flags.tenants)
+        .map(|i| pool[(i as usize) % pool.len()])
+        .collect();
+    let mut mix = TenantMix::uniform(&apps, flags.quota, 1_000, flags.seed);
+    mix.hir_mode = flags.hir;
+    mix.validate().map_err(|e| CmdError::Usage(e.to_string()))?;
+    let policy = match flags.policy.as_deref() {
+        None => PolicyKind::Hpe,
+        Some(name) => PolicyKind::parse(name)
+            .ok_or_else(|| CmdError::Usage(format!("unknown policy '{name}'")))?,
+    };
+
+    let plan = match &flags.plan {
+        None => None,
+        Some(name) => Some((
+            name.clone(),
+            plan_by_name(name, flags.seed).ok_or_else(|| {
+                CmdError::Usage(format!(
+                    "unknown plan '{name}' (expected one of: {})",
+                    campaign_plans(0)
+                        .iter()
+                        .map(|(n, _)| n.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?,
+        )),
+    };
+    let target = flags.target.unwrap_or(0);
+
+    eprintln!(
+        "[tenants: {} tenant(s) over {{{}}} at {}% quota, {} HIR, policy {}, seed {}, \
+         {} worker(s){}]",
+        flags.tenants,
+        pool.join(", "),
+        flags.quota,
+        flags.hir.label(),
+        policy.label(),
+        flags.seed,
+        flags.workers.max(1),
+        match &plan {
+            Some((name, _)) => format!(", plan {name} scoped to T{target}"),
+            None => String::new(),
+        },
+    );
+
+    let cfg = bench_config();
+    let baseline_opts = MixOptions {
+        policy,
+        workers: flags.workers,
+        ..MixOptions::default()
+    };
+    let baseline = run_mix(&cfg, &mix, &baseline_opts).map_err(|e| CmdError::Run(e.to_string()))?;
+
+    let mut t = Table::new(
+        format!(
+            "tenant mix (fingerprint {}, makespan {}, {} rejected, {} delayed)",
+            baseline.fingerprint, baseline.makespan, baseline.rejected, baseline.delayed
+        )
+        .as_str(),
+        &[
+            "tenant", "app", "quota", "arrival", "admitted", "outcome", "ok", "cycles", "slowdown",
+        ],
+    );
+    for row in &baseline.tenants {
+        t.row(vec![
+            row.tenant.to_string(),
+            row.app.clone(),
+            row.quota_pages.to_string(),
+            row.arrival.to_string(),
+            row.admitted.to_string(),
+            row.admission.clone(),
+            if row.ok {
+                "yes".into()
+            } else {
+                format!("no: {}", row.error)
+            },
+            row.stats.cycles.to_string(),
+            f2(row.slowdown()),
+        ]);
+    }
+    t.print();
+    println!(
+        "fairness: p99 slowdown {}, aggregate throughput {} instr/kcycle",
+        f2(baseline.p99_slowdown()),
+        f2(baseline.throughput()),
+    );
+    save_json("tenant-mix", &baseline);
+
+    let Some((plan_name, plan)) = plan else {
+        return Ok(());
+    };
+    if !mix.tenants.iter().any(|t| t.id == target) {
+        return Err(CmdError::Usage(format!(
+            "--target {target} is not part of the mix (tenants 0..{})",
+            flags.tenants
+        )));
+    }
+    let faulted_opts = MixOptions {
+        policy,
+        plan: Some(plan),
+        plan_name: plan_name.clone(),
+        fault_tenant: Some(target),
+        workers: flags.workers,
+        ..MixOptions::default()
+    };
+    let faulted = run_mix(&cfg, &mix, &faulted_opts).map_err(|e| CmdError::Run(e.to_string()))?;
+    save_json("tenant-mix-faulted", &faulted);
+    check_containment(&baseline, &faulted).map_err(CmdError::Run)?;
+    let degraded = faulted
+        .tenants
+        .iter()
+        .find(|r| r.tenant.0 == target)
+        .map(|r| {
+            let clean = baseline
+                .tenants
+                .iter()
+                .find(|b| b.tenant.0 == target)
+                .map(|b| b.stats.cycles)
+                .unwrap_or(0);
+            (r.stats.cycles, clean)
+        });
+    match degraded {
+        Some((chaos, clean)) if chaos != clean => println!(
+            "containment verified: {plan_name} scoped to T{target} ({clean} -> {chaos} \
+             cycles); every other tenant byte-identical to the fault-free mix"
+        ),
+        _ => println!(
+            "containment verified: every non-target tenant byte-identical to the \
+             fault-free mix ({plan_name} left T{target} unperturbed this seed)"
+        ),
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -933,6 +1131,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&flags),
         "explore" => cmd_explore(&flags),
         "replay" => cmd_replay(&flags),
+        "tenants" => cmd_tenants(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();

@@ -11,6 +11,8 @@
 //!                  [--resume] [--progress FILE]   # parallel grid sweep
 //! hpe-lab bench-snapshot [--workers N]      # record the next BENCH_*.json
 //! hpe-lab bench-check [--workers N]         # regression gate vs the last one
+//! hpe-lab fairness [--workers N] [--seed N] # per-tenant vs shared HIR:
+//!                                           # fairness-vs-throughput grid
 //! ```
 //!
 //! Run via `cargo run --release -p hpe-bench --bin hpe-lab -- <args>`.
@@ -23,10 +25,11 @@ use std::fs;
 use std::path::PathBuf;
 
 use hpe_bench::{
-    bench_config, campaign, f2, f3, geomean, perf, run_policy, save_json, PolicyKind, Table,
+    bench_config, campaign, f2, f3, fairness_grid, geomean, perf, run_policy, save_json,
+    PolicyKind, Table,
 };
 use uvm_types::Oversubscription;
-use uvm_util::{json, ToJson};
+use uvm_util::{json, Json, ToJson};
 use uvm_workloads::registry;
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -106,10 +109,12 @@ fn cmd_list() {
     t.print();
 }
 
-fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
-    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), CliError> {
+    let app =
+        registry::by_abbr(abbr).ok_or_else(|| CliError::Usage(format!("unknown app {abbr:?}")))?;
     let cfg = bench_config();
-    let r = run_policy(&cfg, app, opts.rate, opts.policy).expect("run completes");
+    let r = run_policy(&cfg, app, opts.rate, opts.policy)
+        .map_err(|e| CliError::Run(format!("{abbr} run failed: {e}")))?;
     if opts.json {
         let mut v = json!({
             "app": r.app,
@@ -154,15 +159,17 @@ fn cmd_run(abbr: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(abbr: &str, opts: &Opts) -> Result<(), String> {
-    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+fn cmd_compare(abbr: &str, opts: &Opts) -> Result<(), CliError> {
+    let app =
+        registry::by_abbr(abbr).ok_or_else(|| CliError::Usage(format!("unknown app {abbr:?}")))?;
     let cfg = bench_config();
     let mut t = Table::new(
         format!("{abbr} at {}", opts.rate.label()),
         &["policy", "faults", "evictions", "cycles", "IPC"],
     );
     for kind in PolicyKind::ALL {
-        let r = run_policy(&cfg, app, opts.rate, kind).expect("run completes");
+        let r = run_policy(&cfg, app, opts.rate, kind)
+            .map_err(|e| CliError::Run(format!("{abbr}/{} run failed: {e}", kind.label())))?;
         t.row(vec![
             r.policy.to_string(),
             r.stats.faults().to_string(),
@@ -175,8 +182,9 @@ fn cmd_compare(abbr: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(abbr: &str, opts: &Opts) -> Result<(), String> {
-    let app = registry::by_abbr(abbr).ok_or_else(|| format!("unknown app {abbr:?}"))?;
+fn cmd_sweep(abbr: &str, opts: &Opts) -> Result<(), CliError> {
+    let app =
+        registry::by_abbr(abbr).ok_or_else(|| CliError::Usage(format!("unknown app {abbr:?}")))?;
     let cfg = bench_config();
     let mut t = Table::new(
         format!("{abbr} capacity sweep under {}", opts.policy.label()),
@@ -184,7 +192,8 @@ fn cmd_sweep(abbr: &str, opts: &Opts) -> Result<(), String> {
     );
     for pct in [95, 90, 85, 75, 60, 50, 40] {
         let rate = Oversubscription::Custom(pct as f64 / 100.0);
-        let r = run_policy(&cfg, app, rate, opts.policy).expect("run completes");
+        let r = run_policy(&cfg, app, rate, opts.policy)
+            .map_err(|e| CliError::Run(format!("{abbr} at {pct}% failed: {e}")))?;
         t.row(vec![
             format!("{pct}%"),
             rate.capacity_pages(app.footprint_pages()).to_string(),
@@ -419,16 +428,18 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Flags shared by `bench-snapshot` / `bench-check`.
+/// Flags shared by `bench-snapshot` / `bench-check` / `fairness`.
 struct BenchOpts {
     workers: usize,
     dir: PathBuf,
+    seed: u64,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, String> {
     let mut opts = BenchOpts {
         workers: 1,
         dir: perf::bench_dir(),
+        seed: 2019,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -443,6 +454,10 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, String> {
                 opts.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
             }
             "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -545,6 +560,86 @@ fn cmd_bench_check(opts: &BenchOpts) -> Result<(), CliError> {
     }
 }
 
+/// The fairness grid's app mixes: a heterogeneous trio, a homogeneous
+/// mix, and a larger skewed mix anchored by GEM (the largest-footprint
+/// app, hence the most HIR-sensitive tenant in the grid) arriving
+/// last, where lease concurrency divides the shared HIR deepest.
+const FAIRNESS_MIXES: [&[&str]; 3] = [
+    &["STN", "MVT", "CUT"],
+    &["STN", "STN", "STN"],
+    &["MVT", "CUT", "STN", "GEM"],
+];
+
+/// Quota percentages the fairness grid sweeps (per-tenant residency as a
+/// fraction of footprint — the mix-level oversubscription knob).
+const FAIRNESS_QUOTAS: [u64; 2] = [50, 75];
+
+/// `fairness`: the per-tenant vs shared HIR trade-off table — p99
+/// per-tenant slowdown against aggregate throughput over several app
+/// mixes and quota rates (the data behind the EXPERIMENTS.md fairness
+/// table).
+fn cmd_fairness(opts: &BenchOpts) -> Result<(), CliError> {
+    let mixes: Vec<Vec<&str>> = FAIRNESS_MIXES.iter().map(|m| m.to_vec()).collect();
+    eprintln!(
+        "[fairness grid: {} mixes x {} quotas x 2 HIR modes, seed {}, {} worker(s)]",
+        mixes.len(),
+        FAIRNESS_QUOTAS.len(),
+        opts.seed,
+        opts.workers.max(1),
+    );
+    let rows = fairness_grid(
+        &bench_config(),
+        &mixes,
+        &FAIRNESS_QUOTAS,
+        opts.seed,
+        opts.workers,
+    )
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let mut t = Table::new(
+        "fairness vs throughput (HPE, fault-free mixes)",
+        &[
+            "mix",
+            "quota",
+            "hir",
+            "p99-slowdown",
+            "hir-impact",
+            "throughput",
+            "rejected",
+            "delayed",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.mix.clone(),
+            format!("{}%", r.quota_pct),
+            r.hir_mode.clone(),
+            f2(r.p99_slowdown),
+            f3(r.hir_impact),
+            f2(r.throughput),
+            r.rejected.to_string(),
+            r.delayed.to_string(),
+        ]);
+    }
+    t.print();
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "mix": r.mix.as_str(),
+                "quota_pct": r.quota_pct,
+                "hir_mode": r.hir_mode.as_str(),
+                "p99_slowdown": r.p99_slowdown,
+                "hir_impact": r.hir_impact,
+                "throughput": r.throughput,
+                "rejected": r.rejected,
+                "delayed": r.delayed,
+            })
+        })
+        .collect();
+    save_json("tenant-fairness", &json_rows.to_json());
+    Ok(())
+}
+
 /// How a command failed, mapped onto the process exit code (1 run
 /// failure / regression, 2 usage).
 enum CliError {
@@ -553,8 +648,9 @@ enum CliError {
 }
 
 fn usage() -> String {
-    "usage: hpe-lab <list|run|compare|sweep|profile|campaign|bench-snapshot|bench-check> \
-     [APP ...] [options]"
+    "usage: hpe-lab <list|run|compare|sweep|profile|campaign|bench-snapshot|bench-check|fairness> \
+     [APP ...] [options]\n\
+     exit codes: 0 ok, 1 run failure or regression, 2 usage error"
         .to_string()
 }
 
@@ -573,13 +669,15 @@ fn main() {
                 )),
             },
             "run" | "compare" | "sweep" => match rest.split_first() {
-                Some((abbr, flags)) => parse_opts(flags)
-                    .and_then(|opts| match cmd.as_str() {
-                        "run" => cmd_run(abbr, &opts),
-                        "compare" => cmd_compare(abbr, &opts),
-                        _ => cmd_sweep(abbr, &opts),
-                    })
-                    .map_err(CliError::Usage),
+                Some((abbr, flags)) => {
+                    parse_opts(flags)
+                        .map_err(CliError::Usage)
+                        .and_then(|opts| match cmd.as_str() {
+                            "run" => cmd_run(abbr, &opts),
+                            "compare" => cmd_compare(abbr, &opts),
+                            _ => cmd_sweep(abbr, &opts),
+                        })
+                }
                 None => Err(CliError::Usage(format!(
                     "{cmd} needs an application abbreviation"
                 ))),
@@ -593,6 +691,9 @@ fn main() {
             "bench-check" => parse_bench_opts(rest)
                 .map_err(CliError::Usage)
                 .and_then(|opts| cmd_bench_check(&opts)),
+            "fairness" => parse_bench_opts(rest)
+                .map_err(CliError::Usage)
+                .and_then(|opts| cmd_fairness(&opts)),
             other => Err(CliError::Usage(format!("unknown command {other:?}"))),
         },
         None => Err(CliError::Usage(usage())),

@@ -33,7 +33,8 @@ fn usage() -> ExitCode {
          \x20       lint the workspace at ROOT (default: the enclosing\n\
          \x20       checkout) with the selected rule families\n\
          \x20       (default: all of determinism, hermeticity,\n\
-         \x20       error-discipline, paper-constants, explore-specs)\n\
+         \x20       error-discipline, paper-constants, tenant-isolation,\n\
+         \x20       explore-specs)\n\
          \x20 rules list rule families and the rules they contain\n\
          \n\
          exit codes: 0 clean, 1 violations, 2 usage/internal error"
@@ -197,6 +198,9 @@ fn cmd_rules() -> ExitCode {
          \x20                  profile.rs)\n\
          paper-constants    paper-constants (config constructors vs the\n\
          \x20                  declared manifest)\n\
+         tenant-isolation   tenant-isolation (direct tenant slot-state\n\
+         \x20                  access bypassing the MixState accessors;\n\
+         \x20                  crates/{{sim,bench}}/src/tenant*.rs)\n\
          explore-specs      explore-spec (fixtures/explore/*.json must\n\
          \x20                  parse as ExploreSpec and validate)\n\
          \n\

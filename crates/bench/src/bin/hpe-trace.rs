@@ -14,7 +14,13 @@
 //! hpe-trace shape fig13.json               # stable shape of a figure series
 //! hpe-trace campaign progress.jsonl        # summarize a campaign progress stream
 //! hpe-trace explore explore-report.json    # fault-space exploration coverage report
+//! hpe-trace tenants tenant-mix.json        # per-tenant summary of a multi-tenant mix report
 //! ```
+//!
+//! Exit codes: 0 success, 1 a run failed or a check did not hold (diff
+//! divergence, failed campaign runs, counterexamples, conservation
+//! violation, failed tenants), 2 usage error (bad arguments or input
+//! files).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -25,11 +31,20 @@ use hpe_bench::{
 };
 use uvm_sim::{
     parse_jsonl, EventCounters, IntervalCollector, IntervalKey, ProfileReport, SimEvent,
-    SimObserver, TraceHistograms, DEFAULT_PROFILE_CADENCE,
+    SimObserver, TenantReport, TraceHistograms, DEFAULT_PROFILE_CADENCE,
 };
 use uvm_types::Oversubscription;
 use uvm_util::{FromJson, Json, ToJson};
 use uvm_workloads::registry;
+
+/// How a command failed, mapped onto the process exit code (the same
+/// 0/1/2 convention `hpe-chaos`, `hpe-lab` and `hpe-lint` use).
+enum CmdError {
+    /// Bad arguments or unreadable/malformed input files: exit 2.
+    Usage(String),
+    /// A live run failed: exit 1.
+    Run(String),
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -66,8 +81,14 @@ fn usage() -> ExitCode {
          \x20           summarize a fault-space exploration coverage report\n\
          \x20           (written by `hpe-chaos explore`); exit 1 if it\n\
          \x20           recorded any counterexample\n\
+         \x20 tenants   <REPORT.json>\n\
+         \x20           per-tenant summary of a multi-tenant mix report\n\
+         \x20           (written by `hpe-chaos tenants`): admission\n\
+         \x20           outcomes, per-tenant slowdowns and fairness\n\
+         \x20           metrics; exit 1 if any tenant failed\n\
          \n\
-         policies: LRU, Random, LFU, RRIP, CLOCK-Pro, Ideal, HPE (default HPE)"
+         policies: LRU, Random, LFU, RRIP, CLOCK-Pro, Ideal, HPE (default HPE)\n\
+         exit codes: 0 ok, 1 run failure or failed check, 2 usage error"
     );
     ExitCode::from(2)
 }
@@ -145,16 +166,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 }
 
 /// Loads events from a JSONL file, or by running a registered app live.
-fn load_events(spec: &str, flags: &Flags) -> Result<Vec<SimEvent>, String> {
+fn load_events(spec: &str, flags: &Flags) -> Result<Vec<SimEvent>, CmdError> {
     let path = Path::new(spec);
     if path.exists() {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {spec}: {e}"))?;
-        return parse_jsonl(&text).map_err(|e| format!("{spec}: {e}"));
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CmdError::Usage(format!("cannot read {spec}: {e}")))?;
+        return parse_jsonl(&text).map_err(|e| CmdError::Usage(format!("{spec}: {e}")));
     }
     let Some(app) = registry::by_abbr(spec) else {
-        return Err(format!(
+        return Err(CmdError::Usage(format!(
             "'{spec}' is neither a readable file nor a registered app"
-        ));
+        )));
     };
     eprintln!(
         "[running {} under {} at {} ...]",
@@ -162,20 +184,20 @@ fn load_events(spec: &str, flags: &Flags) -> Result<Vec<SimEvent>, String> {
         flags.policy.label(),
         flags.rate.label()
     );
-    let (_, capture) =
-        run_policy_traced(&bench_config(), app, flags.rate, flags.policy).expect("run completes");
+    let (_, capture) = run_policy_traced(&bench_config(), app, flags.rate, flags.policy)
+        .map_err(|e| CmdError::Run(format!("{} run failed: {e}", app.abbr())))?;
     Ok(capture.log.events().to_vec())
 }
 
-fn cmd_record(flags: &Flags) -> Result<(), String> {
+fn cmd_record(flags: &Flags) -> Result<(), CmdError> {
     let [spec] = flags.positional.as_slice() else {
-        return Err("record needs exactly one APP".into());
+        return Err(CmdError::Usage("record needs exactly one APP".into()));
     };
     let Some(app) = registry::by_abbr(spec) else {
-        return Err(format!("unknown app '{spec}'"));
+        return Err(CmdError::Usage(format!("unknown app '{spec}'")));
     };
-    let (result, capture) =
-        run_policy_traced(&bench_config(), app, flags.rate, flags.policy).expect("run completes");
+    let (result, capture) = run_policy_traced(&bench_config(), app, flags.rate, flags.policy)
+        .map_err(|e| CmdError::Run(format!("{} run failed: {e}", app.abbr())))?;
     let path = flags.out.clone().unwrap_or_else(|| {
         traces_dir().join(format!(
             "{}-{}-{}.jsonl",
@@ -184,7 +206,8 @@ fn cmd_record(flags: &Flags) -> Result<(), String> {
             flags.rate.label().trim_end_matches('%')
         ))
     });
-    let lines = write_jsonl(&path, capture.log.events()).map_err(|e| e.to_string())?;
+    let lines =
+        write_jsonl(&path, capture.log.events()).map_err(|e| CmdError::Run(e.to_string()))?;
     println!(
         "{} under {} at {}: {} faults, {} evictions, {} events -> {}",
         result.app,
@@ -204,9 +227,11 @@ fn replay<S: SimObserver>(sink: &mut S, events: &[SimEvent]) {
     }
 }
 
-fn cmd_summarize(flags: &Flags) -> Result<(), String> {
+fn cmd_summarize(flags: &Flags) -> Result<(), CmdError> {
     let [spec] = flags.positional.as_slice() else {
-        return Err("summarize needs exactly one FILE or APP".into());
+        return Err(CmdError::Usage(
+            "summarize needs exactly one FILE or APP".into(),
+        ));
     };
     let events = load_events(spec, flags)?;
     let mut counters = EventCounters::default();
@@ -274,9 +299,11 @@ fn print_timeline_table(spec: &str, events: &[SimEvent], window: u64) {
     t.print();
 }
 
-fn cmd_timeline(flags: &Flags) -> Result<(), String> {
+fn cmd_timeline(flags: &Flags) -> Result<(), CmdError> {
     let [spec] = flags.positional.as_slice() else {
-        return Err("timeline needs exactly one FILE or APP".into());
+        return Err(CmdError::Usage(
+            "timeline needs exactly one FILE or APP".into(),
+        ));
     };
     let events = load_events(spec, flags)?;
     print_timeline_table(spec, &events, flags.window.unwrap_or(64));
@@ -307,9 +334,9 @@ fn cmd_timeline(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diff(flags: &Flags) -> Result<bool, String> {
+fn cmd_diff(flags: &Flags) -> Result<bool, CmdError> {
     let [a_spec, b_spec] = flags.positional.as_slice() else {
-        return Err("diff needs exactly two FILEs".into());
+        return Err(CmdError::Usage("diff needs exactly two FILEs".into()));
     };
     let a = load_events(a_spec, flags)?;
     let b = load_events(b_spec, flags)?;
@@ -375,19 +402,22 @@ fn cmd_diff(flags: &Flags) -> Result<bool, String> {
 /// per entry, its identifying fields and sorted key set — but no measured
 /// values, so the shape survives algorithmic tuning while still catching
 /// missing apps, dropped fields, or schema drift.
-fn cmd_shape(flags: &Flags) -> Result<(), String> {
+fn cmd_shape(flags: &Flags) -> Result<(), CmdError> {
     let [file] = flags.positional.as_slice() else {
-        return Err("shape needs exactly one FIG.json".into());
+        return Err(CmdError::Usage("shape needs exactly one FIG.json".into()));
     };
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let v = Json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CmdError::Usage(format!("cannot read {file}: {e}")))?;
+    let v = Json::parse(&text).map_err(|e| CmdError::Usage(format!("{file}: {e}")))?;
     let entries = v
         .as_array()
-        .ok_or_else(|| format!("{file}: expected a top-level array"))?;
+        .ok_or_else(|| CmdError::Usage(format!("{file}: expected a top-level array")))?;
     println!("entries={}", entries.len());
     for e in entries {
         let Json::Object(fields) = e else {
-            return Err(format!("{file}: expected an array of objects"));
+            return Err(CmdError::Usage(format!(
+                "{file}: expected an array of objects"
+            )));
         };
         let mut keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
         keys.sort_unstable();
@@ -402,11 +432,14 @@ fn cmd_shape(flags: &Flags) -> Result<(), String> {
 /// completion counts, failures, and whether the arrival order was
 /// sequential (serial run) or interleaved (parallel workers). Returns
 /// `Ok(false)` when any recorded run failed.
-fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
+fn cmd_campaign(flags: &Flags) -> Result<bool, CmdError> {
     let [file] = flags.positional.as_slice() else {
-        return Err("campaign needs exactly one FILE.jsonl".into());
+        return Err(CmdError::Usage(
+            "campaign needs exactly one FILE.jsonl".into(),
+        ));
     };
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CmdError::Usage(format!("cannot read {file}: {e}")))?;
     let mut indices = Vec::new();
     let mut failures: Vec<(String, String)> = Vec::new();
     let mut by_policy: Vec<(String, u64)> = Vec::new();
@@ -417,17 +450,19 @@ fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let v = Json::parse(line).map_err(|e| format!("{file}:{}: {e}", lineno + 1))?;
+        let v = Json::parse(line)
+            .map_err(|e| CmdError::Usage(format!("{file}:{}: {e}", lineno + 1)))?;
         let field = |name: &str| {
             v.get(name)
                 .and_then(Json::as_str)
                 .map(str::to_string)
-                .ok_or_else(|| format!("{file}:{}: missing field `{name}`", lineno + 1))
+                .ok_or_else(|| {
+                    CmdError::Usage(format!("{file}:{}: missing field `{name}`", lineno + 1))
+                })
         };
-        let index = v
-            .get("index")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("{file}:{}: missing field `index`", lineno + 1))?;
+        let index = v.get("index").and_then(Json::as_u64).ok_or_else(|| {
+            CmdError::Usage(format!("{file}:{}: missing field `index`", lineno + 1))
+        })?;
         indices.push(index);
         let ok = v.get("ok").and_then(Json::as_bool).unwrap_or(false);
         if !ok {
@@ -447,7 +482,7 @@ fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
         }
     }
     if indices.is_empty() {
-        return Err(format!("{file}: no progress lines"));
+        return Err(CmdError::Usage(format!("{file}: no progress lines")));
     }
     let sequential = indices.windows(2).all(|w| w[1] > w[0]);
     println!(
@@ -487,14 +522,17 @@ fn cmd_campaign(flags: &Flags) -> Result<bool, String> {
 /// `explore`: summarize a fault-space exploration coverage report written
 /// by `hpe-chaos explore`. Returns `Ok(false)` when the report recorded
 /// any counterexample.
-fn cmd_explore(flags: &Flags) -> Result<bool, String> {
+fn cmd_explore(flags: &Flags) -> Result<bool, CmdError> {
     let [file] = flags.positional.as_slice() else {
-        return Err("explore needs exactly one REPORT.json".into());
+        return Err(CmdError::Usage(
+            "explore needs exactly one REPORT.json".into(),
+        ));
     };
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
-    let report =
-        uvm_sim::ExploreReport::from_json(&json).map_err(|e| format!("{file}: bad report: {e}"))?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CmdError::Usage(format!("cannot read {file}: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| CmdError::Usage(format!("{file}: {e}")))?;
+    let report = uvm_sim::ExploreReport::from_json(&json)
+        .map_err(|e| CmdError::Usage(format!("{file}: bad report: {e}")))?;
     println!(
         "{}: {} under {} at {}%, invariants [{}]",
         file,
@@ -539,9 +577,9 @@ fn cmd_explore(flags: &Flags) -> Result<bool, String> {
 }
 
 /// Runs `spec` live with the cycle-attribution profiler attached.
-fn profiled_run(spec: &str, flags: &Flags) -> Result<ProfileReport, String> {
+fn profiled_run(spec: &str, flags: &Flags) -> Result<ProfileReport, CmdError> {
     let Some(app) = registry::by_abbr(spec) else {
-        return Err(format!("unknown app '{spec}'"));
+        return Err(CmdError::Usage(format!("unknown app '{spec}'")));
     };
     let cadence = flags.cadence.unwrap_or(DEFAULT_PROFILE_CADENCE);
     eprintln!(
@@ -551,15 +589,15 @@ fn profiled_run(spec: &str, flags: &Flags) -> Result<ProfileReport, String> {
         flags.rate.label()
     );
     let (_, profile) = run_policy_profiled(&bench_config(), app, flags.rate, flags.policy, cadence)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CmdError::Run(format!("{} run failed: {e}", app.abbr())))?;
     Ok(profile)
 }
 
 /// `profile`: per-account cycle breakdown plus the sampled metrics
 /// series. Exit 1 if the timeline accounts fail to conserve.
-fn cmd_profile(flags: &Flags) -> Result<bool, String> {
+fn cmd_profile(flags: &Flags) -> Result<bool, CmdError> {
     let [spec] = flags.positional.as_slice() else {
-        return Err("profile needs exactly one APP".into());
+        return Err(CmdError::Usage("profile needs exactly one APP".into()));
     };
     let profile = profiled_run(spec, flags)?;
     println!("{}", profile.render_accounts());
@@ -574,7 +612,8 @@ fn cmd_profile(flags: &Flags) -> Result<bool, String> {
             Some("jsonl") => profile.series.to_jsonl(),
             _ => profile.to_json().to_string(),
         };
-        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        std::fs::write(path, text)
+            .map_err(|e| CmdError::Run(format!("cannot write {}: {e}", path.display())))?;
         println!("wrote {}", path.display());
     }
     if profile.timeline_sum() != profile.total_cycles {
@@ -589,9 +628,9 @@ fn cmd_profile(flags: &Flags) -> Result<bool, String> {
 }
 
 /// `spans`: fault-lifecycle span summary and stage latency percentiles.
-fn cmd_spans(flags: &Flags) -> Result<(), String> {
+fn cmd_spans(flags: &Flags) -> Result<(), CmdError> {
     let [spec] = flags.positional.as_slice() else {
-        return Err("spans needs exactly one APP".into());
+        return Err(CmdError::Usage("spans needs exactly one APP".into()));
     };
     let profile = profiled_run(spec, flags)?;
     println!("{}", profile.render_spans());
@@ -600,21 +639,92 @@ fn cmd_spans(flags: &Flags) -> Result<(), String> {
 
 /// `flame`: folded-stack output (`component;account cycles` per line) for
 /// standard flamegraph tooling.
-fn cmd_flame(flags: &Flags) -> Result<(), String> {
+fn cmd_flame(flags: &Flags) -> Result<(), CmdError> {
     let [spec] = flags.positional.as_slice() else {
-        return Err("flame needs exactly one APP".into());
+        return Err(CmdError::Usage("flame needs exactly one APP".into()));
     };
     let profile = profiled_run(spec, flags)?;
     let folded = profile.folded();
     match &flags.out {
         Some(path) => {
             std::fs::write(path, &folded)
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                .map_err(|e| CmdError::Run(format!("cannot write {}: {e}", path.display())))?;
             println!("wrote {}", path.display());
         }
         None => print!("{folded}"),
     }
     Ok(())
+}
+
+/// `tenants`: per-tenant summary of a multi-tenant mix report written by
+/// `hpe-chaos tenants`. Returns `Ok(false)` when any tenant failed.
+fn cmd_tenants(flags: &Flags) -> Result<bool, CmdError> {
+    let [file] = flags.positional.as_slice() else {
+        return Err(CmdError::Usage(
+            "tenants needs exactly one REPORT.json".into(),
+        ));
+    };
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CmdError::Usage(format!("cannot read {file}: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| CmdError::Usage(format!("{file}: {e}")))?;
+    let report = TenantReport::from_json_strict(&json)
+        .map_err(|e| CmdError::Usage(format!("{file}: bad tenant report: {e}")))?;
+    println!(
+        "{}: {} tenant(s) under {} ({} HIR){}, fingerprint {}",
+        file,
+        report.tenants.len(),
+        report.policy,
+        report.hir_mode,
+        match report.fault_tenant {
+            Some(t) => format!(", plan {} scoped to T{t}", report.plan),
+            None => ", fault-free".to_string(),
+        },
+        report.fingerprint,
+    );
+    let mut t = Table::new(
+        format!("tenants ({file})"),
+        &[
+            "tenant", "app", "quota", "arrival", "admitted", "outcome", "ok", "cycles", "faults",
+            "slowdown",
+        ],
+    );
+    let mut failed = 0u64;
+    for row in &report.tenants {
+        if !row.ok {
+            failed += 1;
+        }
+        t.row(vec![
+            row.tenant.to_string(),
+            row.app.clone(),
+            row.quota_pages.to_string(),
+            row.arrival.to_string(),
+            row.admitted.to_string(),
+            row.admission.clone(),
+            if row.ok {
+                "yes".to_string()
+            } else {
+                format!("no: {}", row.error)
+            },
+            row.stats.cycles.to_string(),
+            row.stats.faults().to_string(),
+            format!("{:.2}", row.slowdown()),
+        ]);
+    }
+    t.print();
+    println!(
+        "admission: {} rejected, {} delayed; makespan {}; p99 slowdown {:.2}; \
+         aggregate throughput {:.2} instr/kcycle",
+        report.rejected,
+        report.delayed,
+        report.makespan,
+        report.p99_slowdown(),
+        report.throughput(),
+    );
+    if failed > 0 {
+        println!("\n{failed} tenant(s) failed");
+        return Ok(false);
+    }
+    Ok(true)
 }
 
 fn main() -> ExitCode {
@@ -640,6 +750,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&flags),
         "spans" => cmd_spans(&flags).map(|()| true),
         "flame" => cmd_flame(&flags).map(|()| true),
+        "tenants" => cmd_tenants(&flags),
         _ => {
             eprintln!("error: unknown command '{cmd}'");
             return usage();
@@ -648,9 +759,13 @@ fn main() -> ExitCode {
     match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
-        Err(e) => {
+        Err(CmdError::Run(e)) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::FAILURE
+        }
+        Err(CmdError::Usage(e)) => {
+            eprintln!("error: {e}");
+            usage()
         }
     }
 }

@@ -44,7 +44,7 @@ use std::thread;
 
 use uvm_sim::FaultPlan;
 use uvm_types::{Oversubscription, SimConfig, SimStats};
-use uvm_util::{json, FromJson, Json, Rng, ToJson};
+use uvm_util::{check_unknown_fields, json, FromJson, Json, JsonError, Rng, ToJson};
 use uvm_workloads::{registry, App};
 
 use crate::runner::{run_policy_recovering, PolicyKind, RecoveryOptions};
@@ -513,18 +513,33 @@ impl CampaignSnapshot {
         Ok(())
     }
 
+    /// Parses a snapshot, rejecting unknown fields (a truncated or
+    /// hand-edited snapshot should fail loudly at load, not resume a
+    /// half-wrong campaign).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on unknown or malformed fields.
+    pub fn from_json_strict(v: &Json) -> Result<Self, JsonError> {
+        // One array exemplar so the run fields join the known set.
+        let mut template = CampaignSnapshot::default();
+        template.completed.push(CampaignRun::default());
+        check_unknown_fields(v, &template.to_json(), "campaign snapshot")?;
+        CampaignSnapshot::from_json(v)
+    }
+
     /// Loads and validates a snapshot from `path`.
     ///
     /// # Errors
     ///
     /// Returns [`CampaignError::Io`] if the file cannot be read and
-    /// [`CampaignError::SnapshotMalformed`] if it fails to parse or
-    /// validate.
+    /// [`CampaignError::SnapshotMalformed`] if it fails to parse,
+    /// carries unknown fields, or fails validation.
     pub fn load(path: &Path) -> Result<Self, CampaignError> {
         let text = fs::read_to_string(path)?;
         let value =
             Json::parse(&text).map_err(|e| CampaignError::SnapshotMalformed(e.to_string()))?;
-        let snap = CampaignSnapshot::from_json(&value)
+        let snap = CampaignSnapshot::from_json_strict(&value)
             .map_err(|e| CampaignError::SnapshotMalformed(e.to_string()))?;
         snap.validate()?;
         Ok(snap)
@@ -923,6 +938,43 @@ mod tests {
             snap.validate(),
             Err(CampaignError::SnapshotMalformed(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_strict_parse_rejects_unknown_fields_and_truncation() {
+        // A misspelled top-level field names itself and the nearest
+        // known key.
+        let v = Json::parse(r#"{"schema": 1, "fingerprnt": "x"}"#).unwrap();
+        let err = CampaignSnapshot::from_json_strict(&v)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("fingerprnt"), "{err}");
+        assert!(err.contains("fingerprint"), "{err}");
+        // Unknown fields nested in a completed run are located by path.
+        let v = Json::parse(r#"{"schema": 1, "completed": [{"index": 0, "kye": "a"}]}"#).unwrap();
+        let err = CampaignSnapshot::from_json_strict(&v)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("completed[0].kye"), "{err}");
+        // A truncated snapshot file fails at load with a parse error,
+        // not a silent partial resume.
+        let dir = std::env::temp_dir().join(format!("hpe-snap-trunc-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let full = CampaignSnapshot {
+            schema: CAMPAIGN_SNAPSHOT_SCHEMA,
+            fingerprint: "x".into(),
+            total: 1,
+            completed: vec![CampaignRun::default()],
+        };
+        full.save(&path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::load(&path),
+            Err(CampaignError::SnapshotMalformed(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

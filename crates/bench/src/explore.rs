@@ -33,13 +33,15 @@ use uvm_policies::{
 };
 use uvm_sim::{
     ideal_for, shrink_plan, trace_for, Counterexample, ExploreReport, ExploreSpec, FaultPlan,
-    ReproCase, RetryPolicy, Sanitizer, SimOutcome, Simulation, ALL_INVARIANTS,
+    ReproCase, RetryPolicy, Sanitizer, SimOutcome, Simulation, TenantMix, TenantReport,
+    ALL_INVARIANTS,
 };
 use uvm_types::{Oversubscription, SimConfig, SimError, SimStats};
 use uvm_util::json;
 use uvm_workloads::{registry, App, Trace};
 
 use crate::runner::{rrip_config_for, PolicyKind};
+use crate::tenant::{check_containment, containment_mix, run_mix_serial, MixOptions};
 
 /// Clean-fault headroom after which a still-degraded HPE run counts as a
 /// `recovery` violation: the policy re-checks its exit conditions on
@@ -111,6 +113,12 @@ struct Ctx<'a> {
     invariants: Vec<String>,
     sanitize_cadence: u64,
     checkpoint_at: u64,
+    /// The `containment` invariant's mix and its fault-free baseline,
+    /// computed eagerly at context build (never lazily inside a worker)
+    /// so the merged report stays byte-identical for any worker count.
+    tenant_mix: Option<TenantMix>,
+    tenant_baseline: Option<TenantReport>,
+    tenant_target: u64,
 }
 
 /// Runs a built simulation to completion — straight through, or
@@ -253,6 +261,28 @@ impl Ctx<'_> {
         None
     }
 
+    /// Runs the containment mix with `plan` scoped to the target tenant
+    /// and byte-compares every other tenant's row against the fault-free
+    /// baseline.
+    fn check_containment_invariant(
+        &self,
+        plan: &FaultPlan,
+        mix: &TenantMix,
+        baseline: &TenantReport,
+    ) -> Option<String> {
+        let opts = MixOptions {
+            policy: self.kind,
+            plan: Some(plan.clone()),
+            plan_name: "explore-case".to_string(),
+            fault_tenant: Some(self.tenant_target),
+            ..MixOptions::default()
+        };
+        match run_mix_serial(self.cfg, mix, &opts) {
+            Err(e) => Some(format!("containment mix run failed: {e}")),
+            Ok(faulted) => check_containment(baseline, &faulted).err(),
+        }
+    }
+
     fn check_replay(
         &self,
         plan: &FaultPlan,
@@ -345,6 +375,17 @@ impl Ctx<'_> {
                     checks += 1;
                     self.check_recovery(b)
                 }
+                ("containment", Some(_)) => {
+                    let (Some(mix), Some(baseline)) = (&self.tenant_mix, &self.tenant_baseline)
+                    else {
+                        // Spec declared no tenant mix: skipped, like
+                        // `checkpoint` at cycle 0.
+                        continue;
+                    };
+                    checks += 1;
+                    runs += mix.tenants.len() as u64;
+                    self.check_containment_invariant(plan, mix, baseline)
+                }
                 _ => None,
             };
             if let Some(error) = violation {
@@ -379,6 +420,9 @@ struct CtxParams<'s> {
     invariants: &'s [String],
     sanitize_cadence: u64,
     checkpoint_at: u64,
+    tenants: u64,
+    tenant_target: u64,
+    tenant_quota_pct: u64,
 }
 
 /// Builds the shared run context, resolving the app, policy and rate.
@@ -391,6 +435,9 @@ fn context<'a>(cfg: &'a SimConfig, p: CtxParams<'_>) -> Result<Ctx<'a>, ExploreE
         invariants,
         sanitize_cadence,
         checkpoint_at,
+        tenants,
+        tenant_target,
+        tenant_quota_pct,
     } = p;
     let app = registry::by_abbr(app).ok_or_else(|| ExploreError::UnknownApp(app.to_string()))?;
     let kind =
@@ -417,6 +464,31 @@ fn context<'a>(cfg: &'a SimConfig, p: CtxParams<'_>) -> Result<Ctx<'a>, ExploreE
             ALL_INVARIANTS.join(", ")
         )));
     }
+    // The containment invariant needs a tenant mix and its fault-free
+    // baseline. Both are built eagerly here — once, before the worker
+    // pool starts — so verdicts stay pure per-case functions and the
+    // merged report is byte-identical for any worker count.
+    let wants_containment = ordered.iter().any(|i| i == "containment");
+    let (tenant_mix, tenant_baseline) = if wants_containment && tenants >= 2 {
+        let mix = containment_mix(tenants, tenant_quota_pct);
+        mix.validate()
+            .map_err(|e| ExploreError::InvalidSpec(format!("containment mix invalid: {e}")))?;
+        if !mix.tenants.iter().any(|t| t.id == tenant_target) {
+            return Err(ExploreError::InvalidSpec(format!(
+                "tenant_target {tenant_target} is not part of the containment mix \
+                 (tenants 0..{tenants})"
+            )));
+        }
+        let opts = MixOptions {
+            policy: kind,
+            ..MixOptions::default()
+        };
+        let baseline = run_mix_serial(cfg, &mix, &opts)
+            .map_err(|e| ExploreError::InvalidSpec(format!("containment baseline failed: {e}")))?;
+        (Some(mix), Some(baseline))
+    } else {
+        (None, None)
+    };
     Ok(Ctx {
         cfg,
         app,
@@ -427,6 +499,9 @@ fn context<'a>(cfg: &'a SimConfig, p: CtxParams<'_>) -> Result<Ctx<'a>, ExploreE
         invariants: ordered,
         sanitize_cadence,
         checkpoint_at,
+        tenant_mix,
+        tenant_baseline,
+        tenant_target,
     })
 }
 
@@ -466,6 +541,9 @@ pub fn run_explore(
             invariants: &spec.invariant_set(),
             sanitize_cadence: spec.sanitize_cadence,
             checkpoint_at: spec.checkpoint_at,
+            tenants: spec.tenants,
+            tenant_target: spec.tenant_target,
+            tenant_quota_pct: spec.tenant_quota_pct,
         },
     )?;
     let (cases, skipped) = spec.cases();
@@ -583,6 +661,9 @@ pub fn repro_for(spec: &ExploreSpec, cx: &Counterexample) -> ReproCase {
         retry: spec.retry,
         sanitize_cadence: spec.sanitize_cadence,
         checkpoint_at: spec.checkpoint_at,
+        tenants: spec.tenants,
+        tenant_target: spec.tenant_target,
+        tenant_quota_pct: spec.tenant_quota_pct,
         plan: cx.plan.clone(),
     }
 }
@@ -620,6 +701,9 @@ pub fn replay_repro(
             invariants: std::slice::from_ref(&repro.invariant),
             sanitize_cadence: repro.sanitize_cadence,
             checkpoint_at: repro.checkpoint_at,
+            tenants: repro.tenants,
+            tenant_target: repro.tenant_target,
+            tenant_quota_pct: repro.tenant_quota_pct,
         },
     )?;
     Ok(ctx.verdict(&repro.plan).violation)
@@ -684,6 +768,55 @@ mod tests {
             run_explore(&cfg, &spec, 1, None).unwrap_err(),
             ExploreError::EmptyCaseList
         );
+    }
+
+    #[test]
+    fn containment_invariant_runs_and_holds_on_scoped_faults() {
+        // Two tenants, the fault plan scoped to tenant 0: the invariant
+        // must actually evaluate (checks > 0) and hold — the non-target
+        // tenant's stats stay byte-identical to its fault-free run.
+        let spec = ExploreSpec {
+            policy: "lru".to_string(),
+            grid_limit: 0,
+            fixtures: vec![FaultPlan::latency_storm(5)],
+            invariants: vec!["completes".to_string(), "containment".to_string()],
+            tenants: 2,
+            tenant_target: 0,
+            ..ExploreSpec::default()
+        };
+        let report = run_explore(&bench_config(), &spec, 1, None).unwrap();
+        assert_eq!(report.cases, 1);
+        assert!(
+            report.counterexamples.is_empty(),
+            "{:?}",
+            report.counterexamples
+        );
+        // completes (1 check) + containment (1 check) per case.
+        assert_eq!(report.invariant_checks, 2);
+        assert!(
+            report.invariants.contains(&"containment".to_string()),
+            "{:?}",
+            report.invariants
+        );
+
+        // A target outside the mix is a typed spec error, not a panic.
+        let mut bad = spec.clone();
+        bad.tenant_target = 9;
+        let err = run_explore(&bench_config(), &bad, 1, None).unwrap_err();
+        assert!(matches!(err, ExploreError::InvalidSpec(_)), "{err}");
+
+        // Without a tenant mix the invariant is skipped, like checkpoint
+        // at cycle 0: default spec (all invariants, tenants = 0) still
+        // runs clean.
+        let no_mix = ExploreSpec {
+            policy: "lru".to_string(),
+            grid_limit: 0,
+            fixtures: vec![FaultPlan::latency_storm(5)],
+            tenants: 0,
+            ..ExploreSpec::default()
+        };
+        let report = run_explore(&bench_config(), &no_mix, 1, None).unwrap();
+        assert!(report.counterexamples.is_empty());
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub enum PolicyKind {
     Hpe,
 }
 
+impl Default for PolicyKind {
+    /// HPE — the paper's own policy and the tenant engine's default.
+    fn default() -> Self {
+        PolicyKind::Hpe
+    }
+}
+
 impl PolicyKind {
     /// All policy kinds in report order.
     pub const ALL: [PolicyKind; 7] = [
@@ -343,10 +350,32 @@ pub fn run_hpe_with(
     rate: Oversubscription,
     hpe_cfg: HpeConfig,
 ) -> Result<RunResult, SimError> {
+    run_hpe_with_plan(cfg, app, rate, hpe_cfg, None)
+}
+
+/// Like [`run_hpe_with`], with an optional fault-injection plan — the
+/// tenant engine uses this to run a shared-HIR (scaled-geometry) tenant
+/// with a fault plan scoped to it.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if either configuration or the plan is invalid,
+/// or the run cannot complete soundly.
+pub fn run_hpe_with_plan(
+    cfg: &SimConfig,
+    app: &App,
+    rate: Oversubscription,
+    hpe_cfg: HpeConfig,
+    plan: Option<&FaultPlan>,
+) -> Result<RunResult, SimError> {
     let trace = trace_for(cfg, app);
     let capacity = rate.capacity_pages(app.footprint_pages());
     let hpe = Hpe::new(hpe_cfg)?;
-    let outcome = Simulation::new(cfg.clone(), &trace, hpe, capacity)?.run()?;
+    let mut sim = Simulation::new(cfg.clone(), &trace, hpe, capacity)?;
+    if let Some(p) = plan {
+        sim.set_fault_plan(p.clone())?;
+    }
+    let outcome = sim.run()?;
     let report = HpeReport::from_policy(&outcome.policy);
     Ok(RunResult {
         app: app.abbr(),

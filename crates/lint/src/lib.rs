@@ -65,6 +65,9 @@ pub enum RuleFamily {
     /// Cross-checks config literals against the paper-constants
     /// manifest.
     PaperConstants,
+    /// Flags direct access to tenant slot state that bypasses the
+    /// scoped `MixState` accessors in the tenant-layer files.
+    TenantIsolation,
 }
 
 impl RuleFamily {
@@ -74,16 +77,18 @@ impl RuleFamily {
         RuleFamily::Hermeticity,
         RuleFamily::ErrorDiscipline,
         RuleFamily::PaperConstants,
+        RuleFamily::TenantIsolation,
     ];
 
     /// The CLI label (`determinism`, `hermeticity`, `error-discipline`,
-    /// `paper-constants`).
+    /// `paper-constants`, `tenant-isolation`).
     pub fn label(self) -> &'static str {
         match self {
             RuleFamily::Determinism => "determinism",
             RuleFamily::Hermeticity => "hermeticity",
             RuleFamily::ErrorDiscipline => "error-discipline",
             RuleFamily::PaperConstants => "paper-constants",
+            RuleFamily::TenantIsolation => "tenant-isolation",
         }
     }
 

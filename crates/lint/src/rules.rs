@@ -25,6 +25,9 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_PAPER_CONSTANTS: &str = "paper-constants";
 /// Rule id: profiler accumulation outside the opt-in guard.
 pub const RULE_PROFILE_GUARD: &str = "profile-guard";
+/// Rule id: direct access to tenant slot state, bypassing the scoped
+/// accessors.
+pub const RULE_TENANT_ISOLATION: &str = "tenant-isolation";
 
 /// Crate-path prefixes whose code must be bit-exact deterministic.
 const DETERMINISM_SCOPE: &[&str] = &[
@@ -39,6 +42,24 @@ const ERROR_DISCIPLINE_SCOPE: &[&str] = &[
     "crates/sim/src/",
     "crates/core/src/",
     "crates/policies/src/",
+];
+
+/// Tenant-layer files (the scope of the tenant-isolation rule): the
+/// prefix also covers `tenant_*.rs` splits.
+const TENANT_ISOLATION_SCOPE: &[&str] = &["crates/sim/src/tenant", "crates/bench/src/tenant"];
+
+/// Direct reads/writes of the per-tenant slot vector. Every one outside
+/// the `MixState` accessors breaks the "one tenant per slot, written
+/// exactly once" audit argument — the accessors themselves carry
+/// `// lint:allow(tenant-isolation)` annotations.
+const TENANT_STATE_TOKENS: &[&str] = &[
+    ".slots[",
+    ".slots.get(",
+    ".slots.get_mut(",
+    ".slots.iter(",
+    ".slots.iter_mut(",
+    ".slots.len(",
+    ".slots.push(",
 ];
 
 /// Profiler accumulation methods: mutate profiler state, so every call
@@ -194,6 +215,19 @@ pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<
         && !rel_path.ends_with("/profile.rs")
     {
         scan_profile_guard(rel_path, lines, &mut diags);
+    }
+    if families.contains(&RuleFamily::TenantIsolation) && in_scope(rel_path, TENANT_ISOLATION_SCOPE)
+    {
+        scan_tokens(
+            rel_path,
+            lines,
+            TENANT_STATE_TOKENS,
+            RULE_TENANT_ISOLATION,
+            "reaches into tenant slot state directly; go through the MixState \
+             accessors (or annotate a scoped accessor with \
+             `// lint:allow(tenant-isolation)`)",
+            &mut diags,
+        );
     }
     if families.contains(&RuleFamily::PaperConstants) {
         crate::manifest::scan(rel_path, lines, &mut diags);
@@ -711,6 +745,38 @@ mod tests {
             let d = scan_at(path, text, RuleFamily::ErrorDiscipline);
             assert!(d.is_empty(), "{path}: {d:?}");
         }
+    }
+
+    #[test]
+    fn tenant_isolation_flags_direct_slot_access() {
+        let text = "fn f(s: &mut MixState) {\n\
+                    \x20 s.slots[0] = None;\n\
+                    \x20 let n = s.slots.len(); // lint:allow(tenant-isolation) — scoped accessor\n\
+                    \x20 s.slots.iter().count();\n\
+                    }\n";
+        let d = scan_at(
+            "crates/bench/src/tenant.rs",
+            text,
+            RuleFamily::TenantIsolation,
+        );
+        let lines: Vec<u64> = d.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 4], "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_TENANT_ISOLATION));
+    }
+
+    #[test]
+    fn tenant_isolation_is_scoped_to_tenant_layer_files() {
+        let text = "fn f(s: &mut S) { s.slots[0] = None; }\n";
+        for path in ["crates/bench/src/campaign.rs", "crates/core/src/hir.rs"] {
+            let d = scan_at(path, text, RuleFamily::TenantIsolation);
+            assert!(d.is_empty(), "{path}: {d:?}");
+        }
+        let d = scan_at(
+            "crates/sim/src/tenant.rs",
+            text,
+            RuleFamily::TenantIsolation,
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     #[test]

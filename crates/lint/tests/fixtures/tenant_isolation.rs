@@ -1,0 +1,22 @@
+// Fixture: tenant-isolation violations. Linted under the synthetic path
+// crates/bench/src/tenant_fixture.rs (the tenant-layer scope).
+
+struct MixState {
+    slots: Vec<Option<u64>>,
+}
+
+fn bypasses_accessors(state: &mut MixState, idx: usize) {
+    state.slots[idx] = Some(1);
+    let _ = state.slots.get(idx);
+    state.slots.iter().count();
+}
+
+impl MixState {
+    fn record(&mut self, idx: usize) {
+        self.slots[idx] = Some(2); // lint:allow(tenant-isolation) — scoped accessor
+    }
+
+    fn total(&self) -> usize {
+        self.slots.len() // lint:allow(tenant-isolation) — scoped accessor
+    }
+}

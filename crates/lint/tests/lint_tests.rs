@@ -29,6 +29,7 @@ const FIXTURES: &[(&str, &str)] = &[
         "profile_guard.rs",
         "crates/sim/src/fixture_profile_guard.rs",
     ),
+    ("tenant_isolation.rs", "crates/bench/src/tenant_fixture.rs"),
     ("clean.rs", "crates/sim/src/fixture_clean.rs"),
 ];
 
@@ -105,6 +106,23 @@ fn profile_guard_fixture_reports_the_unguarded_site_only() {
     assert!(d[0].message.contains("opt-in guard"));
     // Guarded (line 19) and annotated (line 24) sites must be exempt.
     assert!(d.iter().all(|d| d.line != 19 && d.line != 24));
+}
+
+#[test]
+fn tenant_isolation_fixture_reports_bypassing_sites_only() {
+    let d = lint_fixture("tenant_isolation.rs");
+    assert_eq!(
+        lines_and_rules(&d),
+        vec![
+            (9, "tenant-isolation"),
+            (10, "tenant-isolation"),
+            (11, "tenant-isolation")
+        ],
+        "{d:?}"
+    );
+    assert!(d[0].message.contains("MixState"));
+    // The annotated accessor sites (lines 16 and 20) must be exempt.
+    assert!(d.iter().all(|d| d.line != 16 && d.line != 20));
 }
 
 #[test]

@@ -28,7 +28,7 @@
 //! ```
 
 use uvm_types::ConfigError;
-use uvm_util::impl_json_struct;
+use uvm_util::{check_unknown_fields, impl_json_struct, FromJson, Json, JsonError, ToJson};
 
 use crate::faults::{FaultFamily, FaultPlan, FaultWindow};
 use crate::recovery::RetryPolicy;
@@ -48,14 +48,21 @@ use crate::recovery::RetryPolicy;
 ///   and resuming a fresh simulation reproduces the straight run
 ///   byte-identically;
 /// * `recovery` — a degraded HPE policy recovers once the injected HIR
-///   outage has been over for its re-classification horizon.
-pub const ALL_INVARIANTS: [&str; 6] = [
+///   outage has been over for its re-classification horizon;
+/// * `containment` — with the case's fault plan scoped to one tenant of
+///   a multi-tenant mix ([`ExploreSpec::tenants`]), every *other*
+///   tenant's final statistics are byte-identical to its fault-free
+///   run — the fault's blast radius stays inside the targeted tenant.
+///   Skipped (like `checkpoint` at cycle 0) when the spec declares no
+///   tenants.
+pub const ALL_INVARIANTS: [&str; 7] = [
     "completes",
     "sanitizer",
     "conservation",
     "replay",
     "checkpoint",
     "recovery",
+    "containment",
 ];
 
 /// A bounded region of the fault space to explore (JSON-configurable).
@@ -104,6 +111,15 @@ pub struct ExploreSpec {
     pub checkpoint_at: u64,
     /// Probe budget per counterexample shrink.
     pub shrink_budget: u64,
+    /// Tenants in the `containment` invariant's mix (0 disables the
+    /// invariant even when selected; ≥ 2 makes it meaningful).
+    pub tenants: u64,
+    /// Which tenant (by position in the mix) each case's fault plan is
+    /// scoped to; the other tenants must be untouched.
+    pub tenant_target: u64,
+    /// Per-tenant quota as a percentage of the tenant app's footprint in
+    /// the containment mix.
+    pub tenant_quota_pct: u64,
 }
 
 impl_json_struct!(ExploreSpec {
@@ -124,6 +140,9 @@ impl_json_struct!(ExploreSpec {
     sanitize_cadence = 1_024,
     checkpoint_at = 0,
     shrink_budget = 256,
+    tenants = 0,
+    tenant_target = 0,
+    tenant_quota_pct = 75,
 });
 
 impl Default for ExploreSpec {
@@ -146,6 +165,9 @@ impl Default for ExploreSpec {
             sanitize_cadence: 1_024,
             checkpoint_at: 0,
             shrink_budget: 256,
+            tenants: 0,
+            tenant_target: 0,
+            tenant_quota_pct: 75,
         }
     }
 }
@@ -242,7 +264,44 @@ impl ExploreSpec {
                 "must be nonzero (a cadence of 0 would be clamped silently)",
             ));
         }
+        if self.tenants > 0 {
+            if self.tenant_target >= self.tenants {
+                return Err(ConfigError::invalid(
+                    "tenant_target",
+                    format!(
+                        "target {} out of range for a {}-tenant mix",
+                        self.tenant_target, self.tenants
+                    ),
+                ));
+            }
+            if self.tenant_quota_pct == 0 {
+                return Err(ConfigError::invalid("tenant_quota_pct", "must be nonzero"));
+            }
+        }
+        if self.tenants < 2 && self.invariants.iter().any(|i| i == "containment") {
+            return Err(ConfigError::invalid(
+                "tenants",
+                "the `containment` invariant needs a mix of at least 2 tenants",
+            ));
+        }
         Ok(())
+    }
+
+    /// Parses a spec document, rejecting unknown fields with an
+    /// actionable message (see [`uvm_util::check_unknown_fields`]). The
+    /// template carries a windowed base plan, one fixture exemplar, and
+    /// the adaptive retry shape, so nested typos are caught too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on unknown or malformed fields.
+    pub fn from_json_strict(v: &Json) -> Result<Self, JsonError> {
+        let mut template = ExploreSpec::default();
+        template.base_plan = FaultPlan::template();
+        template.fixtures.push(FaultPlan::template());
+        template.retry = Some(RetryPolicy::adaptive());
+        check_unknown_fields(v, &template.to_json(), "explore spec")?;
+        ExploreSpec::from_json(v)
     }
 
     /// Grafts a window of `family` onto the base plan, supplying the
@@ -510,6 +569,13 @@ pub struct ReproCase {
     pub sanitize_cadence: u64,
     /// Checkpoint pause cycle (0 = the invariant never pauses).
     pub checkpoint_at: u64,
+    /// Tenant count of the `containment` invariant's mix (0 = the
+    /// invariant was not in play).
+    pub tenants: u64,
+    /// Tenant the failing plan was scoped to in the containment mix.
+    pub tenant_target: u64,
+    /// Per-tenant quota percentage of the containment mix.
+    pub tenant_quota_pct: u64,
     /// The minimal failing plan.
     pub plan: FaultPlan,
 }
@@ -523,8 +589,41 @@ impl_json_struct!(ReproCase {
     retry = None,
     sanitize_cadence = 1_024,
     checkpoint_at = 0,
+    tenants = 0,
+    tenant_target = 0,
+    tenant_quota_pct = 75,
     plan = FaultPlan::none(),
 });
+
+impl ReproCase {
+    /// Parses a repro case, rejecting unknown fields with an actionable
+    /// error (nearest-match suggestion) instead of silently ignoring them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] naming the unknown field, or the underlying
+    /// decode error.
+    pub fn from_json_strict(v: &Json) -> Result<Self, JsonError> {
+        // Optional fields are populated in the template so their inner
+        // keys join the known set; the values themselves are irrelevant.
+        let template = ReproCase {
+            app: String::new(),
+            policy: String::new(),
+            rate: 0,
+            invariant: String::new(),
+            error: String::new(),
+            retry: Some(RetryPolicy::adaptive()),
+            sanitize_cadence: 0,
+            checkpoint_at: 0,
+            tenants: 0,
+            tenant_target: 0,
+            tenant_quota_pct: 0,
+            plan: FaultPlan::template(),
+        };
+        check_unknown_fields(v, &template.to_json(), "repro case")?;
+        ReproCase::from_json(v)
+    }
+}
 
 /// The merged coverage report of one exploration — byte-identical for
 /// any worker count (cases are merged by enumeration id and shrinking
@@ -709,6 +808,30 @@ mod tests {
                 },
                 "sanitize_cadence",
             ),
+            (
+                ExploreSpec {
+                    tenants: 2,
+                    tenant_target: 2,
+                    ..ExploreSpec::default()
+                },
+                "tenant_target",
+            ),
+            (
+                ExploreSpec {
+                    tenants: 2,
+                    tenant_quota_pct: 0,
+                    ..ExploreSpec::default()
+                },
+                "tenant_quota_pct",
+            ),
+            (
+                ExploreSpec {
+                    tenants: 1,
+                    invariants: vec!["containment".to_string()],
+                    ..ExploreSpec::default()
+                },
+                "tenants",
+            ),
         ];
         for (spec, field) in cases {
             let err = spec.validate().unwrap_err();
@@ -737,6 +860,33 @@ mod tests {
         assert_eq!(partial.app, "NW");
         assert_eq!(partial.rate, 50);
         assert_eq!(partial.policy, "hpe");
+    }
+
+    #[test]
+    fn spec_strict_parse_rejects_unknown_fields() {
+        // A misspelled top-level key names itself and suggests the fix.
+        let err = ExploreSpec::from_json_strict(&Json::parse(r#"{"tenats": 2}"#).unwrap())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("tenats"), "{err}");
+        assert!(err.contains("tenants"), "{err}");
+        // Unknown keys nested inside fixture plans are caught too.
+        let nested = Json::parse(r#"{"fixtures": [{"seed": 1, "windoes": []}]}"#).unwrap();
+        let err = ExploreSpec::from_json_strict(&nested)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("fixtures[0].windoes"), "{err}");
+        // A valid sparse spec still parses to defaults.
+        let ok = ExploreSpec::from_json_strict(&Json::parse("{}").unwrap()).unwrap();
+        assert_eq!(ok, ExploreSpec::default());
+        // Tenant knobs round-trip through the strict path.
+        let spec = ExploreSpec::from_json_strict(
+            &Json::parse(r#"{"tenants": 3, "tenant_target": 1, "tenant_quota_pct": 50}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.tenants, 3);
+        assert_eq!(spec.tenant_target, 1);
+        assert_eq!(spec.tenant_quota_pct, 50);
     }
 
     #[test]
@@ -860,6 +1010,9 @@ mod tests {
             retry: Some(RetryPolicy::default()),
             sanitize_cadence: 256,
             checkpoint_at: 1_000_000,
+            tenants: 2,
+            tenant_target: 1,
+            tenant_quota_pct: 75,
             plan: FaultPlan::completion_loss(7),
         };
         let text = repro.to_json().to_string();

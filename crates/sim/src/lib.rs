@@ -57,6 +57,7 @@ mod observer;
 mod profile;
 mod recovery;
 mod sanitizer;
+mod tenant;
 mod tlb;
 mod trace;
 
@@ -74,6 +75,11 @@ pub use profile::{
 };
 pub use recovery::{AdaptiveBackoff, Backoff, FallbackVictim, RetryPolicy};
 pub use sanitizer::{Sanitizer, DEFAULT_SANITIZER_CADENCE};
+pub use tenant::{
+    schedule, AdmissionControl, AdmissionOutcome, ArrivalProcess, HirMode, QuotaLedger,
+    TenantAdmission, TenantMix, TenantReport, TenantSchedule, TenantSnapshot, TenantSpec,
+    DEFAULT_LEASE_CYCLES, TENANT_SNAPSHOT_SCHEMA,
+};
 pub use tlb::Tlb;
 pub use trace::{
     parse_jsonl, EventCounters, IntervalCollector, IntervalKey, IntervalRow, JsonlWriter,

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::PageId;
+use crate::{PageId, TenantId};
 
 /// An invalid configuration parameter.
 ///
@@ -133,6 +133,29 @@ pub enum SimError {
         /// Simulated cycle at which the check ran.
         cycle: u64,
     },
+    /// Admission control shed an arriving tenant instead of committing
+    /// quota for it. This is a *contained* outcome: the tenant never ran,
+    /// the shared pool is untouched, and the mix continues.
+    AdmissionRejected {
+        /// The tenant that was turned away.
+        tenant: TenantId,
+        /// Why admission refused it (quota vs pool, backlog bound, …).
+        reason: String,
+        /// Arrival time (cycles on the mix clock) of the rejected tenant.
+        arrival: u64,
+    },
+    /// The tenant quota ledger caught an accounting violation: committed
+    /// residency for a tenant drifted outside its admitted quota, or the
+    /// pool total went out of conservation. Like `InvariantViolated`,
+    /// this is reported instead of panicking.
+    QuotaViolated {
+        /// The tenant whose accounting broke.
+        tenant: TenantId,
+        /// Pages the ledger has committed for the tenant.
+        committed: u64,
+        /// The quota the tenant was admitted under.
+        quota: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -181,6 +204,22 @@ impl fmt::Display for SimError {
                 f,
                 "invariant `{invariant}` violated at cycle {cycle}: {detail}"
             ),
+            SimError::AdmissionRejected {
+                tenant,
+                reason,
+                arrival,
+            } => write!(
+                f,
+                "tenant {tenant} rejected at admission (arrival {arrival}): {reason}"
+            ),
+            SimError::QuotaViolated {
+                tenant,
+                committed,
+                quota,
+            } => write!(
+                f,
+                "quota ledger violation for tenant {tenant}: {committed} pages committed against a quota of {quota}"
+            ),
         }
     }
 }
@@ -213,6 +252,8 @@ impl SimError {
             SimError::RetriesExhausted { .. } => "RetriesExhausted",
             SimError::CheckpointDiverged { .. } => "CheckpointDiverged",
             SimError::InvariantViolated { .. } => "InvariantViolated",
+            SimError::AdmissionRejected { .. } => "AdmissionRejected",
+            SimError::QuotaViolated { .. } => "QuotaViolated",
         }
     }
 }
@@ -307,6 +348,24 @@ mod tests {
                 },
                 "InvariantViolated",
                 "invariant `residency-conservation` violated at cycle 1234",
+            ),
+            (
+                SimError::AdmissionRejected {
+                    tenant: TenantId(3),
+                    reason: "committed quota would exceed the pool bound".to_string(),
+                    arrival: 42,
+                },
+                "AdmissionRejected",
+                "tenant T3 rejected at admission (arrival 42)",
+            ),
+            (
+                SimError::QuotaViolated {
+                    tenant: TenantId(1),
+                    committed: 900,
+                    quota: 512,
+                },
+                "QuotaViolated",
+                "900 pages committed against a quota of 512",
             ),
         ];
         for (err, kind, needle) in cases {

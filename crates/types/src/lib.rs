@@ -29,6 +29,7 @@ mod error;
 mod event;
 mod metrics;
 mod profile;
+mod tenant;
 
 pub use addr::{PageId, PageSetId, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use config::{HirGeometry, Oversubscription, SimConfig, SimConfigBuilder, TlbConfig};
@@ -36,3 +37,4 @@ pub use error::{ConfigError, SimError};
 pub use event::{PolicyEvent, SignalDisruption, StrategyTag};
 pub use metrics::{DriverStats, PolicyStats, ResilienceStats, SimStats, TlbStats};
 pub use profile::{CycleAccount, SpanStage};
+pub use tenant::{TenantId, TenantStats};

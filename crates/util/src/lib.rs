@@ -27,7 +27,9 @@ pub mod hist;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod strict;
 
 pub use hist::Histogram;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;
+pub use strict::check_unknown_fields;

@@ -1,0 +1,190 @@
+//! Strict JSON field checking: reject unknown keys with an actionable
+//! message instead of silently ignoring misspelled knobs.
+//!
+//! The `impl_json_struct!` deserializers are deliberately lenient —
+//! unknown keys are ignored so older documents keep parsing after a
+//! schema gains fields. For *inputs a user hand-writes* (fault plans,
+//! explore specs, tenant mixes, snapshots on the CLI boundary) that
+//! leniency is a foot-gun: a misspelled knob silently becomes its
+//! default. [`check_unknown_fields`] closes the gap without touching
+//! the macro: it walks a document against a *template* value (typically
+//! `T::default().to_json()` with any template-bearing arrays populated
+//! by one exemplar element) and errors on the first key the template
+//! does not know, suggesting the nearest known key.
+
+use crate::json::{Json, JsonError};
+
+/// Recursively verifies that every object key in `v` also appears in
+/// `template` at the same path.
+///
+/// Rules of the walk:
+///
+/// * objects: each key of `v` must exist in `template`; matching keys
+///   recurse into their values,
+/// * arrays: every element of `v` is checked against the template
+///   array's **first** element (the exemplar); an empty template array
+///   accepts any element shape,
+/// * everything else (scalars, or a template scalar standing where the
+///   document nests deeper) is accepted — type mismatches are the
+///   deserializer's job, not this checker's.
+///
+/// `what` names the document in error messages ("fault plan", …).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] naming the first unknown field, its JSON path,
+/// and — when one is close enough — the known field it was probably
+/// meant to be.
+pub fn check_unknown_fields(v: &Json, template: &Json, what: &str) -> Result<(), JsonError> {
+    walk(v, template, what, &mut String::new())
+}
+
+fn walk(v: &Json, template: &Json, what: &str, path: &mut String) -> Result<(), JsonError> {
+    match (v, template) {
+        (Json::Object(entries), Json::Object(known)) => {
+            for (key, value) in entries {
+                match known.iter().find(|(k, _)| k == key) {
+                    Some((_, tmpl)) => {
+                        let len = path.len();
+                        if !path.is_empty() {
+                            path.push('.');
+                        }
+                        path.push_str(key);
+                        walk(value, tmpl, what, path)?;
+                        path.truncate(len);
+                    }
+                    None => {
+                        let here = if path.is_empty() {
+                            key.clone()
+                        } else {
+                            format!("{path}.{key}")
+                        };
+                        let names: Vec<&str> = known.iter().map(|(k, _)| k.as_str()).collect();
+                        let hint = match nearest(key, &names) {
+                            Some(n) => format!(" (did you mean `{n}`?)"),
+                            None => {
+                                let mut list = names.join(", ");
+                                if list.is_empty() {
+                                    list = "none".to_string();
+                                }
+                                format!("; known fields: {list}")
+                            }
+                        };
+                        return Err(JsonError::new(format!(
+                            "unknown field `{here}` in {what}{hint}"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+        (Json::Array(items), Json::Array(tmpl_items)) => {
+            let Some(exemplar) = tmpl_items.first() else {
+                return Ok(());
+            };
+            for (i, item) in items.iter().enumerate() {
+                let len = path.len();
+                path.push_str(&format!("[{i}]"));
+                walk(item, exemplar, what, path)?;
+                path.truncate(len);
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// The known name closest to `key` by edit distance, if within a
+/// tolerance scaled to the key length (a genuinely novel name gets the
+/// full known-field list instead of a wild guess).
+fn nearest<'a>(key: &str, names: &[&'a str]) -> Option<&'a str> {
+    let budget = 1 + key.len() / 4;
+    names
+        .iter()
+        .map(|n| (edit_distance(key, n), *n))
+        .filter(|(d, _)| *d <= budget)
+        .min_by_key(|(d, n)| (*d, n.to_string()))
+        .map(|(_, n)| n)
+}
+
+/// Levenshtein distance, small-alphabet DP over two rows.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn accepts_known_fields_and_scalars() {
+        let t = j(r#"{ "seed": 0, "windows": [], "name": "" }"#);
+        let v = j(r#"{ "name": "x", "seed": 7 }"#);
+        assert!(check_unknown_fields(&v, &t, "plan").is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_top_level_field_with_suggestion() {
+        let t = j(r#"{ "seed": 0, "latency_jitter": 0 }"#);
+        let v = j(r#"{ "latency_jiter": 3 }"#);
+        let e = check_unknown_fields(&v, &t, "fault plan").unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("unknown field `latency_jiter` in fault plan"),
+            "{msg}"
+        );
+        assert!(msg.contains("did you mean `latency_jitter`?"), "{msg}");
+    }
+
+    #[test]
+    fn lists_known_fields_when_nothing_is_close() {
+        let t = j(r#"{ "seed": 0, "width": 0 }"#);
+        let v = j(r#"{ "completely_novel_knob": 1 }"#);
+        let msg = check_unknown_fields(&v, &t, "spec")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("known fields: seed, width"), "{msg}");
+    }
+
+    #[test]
+    fn recurses_into_nested_objects_and_array_exemplars() {
+        let t = j(r#"{ "windows": [ { "family": "", "start": 0, "width": 0 } ] }"#);
+        let v = j(r#"{ "windows": [ { "start": 0 }, { "widht": 9 } ] }"#);
+        let msg = check_unknown_fields(&v, &t, "plan")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("windows[1].widht"), "{msg}");
+        assert!(msg.contains("did you mean `width`?"), "{msg}");
+    }
+
+    #[test]
+    fn empty_template_array_accepts_anything() {
+        let t = j(r#"{ "windows": [] }"#);
+        let v = j(r#"{ "windows": [ { "whatever": 1 } ] }"#);
+        assert!(check_unknown_fields(&v, &t, "plan").is_ok());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("seed", "sede"), 2);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+}

@@ -99,6 +99,22 @@ if [ "${CHECK_EXPLORE:-0}" = "1" ]; then
         replay target/paper-results/explore-repro-0.json > /dev/null
 fi
 
+if [ "${CHECK_TENANTS:-0}" = "1" ]; then
+    echo "==> multi-tenant isolation smoke (CHECK_TENANTS=1)"
+    # A 4-tenant mix on 2 workers must run panic-free (exit 0), and a
+    # fault plan scoped to tenant 1 must leave every other tenant's
+    # SimStats byte-identical to the fault-free mix — `tenants` exits 1
+    # if containment is broken. See DESIGN.md §14.
+    cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- \
+        tenants --tenants 4 --workers 2 > /dev/null
+    cargo run -q --release --offline -p hpe-bench --bin hpe-chaos -- \
+        tenants --tenants 4 --workers 2 --plan signal-chaos --target 1 > /dev/null
+    # The saved report must round-trip through the strict parser and
+    # render with every tenant ok (exit 0).
+    cargo run -q --release --offline -p hpe-bench --bin hpe-trace -- \
+        tenants target/paper-results/tenant-mix-faulted.json > /dev/null
+fi
+
 if [ "${CHECK_PROFILE:-0}" = "1" ]; then
     echo "==> profiler byte-identity gate (CHECK_PROFILE=1)"
     # Runs STN and SGM with the profiler attached and detached and
