@@ -284,8 +284,10 @@ pub fn collect(id: &str, workers: usize) -> Result<BenchSnapshot, String> {
         ("run/STN/LRU/75%", "STN", PolicyKind::Lru),
         ("run/SGM/HPE/75%", "SGM", PolicyKind::Hpe),
     ] {
+        // lint:allow(panic-reachability) — a broken pin must abort the sweep
         let app = registry::by_abbr(app).expect("pinned app is registered");
         let m = crit.measure(|| {
+            // lint:allow(panic-reachability) — a broken pin must abort the sweep
             run_policy(&cfg, app, Oversubscription::Rate75, kind).expect("pinned run completes")
         });
         wall_clocks.push(WallClock {

@@ -149,25 +149,22 @@ impl MixState {
     /// Installs tenant `idx`'s result. Scoped: a slot belongs to exactly
     /// one tenant and is written exactly once.
     fn record(&mut self, idx: usize, row: TenantStats) {
-        debug_assert!(
-            self.slots[idx].is_none(), // lint:allow(tenant-isolation) — scoped accessor
-            "tenant slot {idx} written twice"
-        );
-        self.slots[idx] = Some(row); // lint:allow(tenant-isolation) — scoped accessor
+        debug_assert!(self.slots[idx].is_none(), "tenant slot {idx} written twice");
+        self.slots[idx] = Some(row);
     }
 
     /// Whether tenant `idx` already has a result (resume prefill).
     fn is_done(&self, idx: usize) -> bool {
-        self.slots.get(idx).is_some_and(Option::is_some) // lint:allow(tenant-isolation) — scoped accessor
+        self.slots.get(idx).is_some_and(Option::is_some)
     }
 
     /// Completed rows in schedule order (skips pending slots).
     fn completed(&self) -> Vec<TenantStats> {
-        self.slots.iter().flatten().cloned().collect() // lint:allow(tenant-isolation) — scoped accessor
+        self.slots.iter().flatten().cloned().collect()
     }
 
     fn total(&self) -> usize {
-        self.slots.len() // lint:allow(tenant-isolation) — scoped accessor
+        self.slots.len()
     }
 }
 

@@ -1,16 +1,17 @@
-//! The line analyzer: a hand-rolled lexical pass that prepares Rust
-//! source for rule matching.
+//! The line-view adapter over the lexer.
 //!
-//! The analyzer does not parse Rust; it performs the one lexical job the
-//! rules need done *correctly*: deciding which bytes of each line are
-//! code, as opposed to comment prose, string/char-literal contents, or
-//! test-only regions. Everything that is not code is blanked with
-//! spaces, so the rules can use plain substring matching without being
-//! fooled by `".unwrap()"` inside a string or a banned API named in a
-//! doc comment.
-//!
-//! Along the way it extracts `// lint:allow(rule-id)` annotations, the
-//! per-line allowlist syntax documented in DESIGN.md §10.
+//! v1 of the engine was a line analyzer: it blanked comment prose and
+//! literal contents so rules could use plain substring matching. v2
+//! replaces the scanner with the full lexer ([`crate::lexer`]) but
+//! keeps this module's [`LineInfo`] surface: the line-oriented rule
+//! families still consume blanked per-line code, now derived from the
+//! same single lex pass that feeds the item index and call graph. The
+//! blanking semantics are unchanged, which is what kept the golden
+//! diagnostics byte-identical across the rewrite.
+
+use crate::lexer::{self, LexedFile};
+
+pub use crate::lexer::is_ident_char;
 
 /// One analyzed source line.
 #[derive(Debug, Clone)]
@@ -32,220 +33,23 @@ impl LineInfo {
     }
 }
 
-/// Lexer carry state between lines.
-enum Mode {
-    /// Plain code.
-    Code,
-    /// Inside a (possibly nested) `/* */` comment at the given depth.
-    BlockComment(u32),
-    /// Inside a `"..."` string literal.
-    Str,
-    /// Inside a raw string literal closed by `"` plus this many `#`s.
-    RawStr(u32),
+/// The per-line view of an already-lexed file.
+pub fn line_infos(lexed: &LexedFile) -> Vec<LineInfo> {
+    lexed
+        .lines
+        .iter()
+        .map(|l| LineInfo {
+            code: l.code.clone(),
+            allows: l.allows.clone(),
+            in_test: l.in_test,
+        })
+        .collect()
 }
 
-/// Analyzes a whole source text into per-line code/metadata.
+/// Analyzes a whole source text into per-line code/metadata
+/// (convenience wrapper: lex + [`line_infos`]).
 pub fn analyze(text: &str) -> Vec<LineInfo> {
-    let mut mode = Mode::Code;
-    let mut in_test = false;
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let (code, allows, next_mode) = scan_line(line, mode);
-        mode = next_mode;
-        if code.contains("#[cfg(test)]") {
-            in_test = true;
-        }
-        out.push(LineInfo {
-            code,
-            allows,
-            in_test,
-        });
-    }
-    out
-}
-
-/// Scans one line under the inherited `mode`, producing the blanked code
-/// text, any allow annotations, and the mode carried into the next line.
-fn scan_line(line: &str, mut mode: Mode) -> (String, Vec<String>, Mode) {
-    let chars: Vec<char> = line.chars().collect();
-    let mut code = String::with_capacity(chars.len());
-    let mut allows = Vec::new();
-    let mut i = 0;
-    while i < chars.len() {
-        match mode {
-            Mode::BlockComment(depth) => {
-                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    mode = Mode::BlockComment(depth + 1);
-                    code.push_str("  ");
-                    i += 2;
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(depth - 1)
-                    };
-                    code.push_str("  ");
-                    i += 2;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::Str => {
-                if chars[i] == '\\' {
-                    code.push_str("  ");
-                    i += 2;
-                } else if chars[i] == '"' {
-                    mode = Mode::Code;
-                    code.push(' ');
-                    i += 1;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::RawStr(hashes) => {
-                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
-                    mode = Mode::Code;
-                    let skip = 1 + hashes as usize;
-                    for _ in 0..skip.min(chars.len() - i) {
-                        code.push(' ');
-                    }
-                    i += skip;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::Code => {
-                let c = chars[i];
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    // Line comment: harvest allow annotations, blank the
-                    // rest of the line.
-                    let comment: String = chars[i..].iter().collect();
-                    collect_allows(&comment, &mut allows);
-                    for _ in i..chars.len() {
-                        code.push(' ');
-                    }
-                    i = chars.len();
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    mode = Mode::BlockComment(1);
-                    code.push_str("  ");
-                    i += 2;
-                } else if let Some(hashes) = raw_string_at(&chars, i) {
-                    // r"..", r#".."#, br".." etc.: blank the prefix.
-                    let prefix = prefix_len(&chars, i) + hashes as usize + 1;
-                    for _ in 0..prefix {
-                        code.push(' ');
-                    }
-                    i += prefix;
-                    mode = Mode::RawStr(hashes);
-                } else if c == '"'
-                    || (c == 'b' && chars.get(i + 1) == Some(&'"') && boundary(&chars, i))
-                {
-                    let skip = if c == 'b' { 2 } else { 1 };
-                    for _ in 0..skip {
-                        code.push(' ');
-                    }
-                    i += skip;
-                    mode = Mode::Str;
-                } else if c == '\'' {
-                    // Char literal vs lifetime.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        // Escaped char literal: blank to the closing quote.
-                        let mut j = i + 2;
-                        while j < chars.len() && chars[j] != '\'' {
-                            j += 1;
-                        }
-                        for _ in i..=j.min(chars.len() - 1) {
-                            code.push(' ');
-                        }
-                        i = j + 1;
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        // 'x' char literal.
-                        code.push_str("   ");
-                        i += 3;
-                    } else {
-                        // Lifetime: keep scanning, blank just the quote.
-                        code.push(' ');
-                        i += 1;
-                    }
-                } else {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-    }
-    // A line comment never carries across lines.
-    (code, allows, mode)
-}
-
-/// Whether `chars[at..]` holds `hashes` consecutive `#`s (raw-string
-/// terminator check).
-fn closes_raw(chars: &[char], at: usize, hashes: u32) -> bool {
-    let n = hashes as usize;
-    chars.len() >= at + n && chars[at..at + n].iter().all(|&c| c == '#')
-}
-
-/// Detects a raw-string opener at `i` (`r"`, `r#"`, `br"` ...), returning
-/// its hash count.
-fn raw_string_at(chars: &[char], i: usize) -> Option<u32> {
-    if !boundary(chars, i) {
-        return None;
-    }
-    let mut j = i;
-    if chars.get(j) == Some(&'b') {
-        j += 1;
-    }
-    if chars.get(j) != Some(&'r') {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (chars.get(j) == Some(&'"')).then_some(hashes)
-}
-
-/// Length of the `r`/`br` prefix of the raw string starting at `i`.
-fn prefix_len(chars: &[char], i: usize) -> usize {
-    if chars.get(i) == Some(&'b') {
-        2
-    } else {
-        1
-    }
-}
-
-/// Whether position `i` starts a fresh token (previous char is not an
-/// identifier character), so `br"` in `rebr"` is not a string prefix.
-fn boundary(chars: &[char], i: usize) -> bool {
-    i == 0 || !is_ident_char(chars[i - 1])
-}
-
-/// Identifier character test shared with the rules.
-pub fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Extracts rule ids from every `lint:allow(a, b)` in a comment.
-fn collect_allows(comment: &str, allows: &mut Vec<String>) {
-    let mut rest = comment;
-    while let Some(at) = rest.find("lint:allow(") {
-        let after = &rest[at + "lint:allow(".len()..];
-        let Some(close) = after.find(')') else {
-            return;
-        };
-        for id in after[..close].split(',') {
-            let id = id.trim();
-            if !id.is_empty() {
-                allows.push(id.to_string());
-            }
-        }
-        rest = &after[close + 1..];
-    }
+    line_infos(&lexer::lex(text))
 }
 
 #[cfg(test)]
@@ -313,5 +117,13 @@ mod tests {
     fn cfg_test_inside_a_string_is_ignored() {
         let lines = analyze("let s = \"#[cfg(test)]\";\nlater();");
         assert!(!lines[1].in_test);
+    }
+
+    #[test]
+    fn blanked_lines_keep_character_length() {
+        let text = "let s = \"abc\"; // tail\nlet r = r#\"x\"#;\n";
+        for (orig, info) in text.lines().zip(analyze(text)) {
+            assert_eq!(orig.chars().count(), info.code.chars().count());
+        }
     }
 }

@@ -1,12 +1,20 @@
-//! The rule families and their per-line matchers.
+//! The rule families: per-line matchers and cross-file symbol rules.
 //!
-//! Rules run over [`crate::analyze::LineInfo`] lines — comments and
-//! literal contents already blanked — so every matcher here is plain,
-//! boundary-checked substring search. Each hit not covered by a
-//! same-line `// lint:allow(rule-id)` annotation becomes one
-//! [`crate::Diagnostic`].
+//! Per-line rules run over [`crate::analyze::LineInfo`] lines — comments
+//! and literal contents already blanked — so every matcher is plain,
+//! boundary-checked substring search, byte-compatible with the v1
+//! engine. Cross-file rules run over the [`crate::index::ItemIndex`]
+//! and [`crate::callgraph::CallGraph`] built from the same lex pass.
+//! Each hit not covered by a `// lint:allow(rule-id)` annotation becomes
+//! one [`crate::Diagnostic`]; every suppression is recorded in an
+//! [`AllowTracker`] so the `stale-allow` rule can flag annotations that
+//! no longer suppress anything.
+
+use std::collections::BTreeSet;
 
 use crate::analyze::{is_ident_char, LineInfo};
+use crate::callgraph::CallGraph;
+use crate::index::ItemIndex;
 use crate::{Diagnostic, RuleFamily};
 
 /// Rule id: wall-clock / date reads in deterministic crates.
@@ -25,9 +33,43 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_PAPER_CONSTANTS: &str = "paper-constants";
 /// Rule id: profiler accumulation outside the opt-in guard.
 pub const RULE_PROFILE_GUARD: &str = "profile-guard";
-/// Rule id: direct access to tenant slot state, bypassing the scoped
-/// accessors.
+/// Rule id: direct access to tenant slot state outside the `MixState`
+/// impl block.
 pub const RULE_TENANT_ISOLATION: &str = "tenant-isolation";
+/// Rule id: a panic site transitively reachable from a simulation /
+/// campaign root (call-graph rule).
+pub const RULE_PANIC_REACHABILITY: &str = "panic-reachability";
+/// Rule id: a PRNG seeded from a literal or an expression that does not
+/// derive from any binding of the enclosing function.
+pub const RULE_RNG_TAINT: &str = "rng-taint";
+/// Rule id: a `lint:allow` annotation that no longer suppresses any
+/// diagnostic.
+pub const RULE_STALE_ALLOW: &str = "stale-allow";
+
+/// Which families can consume an allow with the given rule id. The
+/// `stale-allow` rule only judges an unused allow when *every* family
+/// listed here ran in the same invocation (so a partial `--rules` run
+/// cannot misread a cross-family allow as stale). Ids mapped to an
+/// empty list are owned by rules that never consume allows (or live
+/// outside this library, like the binary-level `explore-specs` rule)
+/// and are never judged; unknown ids are always stale.
+const ALLOW_CONSUMERS: &[(&str, &[RuleFamily])] = &[
+    (RULE_WALL_CLOCK, &[RuleFamily::Determinism]),
+    (RULE_HASH_ITERATION, &[RuleFamily::Determinism]),
+    (RULE_RANDOMNESS, &[RuleFamily::Determinism]),
+    (RULE_EXTERNAL_IMPORT, &[RuleFamily::Hermeticity]),
+    (
+        RULE_UNWRAP,
+        &[RuleFamily::ErrorDiscipline, RuleFamily::PanicReachability],
+    ),
+    (RULE_PROFILE_GUARD, &[RuleFamily::ErrorDiscipline]),
+    (RULE_PAPER_CONSTANTS, &[]),
+    (RULE_TENANT_ISOLATION, &[RuleFamily::TenantIsolation]),
+    (RULE_PANIC_REACHABILITY, &[RuleFamily::PanicReachability]),
+    (RULE_RNG_TAINT, &[RuleFamily::DeterminismTaint]),
+    (RULE_STALE_ALLOW, &[RuleFamily::StaleAllow]),
+    ("explore-specs", &[]),
+];
 
 /// Crate-path prefixes whose code must be bit-exact deterministic.
 const DETERMINISM_SCOPE: &[&str] = &[
@@ -44,14 +86,11 @@ const ERROR_DISCIPLINE_SCOPE: &[&str] = &[
     "crates/policies/src/",
 ];
 
-/// Tenant-layer files (the scope of the tenant-isolation rule): the
-/// prefix also covers `tenant_*.rs` splits.
-const TENANT_ISOLATION_SCOPE: &[&str] = &["crates/sim/src/tenant", "crates/bench/src/tenant"];
-
-/// Direct reads/writes of the per-tenant slot vector. Every one outside
-/// the `MixState` accessors breaks the "one tenant per slot, written
-/// exactly once" audit argument — the accessors themselves carry
-/// `// lint:allow(tenant-isolation)` annotations.
+/// Direct reads/writes of the per-tenant slot vector. Since v2 the rule
+/// is symbol-aware and workspace-wide: every one of these outside the
+/// `impl MixState` block breaks the "one tenant per slot, written
+/// exactly once" audit argument. The accessors themselves are exempt by
+/// impl-block membership, not by annotation.
 const TENANT_STATE_TOKENS: &[&str] = &[
     ".slots[",
     ".slots.get(",
@@ -61,6 +100,9 @@ const TENANT_STATE_TOKENS: &[&str] = &[
     ".slots.len(",
     ".slots.push(",
 ];
+
+/// The type whose impl block is the tenant slot state's trust boundary.
+const TENANT_STATE_OWNER: &str = "MixState";
 
 /// Profiler accumulation methods: mutate profiler state, so every call
 /// site outside `profile.rs` itself must sit behind the opt-in guard
@@ -143,20 +185,61 @@ const HASH_ITER_METHODS: &[&str] = &[
     ".into_values()",
 ];
 
+/// Records which `lint:allow` annotations actually suppressed a
+/// diagnostic, keyed by (file, 0-based line of the annotation, rule id).
+#[derive(Debug, Default)]
+pub struct AllowTracker {
+    used: BTreeSet<(String, usize, String)>,
+}
+
+impl AllowTracker {
+    /// Whether line `n` carries an allow for `rule` — on the line
+    /// itself, or on an immediately preceding comment-only line (the
+    /// form rustfmt produces when a trailing comment no longer fits).
+    /// A hit marks the annotation as used.
+    pub fn allowed(&mut self, file: &str, lines: &[LineInfo], n: usize, rule: &str) -> bool {
+        if lines[n].allows(rule) {
+            self.used.insert((file.to_string(), n, rule.to_string()));
+            return true;
+        }
+        if n > 0 && lines[n - 1].code.trim().is_empty() && lines[n - 1].allows(rule) {
+            self.used
+                .insert((file.to_string(), n - 1, rule.to_string()));
+            return true;
+        }
+        false
+    }
+
+    /// Like [`AllowTracker::allowed`] for several interchangeable rule
+    /// ids (e.g. `panic-reachability` accepts `unwrap` allows). Marks
+    /// every matching annotation, so none reads as stale.
+    pub fn allowed_any(
+        &mut self,
+        file: &str,
+        lines: &[LineInfo],
+        n: usize,
+        rules: &[&str],
+    ) -> bool {
+        let mut any = false;
+        for rule in rules {
+            if self.allowed(file, lines, n, rule) {
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Whether the annotation at (file, 0-based line `n`) for `rule` was
+    /// consumed by some diagnostic check.
+    pub fn is_used(&self, file: &str, n: usize, rule: &str) -> bool {
+        self.used.contains(&(file.to_string(), n, rule.to_string()))
+    }
+}
+
 /// Whether `rel_path` (normalized with `/` separators) falls under any
 /// prefix in `scope`.
 fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| rel_path.starts_with(p))
-}
-
-/// Whether line `n` carries an allow for `rule` — on the line itself, or
-/// on an immediately preceding comment-only line (the form rustfmt
-/// produces when a trailing comment no longer fits).
-fn allowed(lines: &[LineInfo], n: usize, rule: &str) -> bool {
-    if lines[n].allows(rule) {
-        return true;
-    }
-    n > 0 && lines[n - 1].code.trim().is_empty() && lines[n - 1].allows(rule)
 }
 
 /// Finds `token` in `code` at an identifier boundary (the characters
@@ -181,8 +264,14 @@ fn find_token(code: &str, token: &str) -> Option<usize> {
     None
 }
 
-/// Runs every rule of the requested `families` over one analyzed file.
-pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<Diagnostic> {
+/// Runs every per-line rule of the requested `families` over one
+/// analyzed file, recording consumed allows in `tracker`.
+pub fn scan_lines(
+    rel_path: &str,
+    lines: &[LineInfo],
+    families: &[RuleFamily],
+    tracker: &mut AllowTracker,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     if families.contains(&RuleFamily::Determinism) && in_scope(rel_path, DETERMINISM_SCOPE) {
         scan_tokens(
@@ -191,6 +280,7 @@ pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<
             WALL_CLOCK_TOKENS,
             RULE_WALL_CLOCK,
             "reads the wall clock; simulated time must come from the event loop",
+            tracker,
             &mut diags,
         );
         scan_tokens(
@@ -199,35 +289,23 @@ pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<
             RANDOMNESS_TOKENS,
             RULE_RANDOMNESS,
             "non-seeded randomness; use uvm_util::rng",
+            tracker,
             &mut diags,
         );
-        scan_hash_iteration(rel_path, lines, &mut diags);
+        scan_hash_iteration(rel_path, lines, tracker, &mut diags);
     }
     if families.contains(&RuleFamily::Hermeticity) {
-        scan_imports(rel_path, lines, &mut diags);
+        scan_imports(rel_path, lines, tracker, &mut diags);
     }
     if families.contains(&RuleFamily::ErrorDiscipline) && in_scope(rel_path, ERROR_DISCIPLINE_SCOPE)
     {
-        scan_unwraps(rel_path, lines, &mut diags);
+        scan_unwraps(rel_path, lines, tracker, &mut diags);
     }
     if families.contains(&RuleFamily::ErrorDiscipline)
         && rel_path.starts_with("crates/sim/src/")
         && !rel_path.ends_with("/profile.rs")
     {
-        scan_profile_guard(rel_path, lines, &mut diags);
-    }
-    if families.contains(&RuleFamily::TenantIsolation) && in_scope(rel_path, TENANT_ISOLATION_SCOPE)
-    {
-        scan_tokens(
-            rel_path,
-            lines,
-            TENANT_STATE_TOKENS,
-            RULE_TENANT_ISOLATION,
-            "reaches into tenant slot state directly; go through the MixState \
-             accessors (or annotate a scoped accessor with \
-             `// lint:allow(tenant-isolation)`)",
-            &mut diags,
-        );
+        scan_profile_guard(rel_path, lines, tracker, &mut diags);
     }
     if families.contains(&RuleFamily::PaperConstants) {
         crate::manifest::scan(rel_path, lines, &mut diags);
@@ -235,27 +313,244 @@ pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<
     diags
 }
 
+/// Back-compat wrapper over [`scan_lines`] with a throwaway tracker
+/// (per-line families only; symbol rules need the whole file set).
+pub fn scan(rel_path: &str, lines: &[LineInfo], families: &[RuleFamily]) -> Vec<Diagnostic> {
+    scan_lines(rel_path, lines, families, &mut AllowTracker::default())
+}
+
+/// Runs the symbol-aware rule families over the whole file set:
+/// `tenant-isolation` (v2, impl-block membership), `rng-taint`, and
+/// `panic-reachability` (call graph).
+pub fn scan_cross_file(
+    files: &[(String, Vec<LineInfo>)],
+    idx: &ItemIndex,
+    families: &[RuleFamily],
+    tracker: &mut AllowTracker,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if families.contains(&RuleFamily::TenantIsolation) {
+        scan_tenant_isolation(files, idx, tracker, &mut diags);
+    }
+    if families.contains(&RuleFamily::DeterminismTaint) {
+        scan_rng_taint(files, idx, tracker, &mut diags);
+    }
+    if families.contains(&RuleFamily::PanicReachability) {
+        scan_panic_reachability(files, idx, tracker, &mut diags);
+    }
+    diags
+}
+
+/// Tenant-isolation v2: direct slot-state access anywhere in the
+/// workspace is flagged unless the line sits inside the `impl MixState`
+/// block of the same file. Accessors are exempt by symbol position —
+/// no annotation needed (or consumed) inside the impl.
+fn scan_tenant_isolation(
+    files: &[(String, Vec<LineInfo>)],
+    idx: &ItemIndex,
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (rel_path, lines) in files {
+        for (n, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for token in TENANT_STATE_TOKENS {
+                if find_token(&line.code, token).is_none() {
+                    continue;
+                }
+                if !idx.in_impl_of(rel_path, n as u32 + 1, TENANT_STATE_OWNER)
+                    && !tracker.allowed(rel_path, lines, n, RULE_TENANT_ISOLATION)
+                {
+                    diags.push(Diagnostic::new(
+                        rel_path,
+                        n as u64 + 1,
+                        RULE_TENANT_ISOLATION,
+                        format!(
+                            "`{token}` reaches into tenant slot state outside the \
+                             `impl MixState` block; go through the MixState accessors"
+                        ),
+                    ));
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Determinism-taint: every `Rng::seed_from_u64(..)` argument must
+/// mention at least one identifier bound in the enclosing function (a
+/// seed parameter, a config field through `self`/a local, a loop
+/// variable). Literal-only or ambient-constant seeds are flagged.
+fn scan_rng_taint(
+    files: &[(String, Vec<LineInfo>)],
+    idx: &ItemIndex,
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for f in &idx.fns {
+        let Some((rel_path, lines)) = files.iter().find(|(p, _)| p == &f.file) else {
+            continue;
+        };
+        for seed in &f.seeds {
+            let n = seed.line as usize - 1;
+            if n >= lines.len() {
+                continue;
+            }
+            if seed
+                .arg_idents
+                .iter()
+                .any(|id| f.bindings.iter().any(|b| b == id))
+            {
+                continue;
+            }
+            if tracker.allowed(rel_path, lines, n, RULE_RNG_TAINT) {
+                continue;
+            }
+            let shape = if seed.arg_idents.is_empty() {
+                "a literal".to_string()
+            } else {
+                format!(
+                    "`{}`, none of which is bound in `{}`",
+                    seed.arg_idents.join("`, `"),
+                    f.qualified()
+                )
+            };
+            diags.push(Diagnostic::new(
+                rel_path,
+                n as u64 + 1,
+                RULE_RNG_TAINT,
+                format!(
+                    "`Rng::seed_from_u64` seeded from {shape}; derive the seed from a \
+                     parameter or config field (or annotate with `// lint:allow(rng-taint)`)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Panic-reachability: every hard panic site (`panic!`, `unreachable!`,
+/// `todo!`, `unimplemented!`, `.unwrap()`, `.expect(`) inside a
+/// function transitively reachable from a root (`Simulation::run`,
+/// `MixState` accessors, the campaign/mix worker entry points) is
+/// flagged with its shortest call trail. A `lint:allow(unwrap)`
+/// annotation — the error-discipline escape hatch — also suppresses
+/// this rule, so a site justified once is justified everywhere.
+fn scan_panic_reachability(
+    files: &[(String, Vec<LineInfo>)],
+    idx: &ItemIndex,
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let graph = CallGraph::build(idx);
+    for finding in graph.panic_findings() {
+        let Some((rel_path, lines)) = files.iter().find(|(p, _)| p == &finding.file) else {
+            continue;
+        };
+        let n = finding.line as usize - 1;
+        if n >= lines.len() || lines[n].in_test {
+            continue;
+        }
+        if tracker.allowed_any(rel_path, lines, n, &[RULE_PANIC_REACHABILITY, RULE_UNWRAP]) {
+            continue;
+        }
+        let root = finding.trail.first().cloned().unwrap_or_default();
+        let containing = finding.trail.last().cloned().unwrap_or_default();
+        diags.push(
+            Diagnostic::new(
+                rel_path,
+                n as u64 + 1,
+                RULE_PANIC_REACHABILITY,
+                format!(
+                    "`{}` in `{containing}` is reachable from root `{root}`; return a \
+                     typed error or annotate with `// lint:allow(panic-reachability)`",
+                    finding.what
+                ),
+            )
+            .with_trail(finding.trail),
+        );
+    }
+}
+
+/// Stale-allow: flags `lint:allow(rule-id)` annotations that suppressed
+/// nothing in this run. Known ids are only judged when every family
+/// that can consume them ran; unknown ids are always stale. Runs after
+/// every other rule so the tracker is complete.
+pub fn scan_stale_allows(
+    files: &[(String, Vec<LineInfo>)],
+    families: &[RuleFamily],
+    tracker: &mut AllowTracker,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if !families.contains(&RuleFamily::StaleAllow) {
+        return diags;
+    }
+    for (rel_path, lines) in files {
+        for n in 0..lines.len() {
+            if lines[n].in_test {
+                continue;
+            }
+            let ids: Vec<String> = lines[n].allows.clone();
+            for id in ids {
+                if id == RULE_STALE_ALLOW {
+                    continue;
+                }
+                if tracker.is_used(rel_path, n, &id) {
+                    continue;
+                }
+                let judged = match ALLOW_CONSUMERS.iter().find(|(known, _)| *known == id) {
+                    None => true,
+                    Some((_, consumers)) => {
+                        !consumers.is_empty() && consumers.iter().all(|f| families.contains(f))
+                    }
+                };
+                if !judged {
+                    continue;
+                }
+                if tracker.allowed(rel_path, lines, n, RULE_STALE_ALLOW) {
+                    continue;
+                }
+                diags.push(Diagnostic::new(
+                    rel_path,
+                    n as u64 + 1,
+                    RULE_STALE_ALLOW,
+                    format!("`lint:allow({id})` suppresses nothing; remove the stale annotation"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
 /// Token-list rules (wall clock, randomness).
+#[allow(clippy::too_many_arguments)]
 fn scan_tokens(
     rel_path: &str,
     lines: &[LineInfo],
     tokens: &[&str],
     rule: &'static str,
     why: &str,
+    tracker: &mut AllowTracker,
     diags: &mut Vec<Diagnostic>,
 ) {
     for (n, line) in lines.iter().enumerate() {
-        if line.in_test || allowed(lines, n, rule) {
+        if line.in_test {
             continue;
         }
         for token in tokens {
             if find_token(&line.code, token).is_some() {
-                diags.push(Diagnostic::new(
-                    rel_path,
-                    n as u64 + 1,
-                    rule,
-                    format!("`{token}` {why}"),
-                ));
+                // The allow is only consumed (and marked used) when a
+                // violation is actually suppressed — a stray annotation
+                // must stay visible to the stale-allow rule.
+                if !tracker.allowed(rel_path, lines, n, rule) {
+                    diags.push(Diagnostic::new(
+                        rel_path,
+                        n as u64 + 1,
+                        rule,
+                        format!("`{token}` {why}"),
+                    ));
+                }
                 break;
             }
         }
@@ -264,22 +559,29 @@ fn scan_tokens(
 
 /// Error-discipline rule: `.unwrap()`, `.expect(`, `panic!` in non-test
 /// code without an inline allow.
-fn scan_unwraps(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+fn scan_unwraps(
+    rel_path: &str,
+    lines: &[LineInfo],
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
     for (n, line) in lines.iter().enumerate() {
-        if line.in_test || allowed(lines, n, RULE_UNWRAP) {
+        if line.in_test {
             continue;
         }
         for token in [".unwrap()", ".expect(", "panic!"] {
             if find_token(&line.code, token).is_some() {
-                diags.push(Diagnostic::new(
-                    rel_path,
-                    n as u64 + 1,
-                    RULE_UNWRAP,
-                    format!(
-                        "`{token}` in non-test code; return a typed error or annotate \
-                         with `// lint:allow(unwrap)`"
-                    ),
-                ));
+                if !tracker.allowed(rel_path, lines, n, RULE_UNWRAP) {
+                    diags.push(Diagnostic::new(
+                        rel_path,
+                        n as u64 + 1,
+                        RULE_UNWRAP,
+                        format!(
+                            "`{token}` in non-test code; return a typed error or annotate \
+                             with `// lint:allow(unwrap)`"
+                        ),
+                    ));
+                }
                 break;
             }
         }
@@ -295,9 +597,14 @@ fn scan_unwraps(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>)
 /// pattern within [`PROFILE_GUARD_WINDOW`] lines above it inside the
 /// same function. Anything else charges profiler state on untraced runs
 /// — exactly the cost the opt-in design promises away.
-fn scan_profile_guard(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+fn scan_profile_guard(
+    rel_path: &str,
+    lines: &[LineInfo],
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
     for (n, line) in lines.iter().enumerate() {
-        if line.in_test || allowed(lines, n, RULE_PROFILE_GUARD) {
+        if line.in_test {
             continue;
         }
         let code = &line.code;
@@ -308,16 +615,18 @@ fn scan_profile_guard(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagno
             if profile_call_is_guarded(lines, n, code, at) {
                 continue;
             }
-            diags.push(Diagnostic::new(
-                rel_path,
-                n as u64 + 1,
-                RULE_PROFILE_GUARD,
-                format!(
-                    "profiler accumulation `{token}..)` outside the opt-in guard; wrap it \
-                     in `if let Some(prof) = self.profiler.as_mut()` (or annotate with \
-                     `// lint:allow(profile-guard)`)"
-                ),
-            ));
+            if !tracker.allowed(rel_path, lines, n, RULE_PROFILE_GUARD) {
+                diags.push(Diagnostic::new(
+                    rel_path,
+                    n as u64 + 1,
+                    RULE_PROFILE_GUARD,
+                    format!(
+                        "profiler accumulation `{token}..)` outside the opt-in guard; wrap it \
+                         in `if let Some(prof) = self.profiler.as_mut()` (or annotate with \
+                         `// lint:allow(profile-guard)`)"
+                    ),
+                ));
+            }
             break;
         }
     }
@@ -358,12 +667,14 @@ fn profile_call_is_guarded(lines: &[LineInfo], n: usize, code: &str, at: usize) 
 /// the workspace or the standard library. Paths rooted at a module the
 /// file itself declares (`mod engine;` → `pub use engine::Sim;`) are
 /// local, not external.
-fn scan_imports(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+fn scan_imports(
+    rel_path: &str,
+    lines: &[LineInfo],
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
     let local_mods = collect_local_mods(lines);
     for (n, line) in lines.iter().enumerate() {
-        if allowed(lines, n, RULE_EXTERNAL_IMPORT) {
-            continue;
-        }
         let trimmed = line.code.trim_start();
         let path = if let Some(rest) = trimmed.strip_prefix("extern crate ") {
             rest
@@ -382,7 +693,10 @@ fn scan_imports(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>)
         if root.is_empty() {
             continue;
         }
-        if !ALLOWED_IMPORT_ROOTS.contains(&root.as_str()) && !local_mods.contains(&root) {
+        if !ALLOWED_IMPORT_ROOTS.contains(&root.as_str())
+            && !local_mods.contains(&root)
+            && !tracker.allowed(rel_path, lines, n, RULE_EXTERNAL_IMPORT)
+        {
             diags.push(Diagnostic::new(
                 rel_path,
                 n as u64 + 1,
@@ -429,13 +743,18 @@ fn collect_local_mods(lines: &[LineInfo]) -> Vec<String> {
 /// flags unordered-iteration methods invoked on them — same-line
 /// (`self.stamps.iter()`), continuation-line (receiver at end of one
 /// line, `.iter()` opening the next), and `for _ in &ident` loops.
-fn scan_hash_iteration(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagnostic>) {
+fn scan_hash_iteration(
+    rel_path: &str,
+    lines: &[LineInfo],
+    tracker: &mut AllowTracker,
+    diags: &mut Vec<Diagnostic>,
+) {
     let idents = collect_hash_idents(lines);
     if idents.is_empty() {
         return;
     }
     for (n, line) in lines.iter().enumerate() {
-        if line.in_test || allowed(lines, n, RULE_HASH_ITERATION) {
+        if line.in_test {
             continue;
         }
         let code = &line.code;
@@ -476,6 +795,9 @@ fn scan_hash_iteration(rel_path: &str, lines: &[LineInfo], diags: &mut Vec<Diagn
             }
         }
         if let Some(recv) = hit {
+            if tracker.allowed(rel_path, lines, n, RULE_HASH_ITERATION) {
+                continue;
+            }
             diags.push(Diagnostic::new(
                 rel_path,
                 n as u64 + 1,
@@ -596,6 +918,7 @@ fn for_loop_target(code: &str) -> Option<String> {
 mod tests {
     use super::*;
     use crate::analyze::analyze;
+    use crate::check_source;
 
     fn scan_at(path: &str, text: &str, fam: RuleFamily) -> Vec<Diagnostic> {
         scan(path, &analyze(text), &[fam])
@@ -748,35 +1071,145 @@ mod tests {
     }
 
     #[test]
-    fn tenant_isolation_flags_direct_slot_access() {
-        let text = "fn f(s: &mut MixState) {\n\
-                    \x20 s.slots[0] = None;\n\
-                    \x20 let n = s.slots.len(); // lint:allow(tenant-isolation) — scoped accessor\n\
-                    \x20 s.slots.iter().count();\n\
+    fn tenant_isolation_exempts_the_impl_block_without_annotations() {
+        let text = "pub struct MixState { slots: Vec<Option<u32>> }\n\
+                    impl MixState {\n\
+                    \x20 fn record(&mut self, idx: usize) {\n\
+                    \x20   self.slots[idx] = Some(1);\n\
+                    \x20 }\n\
+                    \x20 fn total(&self) -> usize {\n\
+                    \x20   self.slots.len()\n\
+                    \x20 }\n\
+                    }\n\
+                    fn bypass(state: &mut MixState) {\n\
+                    \x20 state.slots[0] = None;\n\
+                    \x20 state.slots.iter().count();\n\
                     }\n";
-        let d = scan_at(
+        let d = check_source(
             "crates/bench/src/tenant.rs",
             text,
-            RuleFamily::TenantIsolation,
+            &[RuleFamily::TenantIsolation],
         );
         let lines: Vec<u64> = d.iter().map(|d| d.line).collect();
-        assert_eq!(lines, vec![2, 4], "{d:?}");
+        assert_eq!(lines, vec![11, 12], "{d:?}");
         assert!(d.iter().all(|d| d.rule == RULE_TENANT_ISOLATION));
     }
 
     #[test]
-    fn tenant_isolation_is_scoped_to_tenant_layer_files() {
-        let text = "fn f(s: &mut S) { s.slots[0] = None; }\n";
+    fn tenant_isolation_is_workspace_wide_in_v2() {
+        // v1 only looked at files named tenant*; v2 follows the symbol.
+        let text = "fn f(s: &mut MixState) { s.slots[0] = None; }\n";
         for path in ["crates/bench/src/campaign.rs", "crates/core/src/hir.rs"] {
-            let d = scan_at(path, text, RuleFamily::TenantIsolation);
-            assert!(d.is_empty(), "{path}: {d:?}");
+            let d = check_source(path, text, &[RuleFamily::TenantIsolation]);
+            assert_eq!(d.len(), 1, "{path}: {d:?}");
         }
-        let d = scan_at(
-            "crates/sim/src/tenant.rs",
+    }
+
+    #[test]
+    fn rng_taint_flags_literal_and_untraceable_seeds() {
+        let text = "const AMBIENT: u64 = 7;\n\
+                    fn good(seed: u64) -> Rng {\n\
+                    \x20 Rng::seed_from_u64(seed ^ 0x9E37)\n\
+                    }\n\
+                    fn literal() -> Rng {\n\
+                    \x20 Rng::seed_from_u64(0xD1B)\n\
+                    }\n\
+                    fn ambient() -> Rng {\n\
+                    \x20 Rng::seed_from_u64(AMBIENT)\n\
+                    }\n";
+        let d = check_source("crates/sim/src/a.rs", text, &[RuleFamily::DeterminismTaint]);
+        let lines: Vec<u64> = d.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![6, 9], "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_RNG_TAINT));
+        assert!(d[1].message.contains("AMBIENT"));
+    }
+
+    #[test]
+    fn rng_taint_honors_allow() {
+        let text = "fn f() -> Rng {\n\
+                    \x20 Rng::seed_from_u64(3) // lint:allow(rng-taint) — fixed dither stream\n\
+                    }\n";
+        let d = check_source("crates/sim/src/a.rs", text, &[RuleFamily::DeterminismTaint]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_reachability_carries_trail_and_honors_unwrap_allow() {
+        let text = "pub fn run_campaign() { worker(0); }\n\
+                    fn worker(i: u64) {\n\
+                    \x20 merge(i);\n\
+                    \x20 audit(i);\n\
+                    }\n\
+                    fn merge(i: u64) { slots(i).unwrap(); }\n\
+                    fn audit(i: u64) {\n\
+                    \x20 slots(i).expect(\"present\") // lint:allow(unwrap) — audited above\n\
+                    }\n\
+                    fn slots(i: u64) -> Option<u64> { Some(i) }\n";
+        let d = check_source(
+            "crates/bench/src/campaign.rs",
             text,
-            RuleFamily::TenantIsolation,
+            &[RuleFamily::PanicReachability],
         );
         assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 6);
+        assert_eq!(d[0].rule, RULE_PANIC_REACHABILITY);
+        assert_eq!(d[0].trail, vec!["run_campaign", "worker", "merge"]);
+        assert!(d[0].message.contains("run_campaign"));
+    }
+
+    #[test]
+    fn panic_unreachable_from_roots_is_not_flagged() {
+        let text = "pub fn run_campaign() { safe(); }\n\
+                    fn safe() -> u64 { 3 }\n\
+                    fn orphan() { x.unwrap(); }\n";
+        let d = check_source(
+            "crates/bench/src/campaign.rs",
+            text,
+            &[RuleFamily::PanicReachability],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stale_allow_flags_unused_and_unknown_ids() {
+        let text = "fn f(x: Option<u32>) -> u32 {\n\
+                    \x20 let y = 3; // lint:allow(unwrap)\n\
+                    \x20 let z = 4; // lint:allow(no-such-rule)\n\
+                    \x20 x.unwrap() // lint:allow(unwrap) — used, stays clean\n\
+                    }\n";
+        let d = check_source("crates/sim/src/a.rs", text, RuleFamily::ALL);
+        let hits: Vec<(u64, &str)> = d.iter().map(|d| (d.line, d.rule)).collect();
+        assert_eq!(
+            hits,
+            vec![(2, RULE_STALE_ALLOW), (3, RULE_STALE_ALLOW)],
+            "{d:?}"
+        );
+        assert!(d[0].message.contains("unwrap"));
+        assert!(d[1].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn stale_allow_skips_ids_whose_consumers_did_not_run() {
+        // An unused unwrap allow is only judged when both
+        // error-discipline and panic-reachability ran.
+        let text = "fn f() {\n  let y = 3; // lint:allow(unwrap)\n}\n";
+        let d = check_source(
+            "crates/sim/src/a.rs",
+            text,
+            &[RuleFamily::ErrorDiscipline, RuleFamily::StaleAllow],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = check_source(
+            "crates/sim/src/a.rs",
+            text,
+            &[
+                RuleFamily::ErrorDiscipline,
+                RuleFamily::PanicReachability,
+                RuleFamily::StaleAllow,
+            ],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_STALE_ALLOW);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+// Fixture: determinism-taint (rng-taint) violations. Linted under the
+// synthetic path crates/sim/src/fixture_rng_taint.rs. Every generator
+// must be seeded from a parameter or config field; literals and
+// untraceable idents are flagged.
+
+pub fn fresh_stream(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed ^ 0x9E37_79B9)
+}
+
+pub fn config_stream(cfg: &SimConfig) -> Rng {
+    Rng::seed_from_u64(cfg.seed)
+}
+
+pub fn literal_stream() -> Rng {
+    Rng::seed_from_u64(0xDEAD)
+}
+
+pub fn untraceable_stream() -> Rng {
+    Rng::seed_from_u64(GLOBAL_MAGIC)
+}
+
+pub fn pinned_stream() -> Rng {
+    Rng::seed_from_u64(0xD1B) // lint:allow(rng-taint) — fixture pin
+}

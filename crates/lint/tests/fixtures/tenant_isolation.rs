@@ -1,5 +1,7 @@
 // Fixture: tenant-isolation violations. Linted under the synthetic path
-// crates/bench/src/tenant_fixture.rs (the tenant-layer scope).
+// crates/bench/src/tenant_fixture.rs (the tenant-layer scope). Since v2
+// the rule is symbol-aware: accessors inside the `impl MixState` block
+// are exempt by position — no allow annotations needed.
 
 struct MixState {
     slots: Vec<Option<u64>>,
@@ -13,10 +15,10 @@ fn bypasses_accessors(state: &mut MixState, idx: usize) {
 
 impl MixState {
     fn record(&mut self, idx: usize) {
-        self.slots[idx] = Some(2); // lint:allow(tenant-isolation) — scoped accessor
+        self.slots[idx] = Some(2);
     }
 
     fn total(&self) -> usize {
-        self.slots.len() // lint:allow(tenant-isolation) — scoped accessor
+        self.slots.len()
     }
 }

@@ -30,6 +30,9 @@ const FIXTURES: &[(&str, &str)] = &[
         "crates/sim/src/fixture_profile_guard.rs",
     ),
     ("tenant_isolation.rs", "crates/bench/src/tenant_fixture.rs"),
+    ("panic_reachability.rs", "crates/bench/src/fixture_panic.rs"),
+    ("rng_taint.rs", "crates/sim/src/fixture_rng_taint.rs"),
+    ("stale_allow.rs", "crates/sim/src/fixture_stale_allow.rs"),
     ("clean.rs", "crates/sim/src/fixture_clean.rs"),
 ];
 
@@ -114,15 +117,64 @@ fn tenant_isolation_fixture_reports_bypassing_sites_only() {
     assert_eq!(
         lines_and_rules(&d),
         vec![
-            (9, "tenant-isolation"),
-            (10, "tenant-isolation"),
-            (11, "tenant-isolation")
+            (11, "tenant-isolation"),
+            (12, "tenant-isolation"),
+            (13, "tenant-isolation")
         ],
         "{d:?}"
     );
-    assert!(d[0].message.contains("MixState"));
-    // The annotated accessor sites (lines 16 and 20) must be exempt.
-    assert!(d.iter().all(|d| d.line != 16 && d.line != 20));
+    assert!(d[0].message.contains("impl MixState"));
+    // The accessors inside `impl MixState` (lines 18 and 22) are exempt
+    // by symbol position — no allow annotations, nothing stale.
+    assert!(d.iter().all(|d| d.line != 18 && d.line != 22));
+}
+
+#[test]
+fn panic_reachability_fixture_reports_reachable_sites_with_trails() {
+    let d = lint_fixture("panic_reachability.rs");
+    assert_eq!(
+        lines_and_rules(&d),
+        vec![(15, "panic-reachability"), (20, "panic-reachability")],
+        "{d:?}"
+    );
+    // Each finding carries the call trail from the root.
+    assert_eq!(d[0].trail, vec!["run_campaign", "worker"]);
+    assert_eq!(d[1].trail, vec!["run_campaign", "worker", "merge"]);
+    assert!(d[0].message.contains("reachable from root `run_campaign`"));
+    // The annotated site (line 26) and the orphan unreachable from any
+    // root (line 34) must both be exempt.
+    assert!(d.iter().all(|d| d.line != 26 && d.line != 34));
+}
+
+#[test]
+fn rng_taint_fixture_reports_untraceable_seeds_only() {
+    let d = lint_fixture("rng_taint.rs");
+    assert_eq!(
+        lines_and_rules(&d),
+        vec![(15, "rng-taint"), (19, "rng-taint")],
+        "{d:?}"
+    );
+    assert!(d[0].message.contains("literal"));
+    assert!(d[1].message.contains("GLOBAL_MAGIC"));
+    // Param-derived (line 7), config-derived (line 11), and annotated
+    // (line 23) seeds must be exempt.
+    assert!(d
+        .iter()
+        .all(|d| d.line != 7 && d.line != 11 && d.line != 23));
+}
+
+#[test]
+fn stale_allow_fixture_reports_unused_and_unknown_allows() {
+    let d = lint_fixture("stale_allow.rs");
+    assert_eq!(
+        lines_and_rules(&d),
+        vec![(17, "stale-allow"), (21, "stale-allow")],
+        "{d:?}"
+    );
+    assert!(d[0].message.contains("suppresses nothing"));
+    // The consumed allow on the real hash-iteration hit (line 14) is
+    // not stale, and the hit itself stays suppressed.
+    assert!(d.iter().all(|d| d.line != 14));
 }
 
 #[test]

@@ -132,6 +132,7 @@ impl Dip {
     pub fn new() -> Self {
         Dip {
             chain: RecencyChain::new(),
+            // lint:allow(rng-taint) — fixed dither stream per the DIP spec
             rng: Rng::seed_from_u64(0xD1B),
             epsilon_inv: 32,
             epoch_len: 64,

@@ -80,6 +80,7 @@ impl Json {
     /// Panics if `self` is not an object.
     pub fn insert(&mut self, key: impl Into<String>, value: Json) {
         let Json::Object(entries) = self else {
+            // lint:allow(panic-reachability) — documented panic contract
             panic!("Json::insert on non-object");
         };
         let key = key.into();

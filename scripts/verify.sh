@@ -48,10 +48,33 @@ echo "==> hpe-lint: error-discipline gate (replaces the old awk unwrap counter)"
 # the allowlist lives next to the code it excuses. See DESIGN.md §10.
 cargo run -q --release --offline -p hpe-bench --bin hpe-lint -- check --rules error-discipline
 
-echo "==> hpe-lint: full static analysis (determinism, hermeticity, paper constants)"
+echo "==> hpe-lint: full static analysis (all families incl. call-graph rules)"
 # Exit codes: 0 clean, 1 violations (file:line listed above the summary),
-# 2 internal error — same convention as hpe-chaos.
+# 2 internal error — same convention as hpe-chaos. The sweep includes
+# the symbol-aware v2 families (panic-reachability, determinism-taint,
+# stale-allow) and must stay interactive: budget 5 s wall clock.
+lint_start=$(date +%s)
 cargo run -q --release --offline -p hpe-bench --bin hpe-lint -- check
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt 5 ]; then
+    echo "hpe-lint check took ${lint_elapsed}s, over the 5s budget" >&2
+    exit 1
+fi
+
+echo "==> hpe-lint: golden/fixture self-check (regen must be a no-op)"
+# Regenerating the golden diagnostic report must be byte-identical to
+# the checked-in file — otherwise the goldens drifted from the fixtures
+# (or an intentional diagnostic change forgot to run the regen).
+golden=crates/lint/tests/golden/diagnostics.json
+cp "$golden" "$golden.pre"
+UPDATE_GOLDEN=1 cargo test -q --offline -p uvm-lint --test lint_tests \
+    fixture_diagnostics_match_golden_json > /dev/null
+if ! cmp -s "$golden" "$golden.pre"; then
+    rm -f "$golden.pre"
+    echo "golden diagnostics drifted from the fixtures; commit the regen" >&2
+    exit 1
+fi
+rm -f "$golden.pre"
 
 echo "==> invariant sanitizer zero-perturbation proof (STN + SGM, on vs off)"
 # Runs HPE with the runtime invariant sanitizer enabled and disabled and
